@@ -1,0 +1,103 @@
+"""Experiment A2 (ablation) — B^c tree fanout.
+
+Section 4.1 prices a B^c access at ``f * log_f k``: higher fanout means
+shallower trees but more STS entries scanned per node.  This bench
+sweeps the fanout on a large standalone B^c tree and inside a full DDC,
+exposing the (shallow) optimum the formula predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bc_tree import BcTree
+from repro.core.ddc import DynamicDataCube
+from repro.model import bc_tree_op_cost
+from repro.workloads import dense_uniform, prefix_cells
+
+from conftest import report
+
+FANOUTS = [4, 8, 16, 32, 64]
+K = 4096
+
+
+def test_fanout_sweep_bc_tree(benchmark):
+    values = list(range(K))
+
+    def sweep():
+        rows = []
+        for fanout in FANOUTS:
+            tree = BcTree.from_values(values, fanout=fanout)
+            tree.stats.reset()
+            for probe in range(0, K, 37):
+                tree.prefix_sum(probe)
+            samples = len(range(0, K, 37))
+            read_ops = tree.stats.cell_reads / samples
+            tree.stats.reset()
+            for probe in range(0, K, 37):
+                tree.add(probe, 1)
+            write_ops = tree.stats.cell_writes / samples
+            rows.append((fanout, tree.height(), read_ops, write_ops))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"B^c tree with k={K} rows — cost vs fanout (model: f * log_f k)",
+        f"{'fanout':>7} {'height':>7} {'reads/query':>12} "
+        f"{'writes/update':>14} {'model':>7}",
+    ]
+    for fanout, height, reads, writes in rows:
+        lines.append(
+            f"{fanout:>7} {height:>7} {reads:>12.1f} {writes:>14.1f} "
+            f"{bc_tree_op_cost(K, fanout):>7.1f}"
+        )
+    report("ablation_bc_fanout", "\n".join(lines))
+    heights = [height for _, height, _, _ in rows]
+    assert heights == sorted(heights, reverse=True)
+    # Update cost is one STS per level: strictly improves with fanout.
+    writes = [w for *_, w in rows]
+    assert writes == sorted(writes, reverse=True)
+
+
+@pytest.mark.parametrize("fanout", [4, 16, 64])
+def test_fanout_inside_ddc_walltime(benchmark, fanout):
+    data = dense_uniform((256, 256), seed=25)
+    cube = DynamicDataCube.from_array(data, bc_fanout=fanout)
+    cells = prefix_cells((256, 256), 64, seed=26)
+    index = iter(range(10**9))
+
+    def one_query():
+        return cube.prefix_sum(cells[next(index) % len(cells)])
+
+    benchmark(one_query)
+
+
+def test_fanout_inside_ddc_ops(benchmark):
+    data = dense_uniform((256, 256), seed=27)
+    cells = prefix_cells((256, 256), 40, seed=28)
+
+    def sweep():
+        rows = []
+        for fanout in FANOUTS:
+            cube = DynamicDataCube.from_array(data, bc_fanout=fanout)
+            cube.stats.reset()
+            for cell in cells:
+                cube.prefix_sum(cell)
+            query_ops = cube.stats.total_cell_ops / len(cells)
+            cube.stats.reset()
+            for cell in cells:
+                cube.add(cell, 1)
+            update_ops = cube.stats.total_cell_ops / len(cells)
+            rows.append((fanout, query_ops, update_ops))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "fanout effect inside a 256x256 DDC (mean ops per operation)",
+        f"{'fanout':>7} {'query ops':>10} {'update ops':>11}",
+    ]
+    for fanout, query_ops, update_ops in rows:
+        lines.append(f"{fanout:>7} {query_ops:>10.1f} {update_ops:>11.1f}")
+    report("ablation_ddc_fanout", "\n".join(lines))
+    updates = [u for _, _, u in rows]
+    assert updates == sorted(updates, reverse=True)

@@ -1,0 +1,77 @@
+"""Experiment A3 (ablation) — RPS block side: the sqrt(n) optimum.
+
+GAES99's analysis picks block side k = sqrt(n): the local relative-
+prefix update costs O(k^d) while the boundary families cost
+O((n/k)^(d-|S|) k^|S|); the two balance at k = sqrt(n).  This ablation
+sweeps k on a real structure and confirms the U-shape with its minimum
+near sqrt(n) — the design choice the Dynamic Data Cube paper inherits
+when quoting RPS's O(n^(d/2)) update bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.methods.relative_prefix_sum import RelativePrefixSumCube
+from repro.workloads import dense_uniform, random_updates
+
+from conftest import report
+
+N = 256
+BLOCK_SIDES = [2, 4, 8, 16, 32, 64, 128]
+
+
+def test_block_side_sweep(benchmark):
+    data = dense_uniform((N, N), seed=50)
+    updates = random_updates((N, N), 40, seed=51)
+
+    def sweep():
+        rows = []
+        for block_side in BLOCK_SIDES:
+            rps = RelativePrefixSumCube.from_array(data, block_side=block_side)
+            rps.stats.reset()
+            rps.add((0, 0), 1)
+            worst = rps.stats.cell_writes
+            rps.stats.reset()
+            for update in updates:
+                rps.add(update.cell, update.delta)
+            average = rps.stats.cell_writes / len(updates)
+            rows.append((block_side, worst, average, rps.memory_cells()))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sqrt_n = int(math.isqrt(N))
+    lines = [
+        f"RPS block-side sweep, n={N}, d=2 (GAES99 optimum: k = sqrt(n) = {sqrt_n})",
+        f"{'k':>5} {'worst-case writes':>18} {'avg writes':>11} {'storage':>9}",
+    ]
+    for block_side, worst, average, storage in rows:
+        marker = "  <- sqrt(n)" if block_side == sqrt_n else ""
+        lines.append(
+            f"{block_side:>5} {worst:>18,} {average:>11.1f} {storage:>9,}{marker}"
+        )
+    report("ablation_rps_block_side", "\n".join(lines))
+
+    worst_by_k = {block_side: worst for block_side, worst, _, _ in rows}
+    best_k = min(worst_by_k, key=worst_by_k.get)
+    # The optimum sits at sqrt(n) (or its immediate neighbours).
+    assert best_k in (sqrt_n // 2, sqrt_n, sqrt_n * 2)
+    # The extremes degenerate toward the prefix-sum cost.
+    assert worst_by_k[BLOCK_SIDES[0]] > 4 * worst_by_k[best_k]
+    assert worst_by_k[BLOCK_SIDES[-1]] > 4 * worst_by_k[best_k]
+
+
+@pytest.mark.parametrize("block_side", [4, 16, 64])
+def test_update_walltime_by_block_side(benchmark, block_side):
+    data = dense_uniform((N, N), seed=52)
+    rps = RelativePrefixSumCube.from_array(data, block_side=block_side)
+    updates = random_updates((N, N), 64, seed=53)
+    index = iter(range(10**9))
+
+    def one_update():
+        update = updates[next(index) % len(updates)]
+        rps.add(update.cell, update.delta)
+
+    benchmark(one_update)

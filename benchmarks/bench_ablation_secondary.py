@@ -1,0 +1,116 @@
+"""Experiment A1 (ablation) — the overlay secondary-structure choice.
+
+The paper prescribes recursive Dynamic Data Cubes (B^c trees at one
+dimension) for overlay row sums.  This ablation swaps in a d-dimensional
+Fenwick-tree secondary, and also measures the plain d-dimensional
+Fenwick tree as a whole-structure alternative, quantifying what the
+paper's design buys (sparse laziness, dynamic growth) and what it costs
+(constant factors per operation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ddc import DynamicDataCube
+from repro.methods import FenwickCube
+from repro.methods.segment_tree import SegmentTreeCube
+from repro.workloads import clustered, dense_uniform, prefix_cells
+
+from conftest import report
+
+N = 128
+
+VARIANTS = {
+    "ddc/bc secondaries": lambda data: DynamicDataCube.from_array(
+        data, secondary_kind="ddc"
+    ),
+    "fenwick secondaries": lambda data: DynamicDataCube.from_array(
+        data, secondary_kind="fenwick"
+    ),
+    "plain fenwick cube": lambda data: FenwickCube.from_array(data),
+    "plain segment tree": lambda data: SegmentTreeCube.from_array(data),
+}
+
+
+def test_ablation_op_counts(benchmark):
+    data = dense_uniform((N, N), seed=18)
+    cells = prefix_cells((N, N), 40, seed=19)
+
+    def measure():
+        rows = []
+        for label, factory in VARIANTS.items():
+            structure = factory(data)
+            structure.stats.reset()
+            for cell in cells:
+                structure.prefix_sum(cell)
+            query_ops = structure.stats.total_cell_ops / len(cells)
+            structure.stats.reset()
+            for cell in cells:
+                structure.add(cell, 1)
+            update_ops = structure.stats.total_cell_ops / len(cells)
+            rows.append((label, query_ops, update_ops, structure.memory_cells()))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"dense {N}x{N} cube: mean ops per random prefix query / update",
+        f"{'variant':>20} {'query ops':>10} {'update ops':>11} {'storage':>9}",
+    ]
+    for label, query_ops, update_ops, storage in rows:
+        lines.append(
+            f"{label:>20} {query_ops:>10.1f} {update_ops:>11.1f} {storage:>9,}"
+        )
+    report("ablation_secondary_dense", "\n".join(lines))
+    by_label = {label: (q, u, s) for label, q, u, s in rows}
+    # All three are polylog structures: within an order of magnitude.
+    ops = [q + u for q, u, _ in by_label.values()]
+    assert max(ops) < 20 * min(ops)
+
+
+def test_ablation_sparse_storage(benchmark):
+    """Where the paper's design wins: clustered data on a big domain."""
+    domain = (1024, 1024)
+    data = clustered(domain, clusters=4, points_per_cluster=100, seed=20)
+
+    def measure():
+        return {
+            label: factory(data).memory_cells()
+            for label, factory in VARIANTS.items()
+        }
+
+    storage = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [f"clustered data, {domain[0]}x{domain[1]} domain — storage cells"]
+    for label, cells in storage.items():
+        lines.append(f"  {label:>20}: {cells:>12,}")
+    report("ablation_secondary_sparse", "\n".join(lines))
+    # Lazy B^c/DDC secondaries stay data-proportional; dense-array
+    # variants pay the domain.
+    assert storage["ddc/bc secondaries"] < storage["plain fenwick cube"] / 10
+    assert storage["ddc/bc secondaries"] < storage["fenwick secondaries"]
+
+
+@pytest.mark.parametrize("label", list(VARIANTS))
+def test_ablation_update_walltime(benchmark, label):
+    data = dense_uniform((N, N), seed=21)
+    structure = VARIANTS[label](data)
+    cells = prefix_cells((N, N), 64, seed=22)
+    index = iter(range(10**9))
+
+    def one_update():
+        structure.add(cells[next(index) % len(cells)], 1)
+
+    benchmark(one_update)
+
+
+@pytest.mark.parametrize("label", list(VARIANTS))
+def test_ablation_query_walltime(benchmark, label):
+    data = dense_uniform((N, N), seed=23)
+    structure = VARIANTS[label](data)
+    cells = prefix_cells((N, N), 64, seed=24)
+    index = iter(range(10**9))
+
+    def one_query():
+        return structure.prefix_sum(cells[next(index) % len(cells)])
+
+    benchmark(one_query)

@@ -1,0 +1,89 @@
+"""Supplemental — batch-update economics ("What if batch updates occur
+every minute?").
+
+Section 1 frames the problem: batch updating is the workaround current
+systems use for the prefix sum family's terrible per-update cost, and it
+stops working once batches must land frequently on big cubes.  This
+bench measures total cell operations per batch as the batch size grows,
+showing the two regimes:
+
+* PS/RPS amortise a full-cube (or near-full) pass over the batch — cheap
+  per update only when batches are huge;
+* the DDC pays polylog per update with no batching requirement at all,
+  which is the enabling-threshold argument for interactive updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods import build_method
+from repro.workloads import dense_uniform, random_updates
+
+from conftest import report
+
+N = 128
+BATCH_SIZES = [1, 10, 100, 1000]
+
+
+def test_batch_cost_regimes(benchmark):
+    data = dense_uniform((N, N), seed=46)
+
+    def measure():
+        table = {}
+        for name in ("ps", "rps", "fenwick", "ddc"):
+            for size in BATCH_SIZES:
+                updates = [
+                    (u.cell, u.delta)
+                    for u in random_updates((N, N), size, seed=47 + size)
+                ]
+                method = build_method(name, data)
+                method.stats.reset()
+                method.add_many(updates)
+                table[(name, size)] = method.stats.cell_writes
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"total cell writes per batch, {N}x{N} cube",
+        f"{'batch':>6}" + "".join(f"{name:>10}" for name in ("ps", "rps", "fenwick", "ddc")),
+    ]
+    for size in BATCH_SIZES:
+        lines.append(
+            f"{size:>6}"
+            + "".join(
+                f"{table[(name, size)]:>10,}"
+                for name in ("ps", "rps", "fenwick", "ddc")
+            )
+        )
+    lines.append("")
+    lines.append("per-update cost within the batch:")
+    for size in BATCH_SIZES:
+        lines.append(
+            f"{size:>6}"
+            + "".join(
+                f"{table[(name, size)] / size:>10.1f}"
+                for name in ("ps", "rps", "fenwick", "ddc")
+            )
+        )
+    report("batch_update_regimes", "\n".join(lines))
+
+    # PS: one pass amortised — batch-of-1000 costs the same as batch-of-100.
+    assert table[("ps", 1000)] == table[("ps", 100)] == N * N
+    # The DDC's total grows with the batch but each update stays polylog.
+    assert table[("ddc", 1000)] / 1000 < 64
+    # For single updates (the interactive case) the DDC wins outright.
+    assert table[("ddc", 1)] < table[("ps", 1)]
+    assert table[("ddc", 1)] < table[("rps", 1)]
+
+
+@pytest.mark.parametrize("name", ["ps", "ddc"])
+def test_batch_walltime(benchmark, name):
+    data = dense_uniform((N, N), seed=48)
+    method = build_method(name, data)
+    updates = [(u.cell, u.delta) for u in random_updates((N, N), 100, seed=49)]
+
+    def one_batch():
+        method.add_many(updates)
+
+    benchmark(one_batch)

@@ -1,0 +1,127 @@
+"""Experiment S4.4-IO — simulated secondary-storage accesses per traversal.
+
+Section 4.4: "the deletion of tree levels will have a positive impact on
+tree traversal times, since the number of levels in the tree affects the
+number of accesses to secondary storage during traversal."  The paper
+offers no disk substrate; we simulate one (DESIGN.md §4): every node a
+real traversal touches maps to a page, and a bounded LRU buffer pool
+decides which touches are physical reads.  Measured here:
+
+* page accesses and cold-pool misses per query as levels are elided;
+* buffer hit rate versus pool size (locality of the tree's upper levels);
+* hot-region workloads caching better than uniform ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ddc import DynamicDataCube
+from repro.storage import BufferPool, attach_pool
+from repro.workloads import dense_uniform, hot_region_updates, prefix_cells
+
+from conftest import report
+
+N = 128
+
+
+def test_page_accesses_vs_tree_height(benchmark):
+    data = dense_uniform((N, N), seed=37)
+    cells = prefix_cells((N, N), 60, seed=38)
+
+    def sweep():
+        rows = []
+        for leaf_side in (2, 4, 8, 16, 32):
+            cube = DynamicDataCube.from_array(data, leaf_side=leaf_side)
+            pool = attach_pool(cube, BufferPool(capacity=1))  # every touch ~ cold
+            for cell in cells:
+                cube.prefix_sum(cell)
+            rows.append(
+                (leaf_side, cube.height(), pool.stats.accesses / len(cells))
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"page accesses per prefix query vs level elision (n={N}, d=2)",
+        f"{'leaf_side':>9} {'levels':>7} {'pages/query':>12}",
+    ]
+    for leaf_side, levels, pages in rows:
+        lines.append(f"{leaf_side:>9} {levels:>7} {pages:>12.1f}")
+    report("io_accesses_vs_height", "\n".join(lines))
+    pages = [p for *_, p in rows]
+    assert pages == sorted(pages, reverse=True)
+
+
+def test_hit_rate_vs_pool_size(benchmark):
+    data = dense_uniform((N, N), seed=39)
+    cube = DynamicDataCube.from_array(data)
+    cells = prefix_cells((N, N), 200, seed=40)
+
+    def sweep():
+        rows = []
+        for capacity in (4, 16, 64, 256, 1024, 8192):
+            pool = attach_pool(cube, BufferPool(capacity=capacity))
+            for cell in cells:  # warm-up pass: populate the pool
+                cube.prefix_sum(cell)
+            pool.stats.reset()
+            for cell in cells:  # measured pass: steady-state behaviour
+                cube.prefix_sum(cell)
+            rows.append((capacity, pool.stats.hit_rate, pool.stats.misses))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"steady-state buffer hit rate vs pool size, "
+        f"200 uniform prefix queries (n={N})",
+        f"{'pool pages':>10} {'hit rate':>9} {'misses':>8}",
+    ]
+    for capacity, hit_rate, misses in rows:
+        lines.append(f"{capacity:>10} {hit_rate:>9.3f} {misses:>8}")
+    report("io_hit_rate_vs_pool", "\n".join(lines))
+    hit_rates = [rate for _, rate, _ in rows]
+    assert hit_rates[-1] > hit_rates[0]
+    # A pool holding the working set serves the repeat pass entirely.
+    assert hit_rates[-1] > 0.99
+
+
+def test_hot_workload_locality(benchmark):
+    """Skewed update traffic caches far better than uniform traffic."""
+    data = dense_uniform((N, N), seed=41)
+    hot = hot_region_updates((N, N), 300, hot_fraction=0.05, seed=42)
+    uniform = hot_region_updates(
+        (N, N), 300, hot_fraction=1.0, hot_probability=1.0, seed=43
+    )
+
+    def measure():
+        rates = {}
+        for label, workload in (("hot", hot), ("uniform", uniform)):
+            cube = DynamicDataCube.from_array(data)
+            pool = attach_pool(cube, BufferPool(capacity=64))
+            for update in workload:
+                cube.add(update.cell, update.delta)
+            rates[label] = pool.stats.hit_rate
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "io_workload_locality",
+        "buffer hit rate, 64-page pool, 300 updates:\n"
+        f"  hot-region workload: {rates['hot']:.3f}\n"
+        f"  uniform workload:    {rates['uniform']:.3f}",
+    )
+    assert rates["hot"] > rates["uniform"]
+
+
+@pytest.mark.parametrize("capacity", [16, 1024])
+def test_tracked_query_walltime(benchmark, capacity):
+    """Overhead of page tracking on a live query path."""
+    cube = DynamicDataCube.from_array(dense_uniform((N, N), seed=44))
+    attach_pool(cube, BufferPool(capacity=capacity))
+    cells = prefix_cells((N, N), 64, seed=45)
+    index = iter(range(10**9))
+
+    def one_query():
+        return cube.prefix_sum(cells[next(index) % len(cells)])
+
+    benchmark(one_query)

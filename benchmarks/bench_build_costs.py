@@ -1,0 +1,80 @@
+"""Supplemental — construction costs: bulk builds vs incremental loads.
+
+The paper assumes structures are built once ("batch load data, then
+permit read-only querying") before the update question even arises.
+This bench measures what that build costs per method — vectorised bulk
+construction versus one-update-at-a-time ingestion — and where the
+storage lands, including the Table 2 breakdown of the DDC's cells.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.ddc import DynamicDataCube
+from repro.methods import build_method, method_class, method_names
+from repro.workloads import dense_uniform
+
+from conftest import report
+
+N = 128
+
+
+def test_bulk_build_costs(benchmark):
+    data = dense_uniform((N, N), seed=61)
+
+    def build_all():
+        rows = []
+        for name in method_names():
+            started = time.perf_counter()
+            method = method_class(name).from_array(data)
+            elapsed = time.perf_counter() - started
+            rows.append((name, elapsed, method.memory_cells()))
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    lines = [
+        f"bulk build of a dense {N}x{N} cube",
+        f"{'method':>10} {'seconds':>9} {'storage cells':>14} {'x|A|':>6}",
+    ]
+    for name, elapsed, cells in rows:
+        lines.append(
+            f"{name:>10} {elapsed:>9.4f} {cells:>14,} {cells / (N * N):>6.2f}"
+        )
+    report("build_costs_bulk", "\n".join(lines))
+    by_name = {name: cells for name, _, cells in rows}
+    # Storage sanity: dense structures hold >= |A|; segtree ~4x.
+    assert by_name["ps"] == N * N
+    assert by_name["segtree"] == (2 * N) ** 2
+    assert by_name["ddc"] > N * N  # overlay overhead on dense data
+
+
+def test_ddc_storage_breakdown(benchmark):
+    data = dense_uniform((N, N), seed=62)
+
+    def build():
+        return DynamicDataCube.from_array(data).storage_breakdown()
+
+    breakdown = benchmark.pedantic(build, rounds=1, iterations=1)
+    total = breakdown["total"]
+    report(
+        "build_ddc_breakdown",
+        f"dense {N}x{N} DDC storage breakdown:\n"
+        f"  leaf blocks: {breakdown['blocks']:>8,} ({100 * breakdown['blocks'] / total:.1f}%)\n"
+        f"  subtotals:   {breakdown['subtotals']:>8,} ({100 * breakdown['subtotals'] / total:.1f}%)\n"
+        f"  group trees: {breakdown['groups']:>8,} ({100 * breakdown['groups'] / total:.1f}%)",
+    )
+    assert breakdown["blocks"] == N * N
+    assert breakdown["groups"] > breakdown["subtotals"]
+
+
+@pytest.mark.parametrize("name", ["ps", "fenwick", "ddc"])
+def test_bulk_vs_incremental_walltime(benchmark, name):
+    data = dense_uniform((64, 64), seed=63)
+
+    def bulk():
+        return method_class(name).from_array(data)
+
+    benchmark(bulk)

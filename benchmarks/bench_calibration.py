@@ -1,0 +1,78 @@
+"""Experiment C1 — quantitative calibration of measured costs vs the model.
+
+Fits each method's *measured* worst-case update series to the paper's
+growth families and reports the empirical exponents next to the
+theoretical ones, plus the implementation constants separating measured
+costs from the model.  This is the statistical backbone behind the
+"shape holds" claims of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods import build_method
+from repro.model import (
+    classify_growth,
+    constant_factor,
+    update_cost,
+)
+from repro.workloads import dense_uniform
+
+from conftest import report
+
+SIZES = [32, 64, 128, 256, 512]
+EXPECTED = {
+    "ps": ("polynomial", 2.0),
+    "rps": ("polynomial", 1.0),
+    "basic-ddc": ("polynomial", 1.0),
+    "ddc": ("polylogarithmic", None),
+}
+
+
+def measure_series(name: str) -> list[int]:
+    series = []
+    for n in SIZES:
+        data = dense_uniform((n, n), low=0, high=5, seed=54)
+        method = build_method(name, data)
+        method.add((0, 0), 1)
+        method.stats.reset()
+        method.add((0, 0), 1)
+        series.append(method.stats.total_cell_ops)
+    return series
+
+
+def test_fitted_exponents(benchmark):
+    def run():
+        return {name: measure_series(name) for name in EXPECTED}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "fitted growth of measured worst-case update cost, d=2",
+        f"{'method':>10} {'family':>16} {'fitted exp':>11} {'model exp':>10} "
+        f"{'const x model':>14}",
+    ]
+    outcomes = {}
+    for name, series in table.items():
+        fit = classify_growth(SIZES, series)
+        modelled = [update_cost(name, n, 2) for n in SIZES]
+        factor, spread = constant_factor(series, modelled)
+        expected_family, expected_exponent = EXPECTED[name]
+        model_text = f"{expected_exponent:.1f}" if expected_exponent else "polylog"
+        lines.append(
+            f"{name:>10} {fit.family:>16} {fit.fitted_exponent:>11.2f} "
+            f"{model_text:>10} {factor:>13.2f}x (spread {spread:.2f})"
+        )
+        outcomes[name] = (fit, factor, spread)
+    report("calibration_update_growth", "\n".join(lines))
+
+    for name, (fit, factor, spread) in outcomes.items():
+        expected_family, expected_exponent = EXPECTED[name]
+        assert fit.family == expected_family, name
+        if expected_exponent is not None:
+            assert fit.fitted_exponent == pytest.approx(expected_exponent, abs=0.25)
+        # Measured series are clean rescalings of the model: tight spread.
+        assert spread < 0.6, name
+    # PS is exact: constant factor 1, zero spread.
+    assert outcomes["ps"][1] == pytest.approx(1.0)
+    assert outcomes["ps"][2] == pytest.approx(0.0, abs=1e-9)

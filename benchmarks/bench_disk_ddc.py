@@ -1,0 +1,115 @@
+"""Experiment S1-Disk — the terabyte argument on an actual disk engine.
+
+Section 1 asks "What if the size of the data cube were a terabyte?"
+— i.e. what do updates and queries cost when the structure cannot live
+in memory.  This bench runs the fully disk-resident Dynamic Data Cube
+(page-file nodes, B^c-tree groups, leaf-block pages, bounded caches)
+and measures *physical page I/O* per operation, which is the currency
+the paper's update-cliff argument is really about:
+
+* one interactive update = tens of pages for the disk DDC, while a
+  disk-resident prefix-sum array would rewrite its entire dominated
+  region (n^d cells ≈ the whole file);
+* I/O per operation grows polylogarithmically with n;
+* warm caches eliminate most reads, per the Section 4.4 traversal
+  argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import DiskDynamicDataCube, PageFile
+from repro.workloads import prefix_cells, random_updates
+
+from conftest import report
+
+
+def populated_cube(
+    tmp_path, n: int, updates: int = 500, seed: int = 57, **options
+):
+    pages = PageFile(tmp_path / f"cube{n}.pf", page_size=512)
+    cube = DiskDynamicDataCube((n, n), pages, **options)
+    for update in random_updates((n, n), updates, seed=seed):
+        cube.add(update.cell, update.delta)
+    cube.flush()
+    return pages, cube
+
+
+def test_update_io_vs_cube_size(benchmark, tmp_path):
+    def sweep():
+        rows = []
+        for n in (64, 256, 1024):
+            pages, cube = populated_cube(tmp_path, n)
+            pages.stats.reset()
+            workload = random_updates((n, n), 50, seed=58)
+            for update in workload:
+                cube.add(update.cell, update.delta)
+            cube.flush()
+            physical = (pages.stats.reads + pages.stats.writes) / len(workload)
+            rows.append((n, physical, n * n))
+            pages.close()
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "physical page I/O per interactive update (512B pages, warm cache)",
+        f"{'n':>6} {'pages/update':>13} {'PS cells to rewrite':>20}",
+    ]
+    for n, physical, ps_cells in rows:
+        lines.append(f"{n:>6} {physical:>13.1f} {ps_cells:>20,}")
+    report("disk_ddc_update_io", "\n".join(lines))
+    # Polylog growth: quadrupling n must not quadruple the I/O.
+    assert rows[1][1] < rows[0][1] * 3
+    assert rows[2][1] < rows[1][1] * 3
+    # And the absolute numbers sit far below a PS rewrite at every size.
+    for n, physical, ps_cells in rows:
+        assert physical < ps_cells / 50
+
+
+def test_query_io_cold_vs_warm(benchmark, tmp_path):
+    n = 256
+    # Caches sized to hold the query working set, so the warm pass
+    # isolates pure locality from capacity misses.
+    pages, cube = populated_cube(
+        tmp_path, n, updates=800, node_cache=8192, tree_cache=4096
+    )
+    cells = prefix_cells((n, n), 60, seed=59)
+
+    def measure():
+        cube.flush()
+        cube._node_cache.clear()
+        cube._tree_cache.clear()
+        pages.stats.reset()
+        for cell in cells:
+            cube.prefix_sum(cell)
+        cold = pages.stats.reads / len(cells)
+        pages.stats.reset()
+        for cell in cells:
+            cube.prefix_sum(cell)
+        warm = pages.stats.reads / len(cells)
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "disk_ddc_query_io",
+        f"physical page reads per prefix query at n={n}:\n"
+        f"  cold caches: {cold:.1f}\n"
+        f"  warm caches: {warm:.2f}",
+    )
+    assert warm < cold / 3
+    pages.close()
+
+
+@pytest.mark.parametrize("n", [256])
+def test_disk_update_walltime(benchmark, tmp_path, n):
+    pages, cube = populated_cube(tmp_path, n)
+    updates = random_updates((n, n), 64, seed=60)
+    index = iter(range(10**9))
+
+    def one_update():
+        update = updates[next(index) % len(updates)]
+        cube.add(update.cell, update.delta)
+
+    benchmark(one_update)
+    pages.close()

@@ -1,0 +1,122 @@
+"""Experiment S4.4-Disk — real I/O on the disk-resident B^c tree.
+
+Complements the simulated buffer-pool experiment with genuine page-file
+traffic: a B^c tree whose nodes live in fixed-size disk pages, accessed
+through a bounded write-back cache.  Measured:
+
+* physical page reads per query vs node-cache size (the upper levels
+  pin quickly — the locality the paper's traversal argument relies on);
+* tree height and reads/query vs page size (bigger pages = higher
+  fanout = fewer levels = fewer accesses: the f·log_f k trade of
+  Section 4.1 in its on-disk form);
+* in-memory vs on-disk wall-clock for the same operation stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.keyed_bc_tree import KeyedBcTree
+from repro.storage import DiskBcTree, PageFile
+
+from conftest import report
+
+ROWS = 20_000
+
+
+def populate(tree, seed: int = 55) -> list[int]:
+    rng = random.Random(seed)
+    keys = [rng.randrange(0, 10 * ROWS) for _ in range(ROWS)]
+    for key in keys:
+        tree.add(key, 1)
+    return keys
+
+
+def test_reads_per_query_vs_cache(benchmark, tmp_path):
+    def sweep():
+        rows = []
+        for cache_pages in (1, 4, 16, 64, 256, 4096):
+            pages = PageFile(tmp_path / f"c{cache_pages}.pf", page_size=512)
+            tree = DiskBcTree(pages, cache_pages=cache_pages)
+            populate(tree)
+            tree.flush()
+            pages.stats.reset()
+            probes = range(0, 10 * ROWS, 997)
+            for probe in probes:
+                tree.prefix_sum(probe)
+            rows.append(
+                (cache_pages, tree.height(), pages.stats.reads / len(probes))
+            )
+            pages.close()
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"physical page reads per prefix query, {ROWS} rows, 512B pages",
+        f"{'cache pages':>11} {'height':>7} {'reads/query':>12}",
+    ]
+    for cache_pages, height, reads in rows:
+        lines.append(f"{cache_pages:>11} {height:>7} {reads:>12.2f}")
+    report("disk_tree_cache_sweep", "\n".join(lines))
+    reads = [r for *_, r in rows]
+    assert reads == sorted(reads, reverse=True)
+    # A cache holding the whole tree serves repeat queries without I/O.
+    assert reads[-1] < 0.5
+    # Small caches pin the upper levels but still miss on leaves.
+    assert 1.0 <= reads[1] < reads[0]
+    # A bufferless tree pays roughly one read per level.
+    assert reads[0] >= rows[0][1] - 1
+
+
+def test_height_vs_page_size(benchmark, tmp_path):
+    def sweep():
+        rows = []
+        for page_size in (128, 256, 1024, 4096):
+            pages = PageFile(tmp_path / f"p{page_size}.pf", page_size=page_size)
+            tree = DiskBcTree(pages, cache_pages=1)
+            populate(tree)
+            tree.flush()
+            pages.stats.reset()
+            probes = range(0, 10 * ROWS, 1999)
+            for probe in probes:
+                tree.prefix_sum(probe)
+            rows.append(
+                (
+                    page_size,
+                    tree.fanout,
+                    tree.height(),
+                    pages.stats.reads / len(probes),
+                )
+            )
+            pages.close()
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"page size vs tree height (bufferless), {ROWS} rows",
+        f"{'page bytes':>10} {'fanout':>7} {'height':>7} {'reads/query':>12}",
+    ]
+    for page_size, fanout, height, reads in rows:
+        lines.append(f"{page_size:>10} {fanout:>7} {height:>7} {reads:>12.2f}")
+    report("disk_tree_page_size", "\n".join(lines))
+    heights = [height for _, _, height, _ in rows]
+    assert heights == sorted(heights, reverse=True)
+    assert rows[-1][1] > rows[0][1]  # fanout grows with the page
+
+
+@pytest.mark.parametrize("backing", ["memory", "disk"])
+def test_update_walltime(benchmark, tmp_path, backing):
+    if backing == "memory":
+        tree = KeyedBcTree(fanout=30)
+    else:
+        pages = PageFile(tmp_path / "wall.pf", page_size=512)
+        tree = DiskBcTree(pages, cache_pages=64)
+    populate(tree)
+    rng = random.Random(56)
+
+    def one_update():
+        tree.add(rng.randrange(0, 10 * ROWS), 1)
+
+    benchmark(one_update)

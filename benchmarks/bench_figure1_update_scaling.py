@@ -1,0 +1,81 @@
+"""Experiment F1 — Figure 1: comparison of update functions (log-log).
+
+Emits the paper's three analytic curves (PS, RPS, DDC at d=8 over
+n = 10^1..10^9) and an empirical companion: measured cell writes per
+worst-case update on real structures as n doubles, at d=2 and d=3.  The
+claim being validated is the *shape* — the ordering PS > RPS > DDC at
+every n, and the log-log slopes (d, d/2, ~flat).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.methods import build_method
+from repro.model import figure1_series, render_figure1
+from repro.workloads import dense_uniform
+
+from conftest import report
+
+SIZES_2D = [32, 64, 128, 256, 512]
+SIZES_3D = [8, 16, 32]
+
+
+def measured_worst_case_ops(name: str, n: int, d: int) -> int:
+    data = dense_uniform((n,) * d, low=0, high=5, seed=3)
+    method = build_method(name, data)
+    method.add((0,) * d, 1)  # pre-allocate lazily-built paths
+    method.stats.reset()
+    method.add((0,) * d, 1)
+    return method.stats.total_cell_ops
+
+
+def test_figure1_analytic_series(benchmark):
+    series = benchmark(figure1_series)
+    report("figure1_analytic", render_figure1(series))
+    for (n, ps), (_, rps), (_, ddc) in zip(
+        series["ps"], series["rps"], series["ddc"]
+    ):
+        if n >= 100:
+            assert ps > rps > ddc
+
+
+@pytest.mark.parametrize("d,sizes", [(2, SIZES_2D), (3, SIZES_3D)])
+def test_figure1_empirical_shape(benchmark, d, sizes):
+    """Measured update ops per method as n grows — the figure, on hardware."""
+
+    def measure():
+        table = {}
+        for name in ("ps", "rps", "basic-ddc", "ddc"):
+            table[name] = [measured_worst_case_ops(name, n, d) for n in sizes]
+        return table
+
+    table = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [f"measured cell ops per worst-case update, d={d}"]
+    lines.append(f"{'n':>8}" + "".join(f"{name:>12}" for name in table))
+    for index, n in enumerate(sizes):
+        lines.append(
+            f"{n:>8}" + "".join(f"{table[name][index]:>12}" for name in table)
+        )
+
+    def slope(values):
+        return (math.log2(values[-1]) - math.log2(values[0])) / (
+            math.log2(sizes[-1]) - math.log2(sizes[0])
+        )
+
+    lines.append("")
+    lines.append("log-log slope vs n (model: PS=d, RPS=d/2, Basic=d-1, DDC->0):")
+    for name, values in table.items():
+        lines.append(f"  {name:>10}: {slope(values):.2f}")
+    report(f"figure1_empirical_d{d}", "\n".join(lines))
+
+    # Shape assertions: ordering at the largest n, and slope separation.
+    largest = {name: values[-1] for name, values in table.items()}
+    assert largest["ps"] > largest["rps"] > largest["ddc"]
+    assert largest["basic-ddc"] > largest["ddc"]
+    assert slope(table["ps"]) == pytest.approx(d, abs=0.2)
+    assert slope(table["rps"]) == pytest.approx(d / 2, abs=0.7)
+    assert slope(table["ddc"]) < d / 2

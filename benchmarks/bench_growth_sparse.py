@@ -1,0 +1,115 @@
+"""Experiment S5 — dynamic growth and sparse/clustered data.
+
+Section 5's claims, measured:
+
+1. the cube can grow in *any* direction, paying only for populated
+   regions (star-catalog stream into a GrowableCube);
+2. clustered data costs the DDC storage proportional to the clusters,
+   while PS/RPS must materialise the full domain (Figure 16's forced
+   region creation);
+3. registering a brand-new point source in empty space is cheap for the
+   DDC and expensive for the prefix-sum family.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.growth import GrowableCube
+from repro.methods import build_method
+from repro.workloads import clustered, growth_stream, occupancy
+
+from conftest import report
+
+
+def test_star_catalog_growth(benchmark):
+    """Stream 2,000 discoveries through arbitrary-direction growth."""
+
+    def run():
+        cube = GrowableCube(dims=2, initial_side=16)
+        expansions = 0
+        last_side = cube.side
+        for discovery in growth_stream(dims=2, points=2000, drift=3.0, seed=14):
+            cube.add(discovery.coordinate, discovery.value)
+            if cube.side != last_side:
+                expansions += 1
+                last_side = cube.side
+        return cube, expansions
+
+    cube, expansions = benchmark.pedantic(run, rounds=1, iterations=1)
+    domain = cube.side**2
+    low, high = cube.bounds
+    report(
+        "growth_star_catalog",
+        f"2,000 discoveries; {expansions} domain doublings; final side "
+        f"{cube.side}\nbounding box {tuple(h - l + 1 for l, h in zip(low, high))}; "
+        f"domain {domain:,} cells; stored {cube.memory_cells():,} cells "
+        f"({100 * cube.memory_cells() / domain:.3f}% of domain)",
+    )
+    assert expansions >= 1
+    assert cube.memory_cells() < domain / 10
+    assert cube.range_sum(low, high) == cube.total()
+
+
+def test_clustered_storage_comparison(benchmark):
+    """Figure 16's point: prefix methods must materialise empty space."""
+    domain = (512, 512)
+    data = clustered(domain, clusters=5, points_per_cluster=200, seed=15)
+
+    def build_all():
+        return {
+            name: build_method(name, data).memory_cells()
+            for name in ("ps", "rps", "ddc")
+        }
+
+    storage = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    lines = [
+        f"clustered data on a {domain[0]}x{domain[1]} domain "
+        f"({100 * occupancy(data):.2f}% occupancy)",
+        f"{'method':>7} {'cells':>10} {'x raw domain':>13}",
+    ]
+    for name, cells in storage.items():
+        lines.append(f"{name:>7} {cells:>10,} {cells / data.size:>13.3f}")
+    report("growth_clustered_storage", "\n".join(lines))
+    assert storage["ps"] >= data.size
+    assert storage["rps"] >= data.size
+    assert storage["ddc"] < data.size / 2
+
+
+def test_new_point_source_update_cost(benchmark):
+    """A cell appears in previously-empty space (the cattle-ranch case)."""
+    domain = (512, 512)
+    data = clustered(domain, clusters=3, points_per_cluster=150, seed=16)
+    empty_cell = (500, 20)
+    assert data[empty_cell] == 0
+
+    methods = {name: build_method(name, data) for name in ("ps", "rps", "ddc")}
+
+    def register():
+        costs = {}
+        for name, method in methods.items():
+            method.stats.reset()
+            method.add(empty_cell, 500)
+            costs[name] = method.stats.cell_writes
+        return costs
+
+    costs = benchmark.pedantic(register, rounds=1, iterations=1)
+    report(
+        "growth_new_point_source",
+        "cells written to register one measurement in empty space:\n"
+        + "\n".join(f"  {name:>4}: {cells:>8,}" for name, cells in costs.items()),
+    )
+    assert costs["ddc"] < costs["rps"] < costs["ps"]
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_growth_insert_walltime(benchmark, dims):
+    cube = GrowableCube(dims=dims, initial_side=16)
+    stream = list(growth_stream(dims=dims, points=4000, seed=17))
+    index = iter(range(10**9))
+
+    def one_insert():
+        discovery = stream[next(index) % len(stream)]
+        cube.add(discovery.coordinate, discovery.value)
+
+    benchmark(one_insert)

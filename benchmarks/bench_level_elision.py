@@ -1,0 +1,77 @@
+"""Experiment S4.4 — the level-elision optimization trade-off.
+
+Section 4.4: deleting the lowest ``h`` tree levels shrinks storage
+toward |A| (the lowest, densest levels dominate — Table 2) at the cost
+of summing up to ``2^((h+1)d)`` raw leaf cells per query.  We sweep the
+equivalent ``leaf_side`` parameter and measure all three sides of the
+trade: storage, query cost, and update cost, plus wall-clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ddc import DynamicDataCube
+from repro.model import elision_query_leaf_cost, elision_levels
+from repro.workloads import dense_uniform, prefix_cells
+
+from conftest import report
+
+N = 128
+LEAF_SIDES = [2, 4, 8, 16, 32]
+
+
+def test_elision_tradeoff_sweep(benchmark):
+    data = dense_uniform((N, N), seed=10)
+    cells = prefix_cells((N, N), 50, seed=11)
+
+    def sweep():
+        rows = []
+        for leaf_side in LEAF_SIDES:
+            cube = DynamicDataCube.from_array(data, leaf_side=leaf_side)
+            storage = cube.memory_cells()
+            cube.stats.reset()
+            for cell in cells:
+                cube.prefix_sum(cell)
+            query_ops = cube.stats.total_cell_ops / len(cells)
+            cube.stats.reset()
+            for cell in cells:
+                cube.add(cell, 1)
+            update_ops = cube.stats.total_cell_ops / len(cells)
+            rows.append((leaf_side, storage, query_ops, update_ops))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"level-elision sweep, n={N}, d=2 (h = log2(leaf_side) - 1)",
+        f"{'leaf':>5} {'h':>3} {'storage':>9} {'x|A|':>6} "
+        f"{'query ops':>10} {'update ops':>11} {'leaf bound':>10}",
+    ]
+    for leaf_side, storage, query_ops, update_ops in rows:
+        lines.append(
+            f"{leaf_side:>5} {elision_levels(leaf_side):>3} {storage:>9} "
+            f"{storage / N**2:>6.2f} {query_ops:>10.1f} {update_ops:>11.1f} "
+            f"{elision_query_leaf_cost(leaf_side, 2):>10}"
+        )
+    report("elision_tradeoff", "\n".join(lines))
+
+    storages = [row[1] for row in rows]
+    assert storages == sorted(storages, reverse=True)
+    # Storage converges toward |A| ("within epsilon of array A").
+    assert rows[-1][1] < 1.3 * N**2
+    # Queries pay at most the leaf-block bound extra.
+    for leaf_side, _, query_ops, _ in rows:
+        assert query_ops < elision_query_leaf_cost(leaf_side, 2) + 40 * 6
+
+
+@pytest.mark.parametrize("leaf_side", [2, 16])
+def test_query_walltime_by_leaf_side(benchmark, leaf_side):
+    data = dense_uniform((N, N), seed=12)
+    cube = DynamicDataCube.from_array(data, leaf_side=leaf_side)
+    cells = prefix_cells((N, N), 32, seed=13)
+    index = iter(range(10**9))
+
+    def one_query():
+        return cube.prefix_sum(cells[next(index) % len(cells)])
+
+    benchmark(one_query)

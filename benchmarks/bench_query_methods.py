@@ -1,0 +1,128 @@
+"""Supplemental — query-side comparison and the mixed-workload crossover.
+
+The paper's Table 1 is about updates; the query side of the trade-off
+(naive O(n^d), PS/RPS O(1), DDC O(log^d n)) completes the picture.  This
+bench measures per-query op counts across methods and range sizes, and
+replays a mixed query/update session to locate the regime where the
+balanced DDC beats both one-sided designs — the "what-if" scenario of
+the introduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods import build_method
+from repro.workloads import (
+    dense_uniform,
+    interleaved,
+    random_ranges,
+    random_updates,
+    RangeQuery,
+)
+
+from conftest import report
+
+N = 128
+METHODS = ["naive", "ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"]
+
+
+def test_query_op_counts_by_selectivity(benchmark):
+    data = dense_uniform((N, N), seed=29)
+    methods = {name: build_method(name, data) for name in METHODS}
+    selectivities = [0.1, 0.5, 0.9]
+
+    def measure():
+        rows = []
+        for selectivity in selectivities:
+            queries = random_ranges((N, N), 30, selectivity=selectivity, seed=30)
+            for name, method in methods.items():
+                method.stats.reset()
+                for query in queries:
+                    method.range_sum(query.low, query.high)
+                rows.append(
+                    (selectivity, name, method.stats.cell_reads / len(queries))
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"mean cells read per range query, {N}x{N} dense cube",
+        f"{'selectivity':>11} " + "".join(f"{name:>11}" for name in METHODS),
+    ]
+    for selectivity in selectivities:
+        row = {name: ops for s, name, ops in rows if s == selectivity}
+        lines.append(
+            f"{selectivity:>11} " + "".join(f"{row[name]:>11.1f}" for name in METHODS)
+        )
+    report("query_costs_by_selectivity", "\n".join(lines))
+
+    at_half = {name: ops for s, name, ops in rows if s == 0.5}
+    # PS is constant (<= 4 reads per query in 2-d); naive pays the region.
+    assert at_half["ps"] <= 4
+    assert at_half["naive"] > 1000
+    assert at_half["ddc"] < at_half["naive"] / 10
+
+
+def test_mixed_workload_crossover(benchmark):
+    """Total ops for sessions sweeping the query:update ratio.
+
+    One-sided methods win the extremes; the DDC must win (or tie within
+    its complexity class) the balanced middle — the paper's raison
+    d'etre for interactive, updatable cubes.
+    """
+    data = dense_uniform((N, N), seed=31)
+    fractions = [0.05, 0.5, 0.95]
+
+    def run_sessions():
+        table = {}
+        for fraction in fractions:
+            queries = random_ranges((N, N), int(200 * fraction) or 1, seed=32)
+            updates = random_updates((N, N), int(200 * (1 - fraction)) or 1, seed=33)
+            session = list(interleaved(queries, updates, fraction, seed=34))
+            for name in ("naive", "ps", "ddc"):
+                method = build_method(name, data)
+                method.stats.reset()
+                for operation in session:
+                    if isinstance(operation, RangeQuery):
+                        method.range_sum(operation.low, operation.high)
+                    else:
+                        method.add(operation.cell, operation.delta)
+                table[(fraction, name)] = method.stats.total_cell_ops
+        return table
+
+    table = benchmark.pedantic(run_sessions, rounds=1, iterations=1)
+    lines = [
+        f"total logical cell ops per 200-operation session, {N}x{N} cube",
+        f"{'query frac':>10} {'naive':>12} {'ps':>12} {'ddc':>12}",
+    ]
+    for fraction in fractions:
+        lines.append(
+            f"{fraction:>10} "
+            f"{table[(fraction, 'naive')]:>12,} "
+            f"{table[(fraction, 'ps')]:>12,} "
+            f"{table[(fraction, 'ddc')]:>12,}"
+        )
+    report("mixed_workload_crossover", "\n".join(lines))
+
+    # Update-heavy sessions: naive wins, PS loses badly, DDC close to naive.
+    assert table[(0.05, "ps")] > table[(0.05, "ddc")]
+    # Query-heavy sessions: PS wins, naive loses, DDC close to PS.
+    assert table[(0.95, "naive")] > table[(0.95, "ddc")]
+    # Balanced sessions: DDC beats both one-sided methods.
+    assert table[(0.5, "ddc")] < table[(0.5, "naive")]
+    assert table[(0.5, "ddc")] < table[(0.5, "ps")]
+
+
+@pytest.mark.parametrize("name", METHODS)
+def test_range_query_walltime(benchmark, name):
+    data = dense_uniform((N, N), seed=35)
+    method = build_method(name, data)
+    queries = random_ranges((N, N), 64, selectivity=0.3, seed=36)
+    index = iter(range(10**9))
+
+    def one_query():
+        query = queries[next(index) % len(queries)]
+        return method.range_sum(query.low, query.high)
+
+    benchmark(one_query)

@@ -1,0 +1,110 @@
+"""Experiment T1 — Table 1: update cost functions by method, d=8.
+
+Regenerates the paper's Table 1 (analytic, values rounded to powers of
+10), the 500 MIPS narrative ("more than 6 months of processing to update
+a single cell" for PS; "231 days" for RPS at n=10^4; seconds for the
+DDC), and cross-checks the model against *measured* per-update cell
+operations on real structures at laptop-feasible sizes.  Wall-clock
+micro-benchmarks of a single update per method round out the picture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.methods import build_method
+from repro.model import (
+    ddc_update_cost,
+    mips_seconds,
+    ps_update_cost,
+    render_table1,
+    rps_update_cost,
+    table1,
+    update_cost,
+)
+from repro.workloads import dense_uniform
+
+from conftest import report
+
+FEASIBLE = [
+    # (method, n, d) pairs where a real structure fits in memory
+    ("ps", 256, 2),
+    ("rps", 256, 2),
+    ("ddc", 256, 2),
+    ("ps", 32, 3),
+    ("rps", 32, 3),
+    ("ddc", 32, 3),
+]
+
+
+def test_table1_analytic_reproduction(benchmark):
+    rows = benchmark(table1)
+    text = render_table1(rows)
+    narrative = [
+        "",
+        "500 MIPS narrative (paper, Section 1):",
+        f"  PS  update, n=10^2: {mips_seconds(ps_update_cost(1e2, 8)) / 86400:>12.1f} days"
+        "   (paper: 'more than 6 months')",
+        f"  RPS update, n=10^4: {mips_seconds(rps_update_cost(1e4, 8)) / 86400:>12.1f} days"
+        "   (paper: '231 days')",
+        f"  DDC update, n=10^2: {mips_seconds(ddc_update_cost(1e2, 8)):>12.4f} seconds",
+        f"  DDC update, n=10^4: {mips_seconds(ddc_update_cost(1e4, 8)):>12.4f} seconds"
+        "   (paper: 'under 2 seconds')",
+    ]
+    report("table1_analytic", text + "\n".join(narrative))
+    by_n = {row.n: row.exponents() for row in rows}
+    assert by_n[1e2] == (16, 16, 8, 7)
+    assert by_n[1e9] == (72, 72, 36, 12)
+
+
+def test_table1_model_vs_measured(benchmark):
+    """Measured worst-case update ops tracked against the model's shape."""
+
+    def measure():
+        lines = [
+            f"{'method':>7} {'n':>5} {'d':>2} {'model ops':>12} {'measured ops':>13} {'ratio':>7}"
+        ]
+        outcome = {}
+        for name, n, d in FEASIBLE:
+            data = dense_uniform((n,) * d, seed=1)
+            method = build_method(name, data)
+            method.stats.reset()
+            method.add((0,) * d, 1)
+            measured = method.stats.total_cell_ops
+            model = update_cost(name, n, d)
+            lines.append(
+                f"{name:>7} {n:>5} {d:>2} {model:>12.0f} {measured:>13} "
+                f"{measured / model:>7.2f}"
+            )
+            outcome[(name, n, d)] = (model, measured)
+        return lines, outcome
+
+    lines, outcome = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "table1_model_vs_measured",
+        "\n".join(lines)
+        + "\n\nPS measured == model exactly (it rewrites the dominated region);\n"
+        "RPS and DDC track the model within small constant factors.",
+    )
+    # PS is exact; others within a constant factor of the model.
+    for (name, n, d), (model, measured) in outcome.items():
+        if name == "ps":
+            assert measured == model
+        else:
+            assert measured < 40 * model
+    # The Table 1 ordering holds in the measurements.
+    assert outcome[("ps", 256, 2)][1] > outcome[("rps", 256, 2)][1]
+    assert outcome[("rps", 256, 2)][1] > outcome[("ddc", 256, 2)][1]
+
+
+@pytest.mark.parametrize("name", ["naive", "ps", "rps", "fenwick", "basic-ddc", "ddc"])
+def test_single_update_walltime(benchmark, name):
+    """Wall-clock for one worst-case update per method (n=128, d=2)."""
+    data = dense_uniform((128, 128), seed=2)
+    method = build_method(name, data)
+    counter = iter(range(10**9))
+
+    def one_update():
+        method.add((0, 0), 1 if next(counter) % 2 == 0 else -1)
+
+    benchmark(one_update)

@@ -1,0 +1,118 @@
+"""Experiment S4.3 — Theorems 1 and 2: O(log^d n) queries and updates.
+
+Theorem 1: a query descends exactly one child per level — log2(n)
+primary-node visits, independent of dimensionality.  Theorem 2: with
+secondary structures included, both queries and updates cost O(log^d n).
+This bench measures both op counts and wall-clock across n and d and
+verifies the polylogarithmic shape: when n doubles, cost grows by an
+additive polylog term, not a multiplicative polynomial one.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.ddc import DynamicDataCube
+from repro.workloads import dense_uniform, prefix_cells
+
+from conftest import report
+
+
+def build(n: int, d: int) -> DynamicDataCube:
+    return DynamicDataCube.from_array(dense_uniform((n,) * d, seed=5))
+
+
+def mean_ops(cube, operation, samples) -> float:
+    cube.stats.reset()
+    for sample in samples:
+        operation(cube, sample)
+    return cube.stats.total_cell_ops / len(samples)
+
+
+@pytest.mark.parametrize("d,sizes", [(1, [64, 4096]), (2, [32, 512]), (3, [8, 32])])
+def test_query_update_polylog_scaling(benchmark, d, sizes):
+    def measure():
+        rows = []
+        for n in sizes:
+            cube = build(n, d)
+            cells = prefix_cells((n,) * d, 40, seed=6)
+            query_ops = mean_ops(
+                cube, lambda c, cell: c.prefix_sum(cell), cells
+            )
+            update_ops = mean_ops(cube, lambda c, cell: c.add(cell, 1), cells)
+            rows.append((n, query_ops, update_ops))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"DDC mean op counts, d={d} (random prefix queries / point updates)",
+        f"{'n':>6} {'query ops':>10} {'update ops':>11} "
+        f"{'(log2 n)^d':>11}",
+    ]
+    for n, q, u in rows:
+        lines.append(f"{n:>6} {q:>10.1f} {u:>11.1f} {math.log2(n) ** d:>11.1f}")
+    report(f"theorem2_scaling_d{d}", "\n".join(lines))
+
+    (n1, q1, u1), (n2, q2, u2) = rows
+    size_ratio = n2 / n1
+    model_ratio = (math.log2(n2) / math.log2(n1)) ** d
+    # Costs must track the polylog model and stay sublinear in n.
+    assert q2 / q1 < 1.8 * model_ratio
+    assert u2 / u1 < 1.8 * model_ratio
+    assert q2 / q1 < size_ratio
+    assert u2 / u1 < size_ratio
+
+
+def test_theorem1_exact_navigation(benchmark):
+    """Exactly log2(n / leaf_side) primary nodes per query, any d."""
+    results = {}
+    for d in (1, 2, 3):
+        n = 64
+        cube = DynamicDataCube.from_array(
+            dense_uniform((n,) * d, seed=7), secondary_kind="fenwick"
+        )
+        cube.stats.reset()
+        cube.prefix_sum((n - 1,) * d)
+        results[d] = cube.stats.node_visits
+
+    def probe():
+        cube = DynamicDataCube.from_array(
+            dense_uniform((64, 64), seed=7), secondary_kind="fenwick"
+        )
+        return cube.prefix_sum((63, 63))
+
+    benchmark(probe)
+    report(
+        "theorem1_navigation",
+        "primary-tree node visits per prefix query (n=64, fenwick "
+        "secondaries so the counter isolates the primary tree):\n"
+        + "\n".join(f"  d={d}: {visits} visits" for d, visits in results.items())
+        + "\n(expected log2(64/2) = 5 at every d — Theorem 1)",
+    )
+    assert results == {1: 5, 2: 5, 3: 5}
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_query_walltime(benchmark, n):
+    cube = build(n, 2)
+    cells = prefix_cells((n, n), 64, seed=8)
+    index = iter(range(10**9))
+
+    def one_query():
+        return cube.prefix_sum(cells[next(index) % len(cells)])
+
+    benchmark(one_query)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_update_walltime(benchmark, n):
+    cube = build(n, 2)
+    cells = prefix_cells((n, n), 64, seed=9)
+    index = iter(range(10**9))
+
+    def one_update():
+        cube.add(cells[next(index) % len(cells)], 1)
+
+    benchmark(one_update)

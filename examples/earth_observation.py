@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Section 5's EOSDIS scenario: clustered environmental measurements.
+
+"Measurements are made for the entire surface of the planet, yet the
+data is essentially clustered; for example, methane gas production is
+largely concentrated around agricultural and industrial centers.  There
+are vast, unpopulated regions of the data space."
+
+This example builds a methane-production cube over a global grid where
+the data sits in a handful of Gaussian clusters, compares what each
+method pays in storage for the same logical cube, then brings a *new*
+point source on-line ("a new cattle ranch comes on-line in a previously
+undeveloped area") and compares the update bills.
+
+Run:  python examples/earth_observation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_method
+from repro.olap import BinnedDimension, CubeSchema, DataCube
+from repro.workloads import clustered, occupancy
+
+GRID = (256, 256)  # ~1.4 degree cells over latitude x longitude
+
+
+def main() -> None:
+    print("Generating clustered methane measurements "
+          f"over a {GRID[0]}x{GRID[1]} global grid ...")
+    data = clustered(
+        GRID, clusters=6, points_per_cluster=400, spread=0.02, seed=99
+    )
+    print(f"  occupancy: {100 * occupancy(data):.2f}% of cells populated, "
+          f"total emissions {data.sum():,}\n")
+
+    # -- Storage comparison across methods ------------------------------
+    print("Storage for the same logical cube (cells actually allocated):")
+    for name in ("ps", "rps", "ddc"):
+        method = build_method(name, data)
+        cells = method.memory_cells()
+        print(f"  {name:>4}: {cells:>9,} cells "
+              f"({cells / data.size:>6.2f}x the raw grid)")
+    print("  The prefix-sum family must materialise the whole domain; the")
+    print("  DDC allocates only the populated subtrees (Section 5).\n")
+
+    # -- A new point source appears --------------------------------------
+    print("A new cattle ranch comes on-line at a previously empty cell:")
+    empty_cell = (200, 30)
+    assert data[empty_cell] == 0
+    for name in ("ps", "rps", "ddc"):
+        method = build_method(name, data)
+        method.stats.reset()
+        method.add(empty_cell, 500)
+        print(f"  {name:>4}: {method.stats.cell_writes:>7,} cells written "
+              f"to register one measurement")
+    print()
+
+    # -- Scientist queries through the OLAP layer ------------------------
+    schema = CubeSchema(
+        [
+            BinnedDimension("latitude", origin=-90.0, width=180 / GRID[0], bins=GRID[0]),
+            BinnedDimension("longitude", origin=-180.0, width=360 / GRID[1], bins=GRID[1]),
+        ],
+        measure="methane",
+    )
+    cube = DataCube(schema, method="ddc", dtype=np.int64)
+    for (row, col), value in np.ndenumerate(data):
+        if value:
+            cube.set_cell(
+                {
+                    "latitude": -90.0 + (row + 0.5) * 180 / GRID[0],
+                    "longitude": -180.0 + (col + 0.5) * 360 / GRID[1],
+                },
+                int(value),
+            )
+    print("Regional aggregate queries (any arbitrary region of the globe):")
+    regions = {
+        "northern hemisphere": dict(latitude=(0.0, 89.9)),
+        "tropics            ": dict(latitude=(-23.5, 23.5)),
+        "one ocean-sized box": dict(latitude=(-40.0, 0.0), longitude=(-160.0, -90.0)),
+    }
+    for label, conditions in regions.items():
+        print(f"  {label}: {cube.sum(**conditions):>12,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Picking the right structure: the paper's trade-off surface in practice.
+
+The Dynamic Data Cube is not a universal winner — it is the point on the
+query/update trade-off surface that makes *interactive, growing, sparse*
+cubes feasible.  This example runs the model-driven advisor over the
+paper's motivating scenarios, then validates one recommendation
+empirically by replaying the described workload on the recommended
+method and on the runner-up.
+
+Run:  python examples/method_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.advisor import WorkloadProfile, recommend
+from repro.methods import build_method
+from repro.workloads import dense_uniform, interleaved, random_ranges, random_updates, RangeQuery
+
+SCENARIOS = {
+    "batch-loaded reporting warehouse (read-only)": WorkloadProfile(
+        n=10_000, d=4, query_fraction=1.0, updates_per_batch=1_000_000
+    ),
+    "internet commerce (updates every second)": WorkloadProfile(
+        n=10_000, d=4, query_fraction=0.5, updates_per_batch=1
+    ),
+    "raw event log (write-only, rarely queried)": WorkloadProfile(
+        n=100_000, d=2, query_fraction=0.0
+    ),
+    "star catalog (sparse, growing in any direction)": WorkloadProfile(
+        n=1_000_000, d=3, query_fraction=0.7, density=1e-9, needs_growth=True
+    ),
+    "EOSDIS environmental grid (clustered)": WorkloadProfile(
+        n=50_000, d=2, query_fraction=0.8, density=0.004
+    ),
+    "interactive what-if session": WorkloadProfile(
+        n=1_000, d=2, query_fraction=0.5, updates_per_batch=1
+    ),
+}
+
+
+def main() -> None:
+    print("Model-driven method recommendations\n" + "=" * 60)
+    for label, profile in SCENARIOS.items():
+        result = recommend(profile)
+        print(f"\n{label}")
+        print(f"  -> {result.method}  "
+              f"(~{result.expected_op_cost:,.0f} modelled ops/operation)")
+        for reason in result.reasons:
+            print(f"     - {reason}")
+
+    # -- Validate one verdict empirically -------------------------------
+    print("\n" + "=" * 60)
+    print("Empirical check: the interactive what-if session at n=128, d=2")
+    shape = (128, 128)
+    data = dense_uniform(shape, seed=77)
+    queries = random_ranges(shape, 150, selectivity=0.3, seed=78)
+    updates = random_updates(shape, 150, seed=79)
+    session = list(interleaved(queries, updates, 0.5, seed=80))
+    for name in ("ddc", "ps", "naive"):
+        method = build_method(name, data)
+        method.stats.reset()
+        for operation in session:
+            if isinstance(operation, RangeQuery):
+                method.range_sum(operation.low, operation.high)
+            else:
+                method.add(operation.cell, operation.delta)
+        print(f"  {name:>6}: {method.stats.total_cell_ops:>10,} logical cell ops")
+    print("  (the advisor's pick should carry the smallest bill)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Section 5's astronomy scenario: a star catalog that grows in any direction.
+
+"New star systems ... can be found in any direction relative to existing
+systems, therefore the data cube must be able to grow in any direction
+relative to its existing cells.  The direction of data cube growth
+should be determined by the data, and not a priori."
+
+This example streams simulated sky-survey discoveries — drifting
+clusters with occasional jumps to fresh regions, including negative
+coordinates — into a :class:`GrowableCube`, showing the domain doubling
+on demand while storage stays proportional to the catalog, and answers
+aggregate brightness queries over arbitrary sky boxes throughout.
+
+Run:  python examples/star_catalog.py
+"""
+
+from __future__ import annotations
+
+from repro.core.growth import GrowableCube
+from repro.workloads import growth_stream
+
+
+def main() -> None:
+    catalog = GrowableCube(dims=3, initial_side=16)
+    print("Star catalog cube: 3 dimensions (x, y, z), brightness as measure.\n")
+
+    expansions = 0
+    last_side = catalog.side
+    checkpoints = {500, 1000, 2000, 4000}
+    stars = 0
+
+    for discovery in growth_stream(dims=3, points=4000, drift=3.0, seed=2000):
+        catalog.add(discovery.coordinate, discovery.value)
+        stars += 1
+        if catalog.side != last_side:
+            expansions += 1
+            print(
+                f"  after star {stars:>5}: domain doubled to side {catalog.side:>6} "
+                f"(origin {catalog.origin}) to reach {discovery.coordinate}"
+            )
+            last_side = catalog.side
+        if stars in checkpoints:
+            low, high = catalog.bounds
+            extent = tuple(hi - lo + 1 for lo, hi in zip(low, high))
+            print(
+                f"  checkpoint {stars:>5}: bounding box {extent}, "
+                f"storage {catalog.memory_cells():>7,} cells, "
+                f"total brightness {catalog.total():>7,}"
+            )
+
+    print(f"\nCatalog complete: {stars:,} discoveries, "
+          f"{expansions} domain doublings, final side {catalog.side:,}.")
+    domain_cells = catalog.side**3
+    print(f"Domain holds {domain_cells:,} addressable cells; the catalog "
+          f"stores only {catalog.memory_cells():,} "
+          f"({100 * catalog.memory_cells() / domain_cells:.5f}% of the domain).\n")
+
+    # -- Sky-box queries ---------------------------------------------------
+    low, high = catalog.bounds
+    print("Aggregate brightness queries:")
+    print(f"  whole survey        : {catalog.range_sum(low, high):,}")
+    centre = tuple((lo + hi) // 2 for lo, hi in zip(low, high))
+    box = 50
+    near_centre = catalog.range_sum(
+        tuple(c - box for c in centre), tuple(c + box for c in centre)
+    )
+    print(f"  100^3 box at centre : {near_centre:,}")
+    octant = catalog.range_sum(low, centre)
+    print(f"  low octant          : {octant:,}")
+    empty = catalog.range_sum(
+        tuple(hi + 1000 for hi in high), tuple(hi + 1100 for hi in high)
+    )
+    print(f"  box beyond the data : {empty:,} (nothing there — and it cost nothing)")
+
+
+if __name__ == "__main__":
+    main()

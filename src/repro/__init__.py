@@ -1,0 +1,53 @@
+"""Reproduction of "The Dynamic Data Cube" (Geffner, Agrawal, El Abbadi, EDBT 2000).
+
+Public API highlights:
+
+* :class:`~repro.core.ddc.DynamicDataCube` — the paper's contribution:
+  O(log^d n) range-sum queries *and* point updates.
+* :class:`~repro.core.growth.GrowableCube` — Section 5's dynamically
+  growing, sparse-friendly cube over unbounded integer coordinates.
+* :mod:`repro.methods` — the baselines the paper compares against
+  (naive array, prefix sum, relative prefix sum) plus a d-dimensional
+  Fenwick tree comparator, all behind one interface.
+* :mod:`repro.olap` — the data-cube front-end from the paper's
+  motivating examples (named dimensions, SUM/COUNT/AVERAGE).
+* :mod:`repro.model` — the paper's analytic cost and storage model
+  (Tables 1-2, Figure 1).
+"""
+
+from .core.basic_ddc import BasicDynamicDataCube
+from .core.bc_tree import BcTree
+from .core.ddc import DynamicDataCube
+from .core.growth import GrowableCube
+from .counters import OpCounter
+from .exceptions import ReproError
+from .methods import (
+    FenwickCube,
+    NaiveArray,
+    PrefixSumCube,
+    RangeSumMethod,
+    RelativePrefixSumCube,
+    build_method,
+    create_method,
+    method_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "BcTree",
+    "BasicDynamicDataCube",
+    "DynamicDataCube",
+    "GrowableCube",
+    "OpCounter",
+    "ReproError",
+    "RangeSumMethod",
+    "NaiveArray",
+    "PrefixSumCube",
+    "RelativePrefixSumCube",
+    "FenwickCube",
+    "create_method",
+    "build_method",
+    "method_names",
+]

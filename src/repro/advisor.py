@@ -1,0 +1,132 @@
+"""Workload advisor: pick a range-sum method from the paper's cost model.
+
+The paper's contribution is a point on a trade-off surface, not a
+universal winner: read-only dense cubes still belong to the prefix sum,
+tiny cubes to the naive array, growing or sparse cubes to the Dynamic
+Data Cube.  The advisor encodes that surface — the Table 1 / Figure 1
+cost model plus the Section 5 qualitative requirements — and recommends
+a method for a described workload, with the reasoning attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .model import costs
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A description of the intended workload.
+
+    Attributes:
+        n: per-dimension size of the cube.
+        d: number of dimensions.
+        query_fraction: fraction of operations that are range queries
+            (the rest are point updates), in [0, 1].
+        updates_per_batch: how many updates arrive together; 1 means
+            fully interactive updates.
+        density: fraction of cells expected to hold data, in (0, 1].
+        needs_growth: whether the domain must grow after creation
+            (in any direction — Section 5).
+    """
+
+    n: int
+    d: int
+    query_fraction: float = 0.5
+    updates_per_batch: int = 1
+    density: float = 1.0
+    needs_growth: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.d < 1:
+            raise ValueError("need n >= 2 and d >= 1")
+        if not 0.0 <= self.query_fraction <= 1.0:
+            raise ValueError("query_fraction must be in [0, 1]")
+        if self.updates_per_batch < 1:
+            raise ValueError("updates_per_batch must be >= 1")
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's verdict."""
+
+    method: str
+    expected_op_cost: float
+    reasons: tuple[str, ...]
+    per_method_costs: dict = field(repr=False, default_factory=dict)
+
+
+#: Methods the cost model can price.
+_CANDIDATES = ("naive", "ps", "rps", "basic-ddc", "ddc")
+
+#: Methods that allocate lazily and can grow (the Section 5 family).
+_SPARSE_CAPABLE = ("basic-ddc", "ddc")
+
+
+def expected_operation_cost(profile: WorkloadProfile, method: str) -> float:
+    """Modelled mean cost of one workload operation under ``method``.
+
+    Updates amortise over the batch where the method has a batch path
+    whose cost is one structure pass (PS, RPS).
+    """
+    query = costs.query_cost(method, profile.n, profile.d)
+    update = costs.update_cost(method, profile.n, profile.d)
+    if method in ("ps", "rps"):
+        # A batch costs one worst-case pass regardless of its size.
+        update = update / profile.updates_per_batch
+    return (
+        profile.query_fraction * query
+        + (1.0 - profile.query_fraction) * update
+    )
+
+
+def recommend(profile: WorkloadProfile) -> Recommendation:
+    """Choose a method for ``profile`` and explain the choice."""
+    reasons: list[str] = []
+    candidates = list(_CANDIDATES)
+
+    if profile.needs_growth:
+        candidates = [c for c in candidates if c in _SPARSE_CAPABLE]
+        reasons.append(
+            "domain must grow dynamically: only the Dynamic Data Cube family "
+            "supports growth in any direction (Section 5)"
+        )
+    if profile.density < 0.05:
+        candidates = [c for c in candidates if c in _SPARSE_CAPABLE]
+        reasons.append(
+            f"data is sparse (density {profile.density:.3g}): dense prefix "
+            "structures would materialise the whole domain"
+        )
+
+    per_method = {
+        method: expected_operation_cost(profile, method) for method in candidates
+    }
+    best = min(per_method, key=per_method.get)
+    best_cost = per_method[best]
+
+    if profile.query_fraction >= 0.999 and best in ("ps", "rps"):
+        reasons.append("workload is read-only: constant-time queries dominate")
+    elif profile.query_fraction <= 0.001 and best == "naive":
+        reasons.append("workload is write-only: O(1) array writes dominate")
+    else:
+        reasons.append(
+            f"lowest modelled cost per operation "
+            f"({best_cost:.3g} ops) for a "
+            f"{profile.query_fraction:.0%}-query mix at "
+            f"n={profile.n}, d={profile.d}"
+        )
+    if best in _SPARSE_CAPABLE and profile.updates_per_batch == 1:
+        reasons.append(
+            "updates are interactive (no batching): balanced polylog "
+            "updates avoid the Table 1 update cliff"
+        )
+
+    return Recommendation(
+        method=best,
+        expected_op_cost=best_cost,
+        reasons=tuple(reasons),
+        per_method_costs=per_method,
+    )

@@ -1,0 +1,220 @@
+"""Command-line interface: build, query, update, and inspect data cubes.
+
+Examples::
+
+    # build a DDC from a CSV of (x, y, value) records and save it
+    python -m repro build points.csv cube.npz --method ddc --dims 2
+
+    # range-sum query over an inclusive box
+    python -m repro query cube.npz --low 0 0 --high 63 63
+
+    # apply a point update and persist the change
+    python -m repro update cube.npz --cell 10 12 --delta 5
+
+    # structure, storage, and cost statistics
+    python -m repro info cube.npz
+
+    # regenerate the paper's analytic artifacts
+    python -m repro table1
+    python -m repro table2
+    python -m repro figure1
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .methods.registry import create_method, method_names
+from .model import (
+    figure1_series,
+    render_figure1,
+    render_table1,
+    render_table2,
+    table1,
+    table2,
+)
+from .persist import load_cube, save_cube
+
+
+def _read_records(path: Path, dims: int) -> list[tuple[tuple[int, ...], float]]:
+    """Parse CSV rows of ``coord_1, ..., coord_d, value``.
+
+    A non-numeric first row is treated as a header and skipped.
+    """
+    records = []
+    with open(path, newline="") as handle:
+        for row_number, row in enumerate(csv.reader(handle)):
+            if not row or all(not field.strip() for field in row):
+                continue
+            if len(row) != dims + 1:
+                raise SystemExit(
+                    f"{path}:{row_number + 1}: expected {dims + 1} columns "
+                    f"(got {len(row)})"
+                )
+            try:
+                cell = tuple(int(field) for field in row[:dims])
+                value = float(row[dims])
+            except ValueError:
+                if row_number == 0:
+                    continue  # header
+                raise SystemExit(
+                    f"{path}:{row_number + 1}: non-numeric row {row!r}"
+                ) from None
+            records.append((cell, value))
+    return records
+
+
+def _command_build(args) -> int:
+    source = Path(args.source)
+    if source.suffix == ".npy":
+        dense = np.load(source)
+        shape = dense.shape
+        records = None
+    else:
+        records = _read_records(source, args.dims)
+        if not records:
+            raise SystemExit(f"{source}: no records found")
+        shape = tuple(
+            max(cell[axis] for cell, _ in records) + 1 for axis in range(args.dims)
+        )
+        dense = None
+    dtype = np.float64 if args.float else np.int64
+    method = create_method(args.method, shape, dtype=dtype)
+    if dense is not None:
+        method = type(method).from_array(dense.astype(dtype), dtype=dtype)
+    else:
+        method.add_many(
+            [(cell, value if args.float else int(value)) for cell, value in records]
+        )
+    save_cube(method, args.cube)
+    print(
+        f"built {args.method} cube of shape {method.shape} "
+        f"({method.memory_cells():,} stored cells) -> {args.cube}"
+    )
+    return 0
+
+
+def _command_query(args) -> int:
+    cube = load_cube(args.cube)
+    if args.high is None:
+        result = cube.prefix_sum(tuple(args.low))
+        print(result)
+    else:
+        result = cube.range_sum(tuple(args.low), tuple(args.high))
+        print(result)
+    return 0
+
+
+def _command_update(args) -> int:
+    cube = load_cube(args.cube)
+    delta = args.delta
+    cube.add(tuple(args.cell), delta)
+    save_cube(cube, args.cube)
+    print(f"cell {tuple(args.cell)} += {delta}; new total {cube.total()}")
+    return 0
+
+
+def _command_info(args) -> int:
+    cube = load_cube(args.cube)
+    from .core.growth import GrowableCube
+
+    if isinstance(cube, GrowableCube):
+        print("kind:          growable cube")
+        print(f"dims:          {cube.dims}")
+        print(f"origin:        {cube.origin}")
+        print(f"side:          {cube.side}")
+        print(f"bounds:        {cube.bounds}")
+        print(f"total:         {cube.total()}")
+        print(f"stored cells:  {cube.memory_cells():,}")
+        return 0
+    print(f"method:        {cube.name}")
+    print(f"shape:         {cube.shape}")
+    print(f"dtype:         {cube.dtype}")
+    print(f"total:         {cube.total()}")
+    print(f"stored cells:  {cube.memory_cells():,}")
+    logical = 1
+    for size in cube.shape:
+        logical *= size
+    print(f"logical cells: {logical:,}")
+    print(f"overhead:      {cube.memory_cells() / logical:.3f}x")
+    return 0
+
+
+def _command_table1(args) -> int:
+    print(render_table1(table1(d=args.dims), d=args.dims))
+    return 0
+
+
+def _command_table2(args) -> int:
+    print(render_table2(table2(d=args.dims)))
+    return 0
+
+
+def _command_figure1(args) -> int:
+    print(render_figure1(figure1_series(d=args.dims)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic Data Cube reproduction - cube management CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a cube from CSV or .npy data")
+    build.add_argument("source", help="CSV of coord_1..coord_d,value rows or a .npy array")
+    build.add_argument("cube", help="output cube file (.npz)")
+    build.add_argument("--method", default="ddc", choices=method_names())
+    build.add_argument("--dims", type=int, default=2, help="dimensions (CSV input)")
+    build.add_argument("--float", action="store_true", help="use float64 measures")
+    build.set_defaults(handler=_command_build)
+
+    query = commands.add_parser("query", help="run a range-sum or prefix query")
+    query.add_argument("cube")
+    query.add_argument("--low", type=int, nargs="+", required=True)
+    query.add_argument("--high", type=int, nargs="+", default=None)
+    query.set_defaults(handler=_command_query)
+
+    update = commands.add_parser("update", help="apply a point update in place")
+    update.add_argument("cube")
+    update.add_argument("--cell", type=int, nargs="+", required=True)
+    update.add_argument("--delta", type=float, required=True)
+    update.set_defaults(handler=_command_update)
+
+    info = commands.add_parser("info", help="describe a cube file")
+    info.add_argument("cube")
+    info.set_defaults(handler=_command_info)
+
+    for name, handler in (
+        ("table1", _command_table1),
+        ("table2", _command_table2),
+        ("figure1", _command_figure1),
+    ):
+        artifact = commands.add_parser(name, help=f"print the paper's {name}")
+        artifact.add_argument(
+            "--dims", type=int, default=8 if name != "table2" else 2
+        )
+        artifact.set_defaults(handler=handler)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. `head`).
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

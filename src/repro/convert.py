@@ -1,0 +1,55 @@
+"""Conversion between range-sum structures.
+
+A cube's workload changes over its life: a write-heavy ingest phase may
+settle into a read-only analysis phase (where a prefix-sum array is
+unbeatable), or a batch-loaded cube may need to go interactive (where
+the Dynamic Data Cube is the only viable host).  These helpers rebuild
+any structure as any other while preserving the logical array exactly.
+
+Conversions between sparse tree structures go block-to-block so a
+clustered cube never materialises its empty space; conversions into the
+dense family materialise once, which is unavoidable (those structures
+*are* dense).
+"""
+
+from __future__ import annotations
+
+from .core.ddc import DynamicDataCube
+from .methods.base import RangeSumMethod
+from .methods.registry import method_class
+
+
+def convert(method: RangeSumMethod, target: str, **target_options) -> RangeSumMethod:
+    """Rebuild ``method``'s logical array under the ``target`` method.
+
+    ``target_options`` are forwarded to the target's constructor
+    (``leaf_side``, ``block_side``, ``bc_fanout``, ...).  The source is
+    left untouched.
+    """
+    target_class = method_class(target)
+    sparse_source = isinstance(method, DynamicDataCube)
+    sparse_target = issubclass(target_class, DynamicDataCube)
+    if sparse_source and sparse_target:
+        converted = target_class(
+            method.shape, dtype=method.dtype, **target_options
+        )
+        converted.add_many(list(method.iter_nonzero()))
+        return converted
+    dense = method.to_dense()
+    return target_class.from_array(dense, dtype=method.dtype, **target_options)
+
+
+def rebuild(cube: DynamicDataCube, **new_options) -> DynamicDataCube:
+    """Re-parameterise a (Basic) Dynamic Data Cube in place of options.
+
+    Unspecified options are carried over from the source, so
+    ``rebuild(cube, leaf_side=8)`` re-levels a cube without touching its
+    fanout or secondary kind.  Returns a new cube of the same class.
+    """
+    options = {
+        "leaf_side": cube.leaf_side,
+        "secondary_kind": cube.secondary_kind,
+        "bc_fanout": cube.bc_fanout,
+    }
+    options.update(new_options)
+    return convert(cube, type(cube).name, **options)

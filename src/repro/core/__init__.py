@@ -1,0 +1,16 @@
+"""Core structures: the Dynamic Data Cube and its substrates."""
+
+from .basic_ddc import BasicDynamicDataCube
+from .bc_tree import BcTree
+from .ddc import DynamicDataCube
+from .growth import GrowableCube
+from .overlay import ArrayOverlay, TreeOverlay
+
+__all__ = [
+    "BcTree",
+    "ArrayOverlay",
+    "TreeOverlay",
+    "BasicDynamicDataCube",
+    "DynamicDataCube",
+    "GrowableCube",
+]

@@ -1,0 +1,27 @@
+"""The Basic Dynamic Data Cube (Section 3).
+
+Identical primary tree to the full Dynamic Data Cube, but every overlay
+box stores its row-sum groups *directly* as dense cumulative arrays
+(:class:`~repro.core.overlay.ArrayOverlay`).  Queries remain O(log n)
+node visits with O(1) per overlay value, but a point update must rewrite
+all cumulative row sums dominating the cell in the covering overlay box
+at every level — the geometric series the paper evaluates in Section 3.3:
+
+    d * (n/2)^(d-1) + d * (n/4)^(d-1) + ... + d * 1
+        = d * (n^(d-1) - 1) / (2^(d-1) - 1)  =  O(n^(d-1))
+
+The paper presents this structure as the motivation for Section 4; we
+keep it as a first-class method so the improvement is measurable.
+"""
+
+from __future__ import annotations
+
+from .ddc import DynamicDataCube
+from .overlay import ArrayOverlay
+
+
+class BasicDynamicDataCube(DynamicDataCube):
+    """Section 3 tree: O(log n) queries, O(n^(d-1)) worst-case updates."""
+
+    name = "basic-ddc"
+    _overlay_class = ArrayOverlay

@@ -1,0 +1,529 @@
+"""The Cumulative B-Tree (B^c tree) of Section 4.1.
+
+The B^c tree is the paper's base case for storing a one-dimensional set
+of overlay row-sum values.  It is a B-tree whose leaves hold the sums of
+*individual* rows (not the cumulative sums the overlay box semantically
+contains) and whose interior nodes carry, per child, a *subtree sum*
+(STS).  A cumulative row sum is then reconstructed on demand by walking
+root-to-leaf and adding every STS that precedes the descent path, and a
+row update touches exactly one STS per visited node — giving the paper's
+balanced O(log k) cost for both operations.
+
+This implementation indexes leaves by **rank** (0-based position) rather
+than by stored keys, and additionally maintains per-child subtree
+*counts*.  Rank navigation is exactly equivalent to the paper's
+"key = index of the row-sum cell" scheme for a static overlay, and it is
+what makes the Section 5 dynamic-growth behaviour natural: inserting or
+deleting a row shifts all subsequent indices implicitly, with no key
+rewriting.
+
+Supported operations (``k`` = number of stored rows):
+
+=================  ==========  =====================================
+operation          cost        meaning
+=================  ==========  =====================================
+``prefix_sum(i)``  O(log k)    cumulative row sum ``rows[0..i]``
+``get(i)``         O(log k)    individual row sum
+``set(i, v)``      O(log k)    replace a row sum
+``add(i, delta)``  O(log k)    add a delta to a row sum
+``insert(i, v)``   O(log k)    insert a new row before position i
+``delete(i)``      O(log k)    remove a row
+``from_values``    O(k)        bulk build
+=================  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..counters import OpCounter
+from ..exceptions import OutOfBoundsError, StructureError
+
+DEFAULT_FANOUT = 16
+_MIN_FANOUT = 3
+
+
+class _Leaf:
+    """Leaf node: a run of consecutive row sums."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list) -> None:
+        self.values = values
+
+
+class _Internal:
+    """Interior node: children plus per-child subtree counts and sums (STS)."""
+
+    __slots__ = ("children", "counts", "sums")
+
+    def __init__(self, children: list, counts: list[int], sums: list) -> None:
+        self.children = children
+        self.counts = counts
+        self.sums = sums
+
+
+class BcTree:
+    """Cumulative B-tree over a sequence of row sums.
+
+    Args:
+        fanout: maximum number of children per interior node (and values
+            per leaf).  The paper's analysis uses a constant fanout ``f``,
+            costing ``f * log_f k`` per operation.
+        counter: optional shared :class:`OpCounter`.  The Dynamic Data
+            Cube passes its own counter so that the cost of every
+            secondary structure is tallied against the primary cube.
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT, counter: OpCounter | None = None):
+        if fanout < _MIN_FANOUT:
+            raise ValueError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
+        self.fanout = fanout
+        self.stats = counter if counter is not None else OpCounter()
+        self._root: _Leaf | _Internal = _Leaf([])
+        self._size = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence,
+        fanout: int = DEFAULT_FANOUT,
+        counter: OpCounter | None = None,
+    ) -> "BcTree":
+        """Bulk-build a tree over ``values`` in O(k).
+
+        Produces a tree satisfying all fill invariants: every non-root
+        node holds at least ``ceil(fanout / 2)`` entries.
+        """
+        tree = cls(fanout=fanout, counter=counter)
+        values = list(values)
+        tree._size = len(values)
+        tree._total = sum(values)
+        if not values:
+            return tree
+
+        level: list = [_Leaf(chunk) for chunk in _balanced_chunks(values, fanout)]
+        summaries = [(len(leaf.values), sum(leaf.values)) for leaf in level]
+        while len(level) > 1:
+            next_level: list = []
+            next_summaries: list[tuple[int, int]] = []
+            groups = _balanced_chunks(list(range(len(level))), fanout)
+            for group in groups:
+                children = [level[i] for i in group]
+                counts = [summaries[i][0] for i in group]
+                sums = [summaries[i][1] for i in group]
+                next_level.append(_Internal(children, counts, sums))
+                next_summaries.append((sum(counts), sum(sums)))
+            level = next_level
+            summaries = next_summaries
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Read operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def total(self) -> int:
+        """Sum of every stored row (O(1))."""
+        return self._total
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise OutOfBoundsError(f"index {index} out of range for size {self._size}")
+
+    def prefix_sum(self, index: int):
+        """Cumulative row sum ``rows[0] + ... + rows[index]`` (inclusive).
+
+        This is the overlay "row sum value" the paper reconstructs by
+        summing preceding STSs along a root-to-leaf descent.
+        """
+        self._check_index(index)
+        node = self._root
+        rank = index
+        acc = 0
+        while isinstance(node, _Internal):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            child_index = 0
+            for count in node.counts:
+                if rank < count:
+                    break
+                rank -= count
+                acc += node.sums[child_index]
+                self.stats.cell_reads += 1
+                child_index += 1
+            node = node.children[child_index]
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        for position in range(rank + 1):
+            acc += node.values[position]
+            self.stats.cell_reads += 1
+        return acc
+
+    def get(self, index: int):
+        """Individual row sum at ``index``."""
+        self._check_index(index)
+        node = self._root
+        rank = index
+        while isinstance(node, _Internal):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            child_index = 0
+            for count in node.counts:
+                if rank < count:
+                    break
+                rank -= count
+                child_index += 1
+            node = node.children[child_index]
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        self.stats.cell_reads += 1
+        return node.values[rank]
+
+    def values(self) -> Iterator:
+        """Iterate every row sum in index order."""
+        yield from self._iter_node(self._root)
+
+    def _iter_node(self, node) -> Iterator:
+        if isinstance(node, _Leaf):
+            yield from node.values
+        else:
+            for child in node.children:
+                yield from self._iter_node(child)
+
+    def to_list(self) -> list:
+        """All row sums as a plain list (for tests and rebuilds)."""
+        return list(self.values())
+
+    # ------------------------------------------------------------------
+    # Point modifications
+    # ------------------------------------------------------------------
+
+    def add(self, index: int, delta) -> None:
+        """Add ``delta`` to the row at ``index`` (one STS per level)."""
+        if delta == 0:
+            return
+        self._check_index(index)
+        node = self._root
+        rank = index
+        while isinstance(node, _Internal):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            child_index = 0
+            for count in node.counts:
+                if rank < count:
+                    break
+                rank -= count
+                child_index += 1
+            node.sums[child_index] += delta
+            self.stats.cell_writes += 1
+            node = node.children[child_index]
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        node.values[rank] += delta
+        self.stats.cell_writes += 1
+        self._total += delta
+
+    def set(self, index: int, value) -> None:
+        """Replace the row at ``index``; returns nothing.
+
+        Implemented bottom-up like the paper's Figure 12: read the old
+        value, store the new one, and propagate the difference into one
+        STS per ancestor (here folded into a single descent).
+        """
+        old = self.get(index)
+        self.add(index, value - old)
+
+    # ------------------------------------------------------------------
+    # Structural modifications (dynamic growth, Section 5)
+    # ------------------------------------------------------------------
+
+    @property
+    def _min_fill(self) -> int:
+        # Standard B-tree minimum occupancy: ceil(f / 2).  A merge of two
+        # minimally-filled siblings then yields 2 * ceil(f/2) - 1 <= f
+        # entries, so rebalancing can never overfill a node.
+        return (self.fanout + 1) // 2
+
+    def insert(self, index: int, value) -> None:
+        """Insert a new row before position ``index`` (``index == len`` appends)."""
+        if not 0 <= index <= self._size:
+            raise OutOfBoundsError(f"insert index {index} out of range for size {self._size}")
+        split = self._insert(self._root, index, value)
+        if split is not None:
+            left_summary, right_node, right_summary = split
+            self._root = _Internal(
+                [self._root, right_node],
+                [left_summary[0], right_summary[0]],
+                [left_summary[1], right_summary[1]],
+            )
+        self._size += 1
+        self._total += value
+
+    def _insert(self, node, rank: int, value):
+        """Recursive insert; returns ``None`` or split info.
+
+        Split info is ``((left_count, left_sum), new_right_node,
+        (right_count, right_sum))`` describing the node after it split.
+        """
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            node.values.insert(rank, value)
+            self.stats.cell_writes += 1
+            if len(node.values) <= self.fanout:
+                return None
+            middle = len(node.values) // 2
+            right = _Leaf(node.values[middle:])
+            node.values = node.values[:middle]
+            return (
+                (len(node.values), sum(node.values)),
+                right,
+                (len(right.values), sum(right.values)),
+            )
+
+        child_index = 0
+        for count in node.counts:
+            # Descend into the child that will contain the new rank; an
+            # append (rank == count at the last child) stays in that child.
+            if rank < count or (rank == count and child_index == len(node.counts) - 1):
+                break
+            rank -= count
+            child_index += 1
+        node.counts[child_index] += 1
+        node.sums[child_index] += value
+        self.stats.cell_writes += 1
+        split = self._insert(node.children[child_index], rank, value)
+        if split is None:
+            return None
+        left_summary, right_node, right_summary = split
+        node.counts[child_index] = left_summary[0]
+        node.sums[child_index] = left_summary[1]
+        node.children.insert(child_index + 1, right_node)
+        node.counts.insert(child_index + 1, right_summary[0])
+        node.sums.insert(child_index + 1, right_summary[1])
+        if len(node.children) <= self.fanout:
+            return None
+        middle = len(node.children) // 2
+        right = _Internal(
+            node.children[middle:], node.counts[middle:], node.sums[middle:]
+        )
+        node.children = node.children[:middle]
+        node.counts = node.counts[:middle]
+        node.sums = node.sums[:middle]
+        return (
+            (sum(node.counts), sum(node.sums)),
+            right,
+            (sum(right.counts), sum(right.sums)),
+        )
+
+    def append(self, value) -> None:
+        """Insert a row after the current last row."""
+        self.insert(self._size, value)
+
+    def delete(self, index: int):
+        """Remove the row at ``index`` and return its value."""
+        self._check_index(index)
+        removed = self._delete(self._root, index)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        self._size -= 1
+        self._total -= removed
+        return removed
+
+    def _delete(self, node, rank: int):
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            removed = node.values.pop(rank)
+            self.stats.cell_writes += 1
+            return removed
+
+        child_index = 0
+        for count in node.counts:
+            if rank < count:
+                break
+            rank -= count
+            child_index += 1
+        removed = self._delete(node.children[child_index], rank)
+        node.counts[child_index] -= 1
+        node.sums[child_index] -= removed
+        self.stats.cell_writes += 1
+        self._rebalance_child(node, child_index)
+        return removed
+
+    def _child_entry_count(self, child) -> int:
+        if isinstance(child, _Leaf):
+            return len(child.values)
+        return len(child.children)
+
+    def _rebalance_child(self, node: _Internal, child_index: int) -> None:
+        """Restore the fill invariant of ``node.children[child_index]``."""
+        child = node.children[child_index]
+        if self._child_entry_count(child) >= self._min_fill:
+            return
+        if child_index > 0:
+            left = node.children[child_index - 1]
+            if self._child_entry_count(left) > self._min_fill:
+                self._borrow_from_left(node, child_index)
+                return
+        if child_index + 1 < len(node.children):
+            right = node.children[child_index + 1]
+            if self._child_entry_count(right) > self._min_fill:
+                self._borrow_from_right(node, child_index)
+                return
+        if child_index > 0:
+            self._merge_children(node, child_index - 1)
+        elif child_index + 1 < len(node.children):
+            self._merge_children(node, child_index)
+
+    def _borrow_from_left(self, node: _Internal, child_index: int) -> None:
+        left = node.children[child_index - 1]
+        child = node.children[child_index]
+        if isinstance(child, _Leaf):
+            moved = left.values.pop()
+            child.values.insert(0, moved)
+            moved_count, moved_sum = 1, moved
+        else:
+            moved_child = left.children.pop()
+            moved_count = left.counts.pop()
+            moved_sum = left.sums.pop()
+            child.children.insert(0, moved_child)
+            child.counts.insert(0, moved_count)
+            child.sums.insert(0, moved_sum)
+        node.counts[child_index - 1] -= moved_count
+        node.sums[child_index - 1] -= moved_sum
+        node.counts[child_index] += moved_count
+        node.sums[child_index] += moved_sum
+        self.stats.cell_writes += 2
+
+    def _borrow_from_right(self, node: _Internal, child_index: int) -> None:
+        right = node.children[child_index + 1]
+        child = node.children[child_index]
+        if isinstance(child, _Leaf):
+            moved = right.values.pop(0)
+            child.values.append(moved)
+            moved_count, moved_sum = 1, moved
+        else:
+            moved_child = right.children.pop(0)
+            moved_count = right.counts.pop(0)
+            moved_sum = right.sums.pop(0)
+            child.children.append(moved_child)
+            child.counts.append(moved_count)
+            child.sums.append(moved_sum)
+        node.counts[child_index + 1] -= moved_count
+        node.sums[child_index + 1] -= moved_sum
+        node.counts[child_index] += moved_count
+        node.sums[child_index] += moved_sum
+        self.stats.cell_writes += 2
+
+    def _merge_children(self, node: _Internal, left_index: int) -> None:
+        """Merge child ``left_index + 1`` into child ``left_index``."""
+        left = node.children[left_index]
+        right = node.children[left_index + 1]
+        if isinstance(left, _Leaf):
+            left.values.extend(right.values)
+        else:
+            left.children.extend(right.children)
+            left.counts.extend(right.counts)
+            left.sums.extend(right.sums)
+        node.counts[left_index] += node.counts[left_index + 1]
+        node.sums[left_index] += node.sums[left_index + 1]
+        del node.children[left_index + 1]
+        del node.counts[left_index + 1]
+        del node.sums[left_index + 1]
+        self.stats.cell_writes += 1
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def memory_cells(self) -> int:
+        """Stored values (leaf rows + STS entries) — the storage metric."""
+        return self._memory_cells(self._root)
+
+    def _memory_cells(self, node) -> int:
+        if isinstance(node, _Leaf):
+            return len(node.values)
+        cells = len(node.sums) + len(node.counts)
+        return cells + sum(self._memory_cells(child) for child in node.children)
+
+    def height(self) -> int:
+        """Number of levels (a lone leaf has height 1)."""
+        height = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    def validate(self) -> None:
+        """Check every structural invariant; raise :class:`StructureError` on failure.
+
+        Verifies cached counts and sums against recomputation, fill
+        bounds, and uniform leaf depth.
+        """
+        count, total, _ = self._validate(self._root, is_root=True)
+        if count != self._size:
+            raise StructureError(f"size cache {self._size} != actual {count}")
+        if total != self._total:
+            raise StructureError(f"total cache {self._total} != actual {total}")
+
+    def _validate(self, node, is_root: bool) -> tuple[int, object, int]:
+        if isinstance(node, _Leaf):
+            if not is_root and len(node.values) < self._min_fill:
+                raise StructureError("leaf underfull")
+            if len(node.values) > self.fanout:
+                raise StructureError("leaf overfull")
+            return len(node.values), sum(node.values), 1
+
+        if not is_root and len(node.children) < self._min_fill:
+            raise StructureError("internal node underfull")
+        if is_root and len(node.children) < 2:
+            raise StructureError("internal root must have >= 2 children")
+        if len(node.children) > self.fanout:
+            raise StructureError("internal node overfull")
+        if not len(node.children) == len(node.counts) == len(node.sums):
+            raise StructureError("internal node arrays out of sync")
+        total_count = 0
+        total_sum = 0
+        depths = set()
+        for child, count, child_sum in zip(node.children, node.counts, node.sums):
+            actual_count, actual_sum, depth = self._validate(child, is_root=False)
+            if actual_count != count:
+                raise StructureError(f"count cache {count} != actual {actual_count}")
+            if actual_sum != child_sum:
+                raise StructureError(f"sum cache {child_sum} != actual {actual_sum}")
+            total_count += actual_count
+            total_sum += actual_sum
+            depths.add(depth)
+        if len(depths) != 1:
+            raise StructureError("leaves at differing depths")
+        return total_count, total_sum, depths.pop() + 1
+
+
+def _balanced_chunks(items: list, fanout: int) -> list[list]:
+    """Split ``items`` into chunks of ``<= fanout`` and ``>= ceil(fanout / 2)``.
+
+    Used by bulk build so the resulting tree satisfies B-tree fill
+    invariants.  A single chunk smaller than the minimum is allowed only
+    when it is the sole chunk (it becomes the root).
+    """
+    total = len(items)
+    if total <= fanout:
+        return [items]
+    minimum = (fanout + 1) // 2
+    chunks = [items[start : start + fanout] for start in range(0, total, fanout)]
+    if len(chunks[-1]) < minimum:
+        deficit = minimum - len(chunks[-1])
+        chunks[-1] = chunks[-2][-deficit:] + chunks[-1]
+        chunks[-2] = chunks[-2][:-deficit]
+    return chunks

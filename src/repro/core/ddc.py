@@ -1,0 +1,529 @@
+"""The Dynamic Data Cube primary tree (Sections 3 and 4).
+
+The primary tree recursively halves the cube's domain: a node covering a
+region of side ``s`` has ``2^d`` children of side ``s/2``, and stores one
+overlay box per child.  A prefix-sum query walks a single root-to-leaf
+path (Theorem 1), collecting at most ``2^d - 1`` overlay values per
+level; a point update walks the same path, pushing the delta into one
+overlay box per level.  At the bottom the tree stores raw cells in dense
+*leaf blocks* of side ``leaf_side`` — ``leaf_side = 2`` is the paper's
+base structure (the leaf level is array ``A`` itself), larger values give
+the level-elision optimization of Section 4.4 (``h = log2(leaf_side) - 1``
+tree levels deleted, queries finishing with at most ``leaf_side^d`` raw
+cell additions).
+
+Nodes, overlay boxes, group secondaries, and leaf blocks are all created
+lazily, so empty regions of a sparse or clustered cube consume no storage
+(Section 5).
+
+This module implements the full Dynamic Data Cube
+(:class:`DynamicDataCube`, overlay groups in secondary structures); the
+Basic variant of Section 3 reuses the identical tree with dense
+cumulative overlays — see :mod:`repro.core.basic_ddc`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from ..counters import OpCounter
+from ..exceptions import StructureError
+from ..methods.base import RangeSumMethod
+from .overlay import ArrayOverlay, TreeOverlay
+
+
+class _Node:
+    """Internal primary-tree node: 2^d lazy children with lazy overlays."""
+
+    __slots__ = ("children", "overlays")
+
+    def __init__(self, fan: int) -> None:
+        self.children: list = [None] * fan
+        self.overlays: list = [None] * fan
+
+
+class DynamicDataCube(RangeSumMethod):
+    """The paper's Dynamic Data Cube: O(log^d n) queries *and* updates.
+
+    Args:
+        shape: logical cube shape; internally embedded in a power-of-two
+            hypercube (the paper assumes ``n = 2^i``).
+        dtype: stored value dtype.
+        leaf_side: side of the dense leaf blocks (power of two, >= 1).
+            ``2`` reproduces the paper's base structure; larger values
+            apply the Section 4.4 level-elision optimization.
+        secondary_kind: ``"ddc"`` (paper: recursive Dynamic Data Cubes,
+            B^c trees at one dimension) or ``"fenwick"`` (ablation).
+        bc_fanout: fanout of the B^c trees backing one-dimensional groups.
+        counter: optional shared :class:`OpCounter` (used when this cube
+            is itself a secondary structure of a larger cube).
+    """
+
+    name = "ddc"
+    _overlay_class = TreeOverlay
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype=np.int64,
+        leaf_side: int = 2,
+        secondary_kind: str = "ddc",
+        bc_fanout: int = 16,
+        counter: OpCounter | None = None,
+    ) -> None:
+        super().__init__(shape, dtype)
+        if not geometry.is_power_of_two(leaf_side):
+            raise ValueError(f"leaf_side must be a power of two, got {leaf_side}")
+        if secondary_kind not in ("ddc", "fenwick"):
+            raise ValueError(f"unknown secondary_kind {secondary_kind!r}")
+        if counter is not None:
+            self.stats = counter
+        self.leaf_side = leaf_side
+        self.secondary_kind = secondary_kind
+        self.bc_fanout = bc_fanout
+        self._capacity = max(geometry.padded_side(self.shape), leaf_side)
+        self._fan = 1 << self.dims
+        self._full_mask = self._fan - 1
+        self._root = None
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, **kwargs) -> "DynamicDataCube":
+        """Vectorised bulk build: one pass of numpy reductions per node."""
+        array = np.asarray(array)
+        method = cls(array.shape, dtype=kwargs.pop("dtype", array.dtype), **kwargs)
+        if not np.any(array):
+            return method
+        padded = np.zeros((method._capacity,) * method.dims, dtype=method.dtype)
+        padded[tuple(slice(0, n) for n in array.shape)] = array
+        method._root = method._build(padded)
+        method._total = padded.sum().item()
+        return method
+
+    def _build(self, region: np.ndarray):
+        """Recursively build the subtree for a non-zero dense ``region``."""
+        side = region.shape[0]
+        if side <= self.leaf_side:
+            block = np.array(region, dtype=self.dtype)
+            self.stats.cell_writes += block.size
+            return block
+        half = side // 2
+        node = _Node(self._fan)
+        for mask in range(self._fan):
+            slices = tuple(
+                slice(half, side) if mask >> axis & 1 else slice(0, half)
+                for axis in range(self.dims)
+            )
+            child_region = region[slices]
+            if not np.any(child_region):
+                continue
+            node.overlays[mask] = self._overlay_class.from_dense(
+                child_region,
+                self.stats,
+                secondary_kind=self.secondary_kind,
+                bc_fanout=self.bc_fanout,
+            )
+            node.children[mask] = self._build(child_region)
+        return node
+
+    def _new_overlay(self, side: int):
+        return self._overlay_class(
+            side,
+            self.dims,
+            self.stats,
+            dtype=self.dtype,
+            secondary_kind=self.secondary_kind,
+            bc_fanout=self.bc_fanout,
+        )
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+
+    def get(self, cell: Sequence[int] | int):
+        """Read ``A[cell]`` by descending to its leaf block — O(log n)."""
+        cell = geometry.normalize_cell(cell, self.shape)
+        node = self._root
+        side = self._capacity
+        anchor = (0,) * self.dims
+        while isinstance(node, _Node):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            half = side // 2
+            mask = self._covering_mask(cell, anchor, half)
+            anchor = self._child_anchor(anchor, mask, half)
+            node = node.children[mask]
+            side = half
+        if node is None:
+            return self._zero()
+        self.stats.touch(node)
+        self.stats.cell_reads += 1
+        offsets = tuple(c - a for c, a in zip(cell, anchor))
+        return self.dtype.type(node[offsets])
+
+    def add(self, cell: Sequence[int] | int, delta) -> None:
+        """Point update: one overlay box per level plus one leaf write.
+
+        Follows the paper's Figure 12 logic — the covering overlay box at
+        every level absorbs the difference — except the delta is known up
+        front, so a single top-down pass suffices.
+        """
+        cell = geometry.normalize_cell(cell, self.shape)
+        delta = self.dtype.type(delta).item()
+        if delta == 0:
+            return
+        if self._root is None:
+            self._root = self._new_root()
+        node = self._root
+        side = self._capacity
+        anchor = (0,) * self.dims
+        while isinstance(node, _Node):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            half = side // 2
+            mask = self._covering_mask(cell, anchor, half)
+            anchor = self._child_anchor(anchor, mask, half)
+            overlay = node.overlays[mask]
+            if overlay is None:
+                overlay = node.overlays[mask] = self._new_overlay(half)
+            offsets = tuple(c - a for c, a in zip(cell, anchor))
+            overlay.apply_delta(offsets, delta)
+            child = node.children[mask]
+            if child is None:
+                child = node.children[mask] = self._new_child(half)
+            node = child
+            side = half
+        offsets = tuple(c - a for c, a in zip(cell, anchor))
+        self.stats.touch(node)
+        node[offsets] += delta
+        self.stats.cell_writes += 1
+        self._total += delta
+
+    def set(self, cell: Sequence[int] | int, value) -> None:
+        cell = geometry.normalize_cell(cell, self.shape)
+        old = self.get(cell)
+        delta = value - old
+        if delta != 0:
+            self.add(cell, delta)
+
+    def _new_root(self):
+        if self._capacity <= self.leaf_side:
+            return np.zeros((self._capacity,) * self.dims, dtype=self.dtype)
+        return _Node(self._fan)
+
+    def _new_child(self, side: int):
+        if side <= self.leaf_side:
+            return np.zeros((side,) * self.dims, dtype=self.dtype)
+        return _Node(self._fan)
+
+    def _covering_mask(self, cell: tuple, anchor: tuple, half: int) -> int:
+        mask = 0
+        for axis in range(self.dims):
+            if cell[axis] >= anchor[axis] + half:
+                mask |= 1 << axis
+        return mask
+
+    def _child_anchor(self, anchor: tuple, mask: int, half: int) -> tuple:
+        return tuple(
+            anchor[axis] + (half if mask >> axis & 1 else 0)
+            for axis in range(self.dims)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def prefix_sum(self, cell: Sequence[int] | int):
+        """``SUM(A[0,...,0] : A[cell])`` — the Figure 10 algorithm.
+
+        Exactly one child is descended per level; every other overlay box
+        whose region intersects the target region contributes its
+        subtotal (fully inside) or one cumulative row-sum value
+        (partially inside).
+        """
+        cell = geometry.normalize_cell(cell, self.shape)
+        node = self._root
+        if node is None:
+            return self._zero()
+        side = self._capacity
+        anchor = (0,) * self.dims
+        acc = 0
+        while isinstance(node, _Node):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            half = side // 2
+            cover = self._covering_mask(cell, anchor, half)
+            submask = (cover - 1) & cover
+            while cover:
+                # Proper submasks of the covering mask are exactly the
+                # boxes the target region intersects without covering
+                # the target cell (lower half in at least one dimension
+                # where the cell sits in the upper half).
+                acc += self._box_contribution(node, submask, cover, cell, anchor, half)
+                if submask == 0:
+                    break
+                submask = (submask - 1) & cover
+            anchor = self._child_anchor(anchor, cover, half)
+            node = node.children[cover]
+            side = half
+            if node is None:
+                return self.dtype.type(acc)
+        offsets = tuple(c - a for c, a in zip(cell, anchor))
+        self.stats.touch(node)
+        region = tuple(slice(0, o + 1) for o in offsets)
+        acc += node[region].sum().item()
+        self.stats.cell_reads += geometry.range_cell_count((0,) * self.dims, offsets)
+        return self.dtype.type(acc)
+
+    def _box_contribution(
+        self, node: _Node, mask: int, cover: int, cell: tuple, anchor: tuple, half: int
+    ):
+        """Value contributed by the overlay box ``mask`` (``mask ⊊ cover``)."""
+        overlay = node.overlays[mask]
+        if overlay is None:
+            return 0
+        complete = cover & ~mask
+        if complete == self._full_mask:
+            return overlay.subtotal()
+        box_anchor = self._child_anchor(anchor, mask, half)
+        offsets = tuple(
+            min(cell[axis] - box_anchor[axis], half - 1) for axis in range(self.dims)
+        )
+        group = (complete & -complete).bit_length() - 1
+        cross = offsets[:group] + offsets[group + 1 :]
+        return overlay.row_value(group, cross)
+
+    # ------------------------------------------------------------------
+    # Dynamic growth (Section 5)
+    # ------------------------------------------------------------------
+
+    def expand(self, corner_mask: int) -> None:
+        """Double the domain; the existing cube becomes one root child.
+
+        ``corner_mask`` selects which corner of the enlarged domain the
+        existing data occupies: bit ``t`` set means the old cube becomes
+        the *upper* half of dimension ``t`` (i.e. the cube grew toward
+        lower coordinates in that dimension).  The overlay box for the
+        old cube at the new root level is rebuilt from the populated leaf
+        blocks only, so expansion of a sparse cube costs time and space
+        proportional to the data actually present.
+        """
+        if not 0 <= corner_mask < self._fan:
+            raise ValueError(f"corner_mask {corner_mask} out of range for {self.dims} dims")
+        old_capacity = self._capacity
+        self._capacity = old_capacity * 2
+        self.shape = (self._capacity,) * self.dims
+        if self._root is None:
+            return
+        node = _Node(self._fan)
+        node.children[corner_mask] = self._root
+        node.overlays[corner_mask] = self._overlay_from_contents(old_capacity)
+        self._root = node
+
+    def _overlay_from_contents(self, side: int):
+        """Build an overlay box summarising the entire current tree."""
+        overlay = self._new_overlay(side)
+        overlay._subtotal = self._total
+        if self.dims == 1:
+            return overlay
+        axis_totals = [self._axis_sums(axis, side) for axis in range(self.dims)]
+        if isinstance(overlay, ArrayOverlay):
+            for axis, rows in enumerate(axis_totals):
+                cumulative = rows.copy()
+                for cross_axis in range(cumulative.ndim):
+                    np.cumsum(cumulative, axis=cross_axis, out=cumulative)
+                overlay._groups[axis] = cumulative
+            return overlay
+        for axis, rows in enumerate(axis_totals):
+            if np.any(rows):
+                overlay._groups[axis] = overlay._build_secondary(rows)
+        return overlay
+
+    def _axis_sums(self, axis: int, side: int) -> np.ndarray:
+        """Dense per-cross-position totals along ``axis`` over the whole tree."""
+        out = np.zeros((side,) * (self.dims - 1), dtype=self.dtype)
+        self._accumulate_axis_sums(self._root, (0,) * self.dims, side, axis, out)
+        return out
+
+    def _accumulate_axis_sums(
+        self, node, anchor: tuple, side: int, axis: int, out: np.ndarray
+    ) -> None:
+        if node is None:
+            return
+        if not isinstance(node, _Node):
+            cross_anchor = anchor[:axis] + anchor[axis + 1 :]
+            region = tuple(slice(a, a + side) for a in cross_anchor)
+            out[region] += node.sum(axis=axis)
+            return
+        half = side // 2
+        for mask, child in enumerate(node.children):
+            if child is not None:
+                child_anchor = self._child_anchor(anchor, mask, half)
+                self._accumulate_axis_sums(child, child_anchor, half, axis, out)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def total(self):
+        return self.dtype.type(self._total)
+
+    def memory_cells(self) -> int:
+        return self._memory_cells(self._root)
+
+    def _memory_cells(self, node) -> int:
+        if node is None:
+            return 0
+        if not isinstance(node, _Node):
+            return node.size
+        cells = 0
+        for child, overlay in zip(node.children, node.overlays):
+            if overlay is not None:
+                cells += overlay.memory_cells()
+            cells += self._memory_cells(child)
+        return cells
+
+    def storage_breakdown(self) -> dict:
+        """Where the cells live: leaf blocks vs subtotals vs group trees.
+
+        Returns a dict with ``blocks`` (raw leaf cells), ``subtotals``
+        (one per allocated overlay), ``groups`` (cells inside secondary
+        structures), and ``total``.  The group share is the Table 2
+        overhead in its tree-backed form.
+        """
+        breakdown = {"blocks": 0, "subtotals": 0, "groups": 0}
+        self._breakdown(self._root, breakdown)
+        breakdown["total"] = sum(breakdown.values())
+        return breakdown
+
+    def _breakdown(self, node, breakdown: dict) -> None:
+        if node is None:
+            return
+        if not isinstance(node, _Node):
+            breakdown["blocks"] += node.size
+            return
+        for child, overlay in zip(node.children, node.overlays):
+            if overlay is not None:
+                cells = overlay.memory_cells()
+                breakdown["subtotals"] += 1
+                breakdown["groups"] += cells - 1
+            self._breakdown(child, breakdown)
+
+    def height(self) -> int:
+        """Internal levels above the leaf blocks."""
+        levels = 0
+        side = self._capacity
+        while side > self.leaf_side:
+            levels += 1
+            side //= 2
+        return levels
+
+    def iter_blocks(self):
+        """Yield ``(anchor, block)`` for every populated leaf block.
+
+        Blocks are numpy views of the live storage — treat them as
+        read-only.  The traversal order is the tree's child-mask order.
+        """
+
+        def walk(node, anchor, side):
+            if node is None:
+                return
+            if not isinstance(node, _Node):
+                yield anchor, node
+                return
+            half = side // 2
+            for mask, child in enumerate(node.children):
+                if child is not None:
+                    yield from walk(child, self._child_anchor(anchor, mask, half), half)
+
+        yield from walk(self._root, (0,) * self.dims, self._capacity)
+
+    def iter_nonzero(self):
+        """Yield ``(cell, value)`` for every non-zero cell, sparsely.
+
+        Costs time proportional to the populated blocks, never the
+        domain — the right way to export a clustered cube's contents.
+        Cells in the power-of-two padding are excluded.
+        """
+        for anchor, block in self.iter_blocks():
+            for offsets in np.argwhere(block != 0):
+                offsets = tuple(int(o) for o in offsets)
+                cell = tuple(a + o for a, o in zip(anchor, offsets))
+                if all(c < s for c, s in zip(cell, self.shape)):
+                    yield cell, self.dtype.type(block[offsets])
+
+    def to_dense(self) -> np.ndarray:
+        padded = np.zeros((self._capacity,) * self.dims, dtype=self.dtype)
+        self._fill_dense(self._root, (0,) * self.dims, self._capacity, padded)
+        return padded[tuple(slice(0, n) for n in self.shape)].copy()
+
+    def _fill_dense(self, node, anchor: tuple, side: int, out: np.ndarray) -> None:
+        if node is None:
+            return
+        if not isinstance(node, _Node):
+            region = tuple(slice(a, a + side) for a in anchor)
+            out[region] = node
+            return
+        half = side // 2
+        for mask, child in enumerate(node.children):
+            if child is not None:
+                self._fill_dense(child, self._child_anchor(anchor, mask, half), half, out)
+
+    def validate(self) -> None:
+        """Check overlay subtotals and groups against the raw leaf data.
+
+        Intended for tests on small cubes — it materialises the dense
+        contents.  Raises :class:`StructureError` on any mismatch.
+        """
+        padded = np.zeros((self._capacity,) * self.dims, dtype=self.dtype)
+        self._fill_dense(self._root, (0,) * self.dims, self._capacity, padded)
+        if padded.sum().item() != self._total:
+            raise StructureError(
+                f"total cache {self._total} != actual {padded.sum().item()}"
+            )
+        self._validate_node(self._root, (0,) * self.dims, self._capacity, padded)
+
+    def _validate_node(
+        self, node, anchor: tuple, side: int, padded: np.ndarray
+    ) -> None:
+        if node is None or not isinstance(node, _Node):
+            return
+        half = side // 2
+        for mask in range(self._fan):
+            child_anchor = self._child_anchor(anchor, mask, half)
+            region = tuple(slice(a, a + half) for a in child_anchor)
+            dense = padded[region]
+            overlay = node.overlays[mask]
+            if overlay is None:
+                if np.any(dense):
+                    raise StructureError(f"missing overlay for non-zero box {mask}")
+                continue
+            if overlay.subtotal() != dense.sum().item():
+                raise StructureError(
+                    f"overlay subtotal mismatch at anchor {child_anchor}"
+                )
+            if self.dims > 1:
+                self._validate_groups(overlay, dense, child_anchor)
+            self._validate_node(node.children[mask], child_anchor, half, padded)
+
+    def _validate_groups(self, overlay, dense: np.ndarray, child_anchor: tuple) -> None:
+        half = dense.shape[0]
+        for axis in range(self.dims):
+            expected = dense.sum(axis=axis)
+            for cross_axis in range(expected.ndim):
+                expected = np.cumsum(expected, axis=cross_axis)
+            top = (half - 1,) * (self.dims - 1)
+            for cross in geometry.iter_cells((0,) * (self.dims - 1), top):
+                actual = overlay.row_value(axis, cross)
+                if actual != expected[cross].item():
+                    raise StructureError(
+                        f"group {axis} mismatch at anchor {child_anchor}, cross {cross}: "
+                        f"{actual} != {expected[cross].item()}"
+                    )

@@ -1,0 +1,264 @@
+"""Dynamic growth of the data cube in any direction (Section 5).
+
+The paper motivates growth with the astronomy example: stars are
+discovered in *any* direction relative to existing ones, so the cube must
+be able to extend below as well as above its current index ranges, and
+must not pay for the vast empty regions in between (prefix-sum style
+methods cannot do either — adding one cell forces materialising the whole
+dominated region, Figure 16).
+
+:class:`GrowableCube` provides that behaviour on top of
+:class:`~repro.core.ddc.DynamicDataCube`:
+
+* coordinates are arbitrary integers, negative included;
+* when a point lands outside the current domain the cube doubles toward
+  it (the old root becomes one corner child of a new root — an O(data)
+  operation, amortised O(log extent) doublings ever);
+* empty space costs nothing: the underlying tree allocates nodes,
+  overlays, and leaf blocks lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from ..exceptions import DimensionMismatchError, InvalidRangeError
+from .ddc import DynamicDataCube
+
+Coordinate = tuple[int, ...]
+
+
+class GrowableCube:
+    """A Dynamic Data Cube over an unbounded integer coordinate space.
+
+    Args:
+        dims: number of dimensions.
+        dtype: stored value dtype.
+        initial_side: side of the initial domain (power of two).
+        **cube_options: forwarded to :class:`DynamicDataCube`
+            (``leaf_side``, ``secondary_kind``, ``bc_fanout``).
+
+    The domain is re-anchored at the first inserted point, so callers
+    never need to guess where their data will live.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        dtype=np.int64,
+        initial_side: int = 8,
+        **cube_options,
+    ) -> None:
+        if dims < 1:
+            raise DimensionMismatchError("dims must be >= 1")
+        if not geometry.is_power_of_two(initial_side):
+            raise ValueError(f"initial_side must be a power of two, got {initial_side}")
+        self.dims = dims
+        self.dtype = np.dtype(dtype)
+        self._initial_side = initial_side
+        self._cube_options = dict(cube_options)
+        self._cube = DynamicDataCube(
+            (initial_side,) * dims, dtype=dtype, **cube_options
+        )
+        self._origin: Coordinate = (0,) * dims
+        self._anchored = False
+        self._low_bounds: list[int] | None = None
+        self._high_bounds: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Domain management
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Shared operation counter of the underlying cube."""
+        return self._cube.stats
+
+    @property
+    def origin(self) -> Coordinate:
+        """Logical coordinate of the domain's low corner."""
+        return self._origin
+
+    @property
+    def side(self) -> int:
+        """Current domain side (power of two)."""
+        return self._cube._capacity
+
+    @property
+    def bounds(self) -> tuple[Coordinate, Coordinate] | None:
+        """Bounding box of every coordinate ever written, or ``None``."""
+        if self._low_bounds is None:
+            return None
+        return tuple(self._low_bounds), tuple(self._high_bounds)
+
+    def _normalize(self, coordinate: Sequence[int] | int) -> Coordinate:
+        if isinstance(coordinate, int):
+            coordinate = (coordinate,)
+        coordinate = tuple(int(c) for c in coordinate)
+        if len(coordinate) != self.dims:
+            raise DimensionMismatchError(
+                f"coordinate {coordinate} has {len(coordinate)} entries, cube has {self.dims} dims"
+            )
+        return coordinate
+
+    def _contains(self, coordinate: Coordinate) -> bool:
+        side = self.side
+        return all(o <= c < o + side for c, o in zip(coordinate, self._origin))
+
+    def _ensure_covered(self, coordinate: Coordinate) -> None:
+        """Grow the domain (doubling toward the point) until it covers it."""
+        if not self._anchored:
+            # Re-anchor the pristine domain around the first point; no
+            # data exists yet so this is free.
+            self._origin = tuple(c - self._initial_side // 2 for c in coordinate)
+            self._anchored = True
+        while not self._contains(coordinate):
+            corner_mask = 0
+            new_origin = list(self._origin)
+            side = self.side
+            for axis in range(self.dims):
+                # Grow toward the point: if it lies below the current
+                # origin, the old cube becomes the upper half (bit set)
+                # and the origin moves down; otherwise the old cube stays
+                # at the bottom and the domain extends upward.
+                if coordinate[axis] < self._origin[axis]:
+                    corner_mask |= 1 << axis
+                    new_origin[axis] -= side
+            self._cube.expand(corner_mask)
+            self._origin = tuple(new_origin)
+
+    def _track_bounds(self, coordinate: Coordinate) -> None:
+        if self._low_bounds is None:
+            self._low_bounds = list(coordinate)
+            self._high_bounds = list(coordinate)
+            return
+        for axis, value in enumerate(coordinate):
+            self._low_bounds[axis] = min(self._low_bounds[axis], value)
+            self._high_bounds[axis] = max(self._high_bounds[axis], value)
+
+    def _internal(self, coordinate: Coordinate) -> Coordinate:
+        return tuple(c - o for c, o in zip(coordinate, self._origin))
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+
+    def add(self, coordinate: Sequence[int] | int, delta) -> None:
+        """Add ``delta`` to the cell at ``coordinate``, growing as needed."""
+        coordinate = self._normalize(coordinate)
+        self._ensure_covered(coordinate)
+        self._track_bounds(coordinate)
+        self._cube.add(self._internal(coordinate), delta)
+
+    def set(self, coordinate: Sequence[int] | int, value) -> None:
+        """Replace the cell at ``coordinate``, growing as needed."""
+        coordinate = self._normalize(coordinate)
+        self._ensure_covered(coordinate)
+        self._track_bounds(coordinate)
+        self._cube.set(self._internal(coordinate), value)
+
+    def get(self, coordinate: Sequence[int] | int):
+        """Value at ``coordinate``; cells outside the domain are zero."""
+        coordinate = self._normalize(coordinate)
+        if not self._anchored or not self._contains(coordinate):
+            return self.dtype.type(0)
+        return self._cube.get(self._internal(coordinate))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def range_sum(self, low: Sequence[int] | int, high: Sequence[int] | int):
+        """``SUM`` over the inclusive range ``[low, high]``.
+
+        The range may extend arbitrarily beyond the populated domain;
+        cells outside it contribute zero.
+        """
+        low = self._normalize(low)
+        high = self._normalize(high)
+        if any(lo > hi for lo, hi in zip(low, high)):
+            raise InvalidRangeError(f"range low {low} exceeds high {high}")
+        if not self._anchored:
+            return self.dtype.type(0)
+        side = self.side
+        clipped_low = []
+        clipped_high = []
+        for axis in range(self.dims):
+            lo = max(low[axis], self._origin[axis])
+            hi = min(high[axis], self._origin[axis] + side - 1)
+            if lo > hi:
+                return self.dtype.type(0)
+            clipped_low.append(lo)
+            clipped_high.append(hi)
+        return self._cube.range_sum(
+            self._internal(tuple(clipped_low)), self._internal(tuple(clipped_high))
+        )
+
+    def compact(self) -> int:
+        """Shrink the domain to snugly cover the populated bounding box.
+
+        Growth only ever doubles the domain, so after a burst of
+        exploration the domain can dwarf the data (e.g. one far-flung
+        outlier that was later retracted).  Compaction rebuilds the cube
+        over the smallest power-of-two domain covering ``bounds``,
+        re-anchored at the low corner.  Returns the new side length.
+        """
+        # Bounds track everything ever *written*, which over-covers when
+        # cells were later zeroed; recompute tight bounds from live data.
+        cells = list(self._nonzero_cells())
+        if not cells:
+            self._cube = DynamicDataCube(
+                (self._initial_side,) * self.dims,
+                dtype=self.dtype,
+                **self._cube_options,
+            )
+            self._origin = (0,) * self.dims
+            self._anchored = False
+            self._low_bounds = None
+            self._high_bounds = None
+            return self.side
+        low = [min(c[axis] for c, _ in cells) for axis in range(self.dims)]
+        high = [max(c[axis] for c, _ in cells) for axis in range(self.dims)]
+        extent = max(hi - lo + 1 for lo, hi in zip(low, high))
+        side = max(self._initial_side, geometry.next_power_of_two(extent))
+        rebuilt = DynamicDataCube(
+            (side,) * self.dims, dtype=self.dtype, **self._cube_options
+        )
+        origin = tuple(low)
+        rebuilt.add_many(
+            [
+                (tuple(c - o for c, o in zip(cell, origin)), value)
+                for cell, value in cells
+            ]
+        )
+        self._cube = rebuilt
+        self._origin = origin
+        self._low_bounds = low
+        self._high_bounds = high
+        return side
+
+    def _nonzero_cells(self):
+        """Yield ``(logical coordinate, value)`` for every non-zero cell."""
+        for cell, value in self._cube.iter_nonzero():
+            yield tuple(c + o for c, o in zip(cell, self._origin)), value
+
+    def items(self):
+        """Public alias of the sparse non-zero iterator (logical coords)."""
+        yield from self._nonzero_cells()
+
+    def total(self):
+        """Sum of every cell ever written."""
+        return self._cube.total()
+
+    def memory_cells(self) -> int:
+        """Allocated value cells — proportional to populated regions only."""
+        return self._cube.memory_cells()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GrowableCube(dims={self.dims}, origin={self._origin}, "
+            f"side={self.side})"
+        )

@@ -1,0 +1,353 @@
+"""Key-addressed B^c tree: the sparse form of the cumulative B-tree.
+
+Section 4.1 of the paper describes B^c tree leaves as carrying explicit
+keys — "the key for each leaf ... is equal to the index of the cell in
+the one-dimensional array of row sum values".  Taken literally, a key-
+addressed tree only needs leaves for rows that actually hold data, which
+is exactly what Section 5's sparse/clustered cubes require: an overlay
+group over a mostly-empty region must not materialise every empty row.
+
+:class:`KeyedBcTree` is that structure — a B-tree mapping integer keys
+to row values, with per-child subtree sums (STS) in the interior nodes:
+
+* ``prefix_sum(key)`` — sum of every stored row with key <= ``key``,
+  O(log m) for m stored rows;
+* ``add(key, delta)`` — upsert, O(log m);
+* ``from_items`` — O(m) bulk build from sorted (key, value) pairs.
+
+The rank-addressed sibling :class:`~repro.core.bc_tree.BcTree` remains
+the right tool when rows must be inserted *between* existing ones
+(dynamic growth re-indexing); this keyed form is the right tool inside
+overlay boxes, where row indexes are fixed but mostly empty.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterator, Sequence
+
+from ..counters import OpCounter
+from ..exceptions import StructureError
+
+DEFAULT_FANOUT = 16
+_MIN_FANOUT = 3
+
+
+class _Leaf:
+    """Sorted run of (key, value) rows."""
+
+    __slots__ = ("keys", "values")
+
+    def __init__(self, keys: list[int], values: list) -> None:
+        self.keys = keys
+        self.values = values
+
+
+class _Internal:
+    """Children plus, per child, the subtree's maximum key and sum (STS)."""
+
+    __slots__ = ("children", "max_keys", "sums")
+
+    def __init__(self, children: list, max_keys: list[int], sums: list) -> None:
+        self.children = children
+        self.max_keys = max_keys
+        self.sums = sums
+
+
+class KeyedBcTree:
+    """Sparse cumulative B-tree keyed by row index.
+
+    Args:
+        fanout: maximum entries per node.
+        counter: optional shared :class:`OpCounter` (the Dynamic Data
+            Cube aggregates secondary-structure costs this way).
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT, counter: OpCounter | None = None):
+        if fanout < _MIN_FANOUT:
+            raise ValueError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
+        self.fanout = fanout
+        self.stats = counter if counter is not None else OpCounter()
+        self._root: _Leaf | _Internal = _Leaf([], [])
+        self._size = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_items(
+        cls,
+        items: Sequence[tuple[int, object]],
+        fanout: int = DEFAULT_FANOUT,
+        counter: OpCounter | None = None,
+    ) -> "KeyedBcTree":
+        """Bulk-build from (key, value) pairs sorted by strictly rising key."""
+        tree = cls(fanout=fanout, counter=counter)
+        items = list(items)
+        if not items:
+            return tree
+        keys = [key for key, _ in items]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            raise ValueError("items must be sorted by strictly increasing key")
+        tree._size = len(items)
+        tree._total = sum(value for _, value in items)
+
+        level: list = []
+        summaries: list[tuple[int, object]] = []  # (max_key, sum) per node
+        for chunk in _chunks(items, fanout):
+            leaf = _Leaf([key for key, _ in chunk], [value for _, value in chunk])
+            level.append(leaf)
+            summaries.append((leaf.keys[-1], sum(leaf.values)))
+        while len(level) > 1:
+            next_level: list = []
+            next_summaries: list[tuple[int, object]] = []
+            for group in _chunks(list(range(len(level))), fanout):
+                children = [level[i] for i in group]
+                max_keys = [summaries[i][0] for i in group]
+                sums = [summaries[i][1] for i in group]
+                next_level.append(_Internal(children, max_keys, sums))
+                next_summaries.append((max_keys[-1], sum(sums)))
+            level = next_level
+            summaries = next_summaries
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of *stored* (populated) rows."""
+        return self._size
+
+    def total(self):
+        """Sum of every stored row (O(1))."""
+        return self._total
+
+    def prefix_sum(self, key: int):
+        """Sum of all rows with key <= ``key`` (the cumulative row sum)."""
+        node = self._root
+        acc = 0
+        while isinstance(node, _Internal):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            descend = None
+            for index, max_key in enumerate(node.max_keys):
+                if max_key <= key:
+                    acc += node.sums[index]
+                    self.stats.cell_reads += 1
+                else:
+                    descend = node.children[index]
+                    break
+            if descend is None:
+                return acc
+            node = descend
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        stop = bisect_right(node.keys, key)
+        for position in range(stop):
+            acc += node.values[position]
+            self.stats.cell_reads += 1
+        return acc
+
+    def get(self, key: int):
+        """Value of the row at ``key`` (0 when the row is unpopulated)."""
+        node = self._root
+        while isinstance(node, _Internal):
+            self.stats.node_visits += 1
+            self.stats.touch(node)
+            descend = None
+            for index, max_key in enumerate(node.max_keys):
+                if key <= max_key:
+                    descend = node.children[index]
+                    break
+            if descend is None:
+                return 0
+            node = descend
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        position = bisect_left(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            self.stats.cell_reads += 1
+            return node.values[position]
+        return 0
+
+    def items(self) -> Iterator[tuple[int, object]]:
+        """Every stored (key, value) pair in key order."""
+        yield from self._iter(self._root)
+
+    def _iter(self, node) -> Iterator[tuple[int, object]]:
+        if isinstance(node, _Leaf):
+            yield from zip(node.keys, node.values)
+        else:
+            for child in node.children:
+                yield from self._iter(child)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, key: int, delta) -> None:
+        """Add ``delta`` to the row at ``key``, creating it if absent."""
+        if delta == 0:
+            return
+        split = self._add(self._root, key, delta)
+        if split is not None:
+            left_summary, right_node, right_summary = split
+            self._root = _Internal(
+                [self._root, right_node],
+                [left_summary[0], right_summary[0]],
+                [left_summary[1], right_summary[1]],
+            )
+        self._total += delta
+
+    def set(self, key: int, value) -> None:
+        """Make the row at ``key`` hold exactly ``value``."""
+        self.add(key, value - self.get(key))
+
+    def _add(self, node, key: int, delta):
+        """Recursive upsert; returns split info or ``None``.
+
+        Split info is ``((left_max_key, left_sum), right_node,
+        (right_max_key, right_sum))``.
+        """
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            position = bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position] += delta
+            else:
+                node.keys.insert(position, key)
+                node.values.insert(position, delta)
+                self._size += 1
+            self.stats.cell_writes += 1
+            if len(node.keys) <= self.fanout:
+                return None
+            middle = len(node.keys) // 2
+            right = _Leaf(node.keys[middle:], node.values[middle:])
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            return (
+                (node.keys[-1], sum(node.values)),
+                right,
+                (right.keys[-1], sum(right.values)),
+            )
+
+        child_index = len(node.children) - 1
+        for index, max_key in enumerate(node.max_keys):
+            if key <= max_key:
+                child_index = index
+                break
+        split = self._add(node.children[child_index], key, delta)
+        node.sums[child_index] += delta
+        node.max_keys[child_index] = max(node.max_keys[child_index], key)
+        self.stats.cell_writes += 1
+        if split is None:
+            return None
+        left_summary, right_node, right_summary = split
+        node.max_keys[child_index] = left_summary[0]
+        node.sums[child_index] = left_summary[1]
+        node.children.insert(child_index + 1, right_node)
+        node.max_keys.insert(child_index + 1, right_summary[0])
+        node.sums.insert(child_index + 1, right_summary[1])
+        if len(node.children) <= self.fanout:
+            return None
+        middle = len(node.children) // 2
+        right = _Internal(
+            node.children[middle:], node.max_keys[middle:], node.sums[middle:]
+        )
+        node.children = node.children[:middle]
+        node.max_keys = node.max_keys[:middle]
+        node.sums = node.sums[:middle]
+        return (
+            (node.max_keys[-1], sum(node.sums)),
+            right,
+            (right.max_keys[-1], sum(right.sums)),
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def memory_cells(self) -> int:
+        """Stored values plus interior bookkeeping entries."""
+        return self._memory(self._root)
+
+    def _memory(self, node) -> int:
+        if isinstance(node, _Leaf):
+            return len(node.values)
+        cells = len(node.sums) + len(node.max_keys)
+        return cells + sum(self._memory(child) for child in node.children)
+
+    def height(self) -> int:
+        """Number of levels (a lone leaf has height 1)."""
+        height = 1
+        node = self._root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    def validate(self) -> None:
+        """Check all structural invariants; raise :class:`StructureError`."""
+        size, total, _, _ = self._validate(self._root, is_root=True)
+        if size != self._size:
+            raise StructureError(f"size cache {self._size} != actual {size}")
+        if total != self._total:
+            raise StructureError(f"total cache {self._total} != actual {total}")
+        keys = [key for key, _ in self.items()]
+        if any(a >= b for a, b in zip(keys, keys[1:])):
+            raise StructureError("keys not strictly increasing")
+
+    def _validate(self, node, is_root: bool):
+        minimum = (self.fanout + 1) // 2
+        if isinstance(node, _Leaf):
+            if not is_root and len(node.keys) < minimum:
+                raise StructureError("leaf underfull")
+            if len(node.keys) > self.fanout:
+                raise StructureError("leaf overfull")
+            max_key = node.keys[-1] if node.keys else None
+            return len(node.keys), sum(node.values), 1, max_key
+
+        if not is_root and len(node.children) < minimum:
+            raise StructureError("internal node underfull")
+        if is_root and len(node.children) < 2:
+            raise StructureError("internal root must have >= 2 children")
+        if len(node.children) > self.fanout:
+            raise StructureError("internal node overfull")
+        total_size = 0
+        total_sum = 0
+        depths = set()
+        for child, cached_max, cached_sum in zip(
+            node.children, node.max_keys, node.sums
+        ):
+            size, child_sum, depth, child_max = self._validate(child, is_root=False)
+            if child_sum != cached_sum:
+                raise StructureError(f"STS cache {cached_sum} != actual {child_sum}")
+            if child_max != cached_max:
+                raise StructureError(
+                    f"max-key cache {cached_max} != actual {child_max}"
+                )
+            total_size += size
+            total_sum += child_sum
+            depths.add(depth)
+        if len(depths) != 1:
+            raise StructureError("leaves at differing depths")
+        return total_size, total_sum, depths.pop() + 1, node.max_keys[-1]
+
+
+def _chunks(items: list, fanout: int) -> list[list]:
+    """Chunks of size <= fanout and >= ceil(fanout / 2) (except a lone root)."""
+    total = len(items)
+    if total <= fanout:
+        return [items]
+    minimum = (fanout + 1) // 2
+    chunks = [items[start : start + fanout] for start in range(0, total, fanout)]
+    if len(chunks[-1]) < minimum:
+        deficit = minimum - len(chunks[-1])
+        chunks[-1] = chunks[-2][-deficit:] + chunks[-1]
+        chunks[-2] = chunks[-2][:-deficit]
+    return chunks

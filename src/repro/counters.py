@@ -1,0 +1,145 @@
+"""Operation counters: the measurement substrate for the paper's cost model.
+
+Table 1 and Figure 1 of the paper compare methods by *number of
+operations* — how many stored cells an update or query must touch — not by
+wall-clock time on any particular machine.  Every structure in this
+library therefore carries an :class:`OpCounter` that tallies logical cell
+reads and writes (plus tree-node visits), so the benchmarks can measure
+the very quantity the paper models.
+
+Bulk numpy operations report their true logical size: e.g. the prefix-sum
+method's cascading update adds a delta to an entire sub-array with one
+vectorised statement, but it still counts one write per touched cell,
+because that is the cost the paper charges it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OpCounter:
+    """Tally of logical operations performed by a structure.
+
+    Attributes:
+        cell_reads: stored values read (leaf cells, overlay values,
+            subtree sums, prefix cells, ...).
+        cell_writes: stored values written.
+        node_visits: tree nodes visited during navigation (primary-tree
+            nodes, B-tree nodes); zero for flat array methods.
+    """
+
+    cell_reads: int = 0
+    cell_writes: int = 0
+    node_visits: int = 0
+    #: Optional page-access tracker (see repro.storage.buffer).  When a
+    #: BufferPool is attached, every structure node touched by a real
+    #: traversal is reported to it; None keeps the hook free.
+    tracker: object = None
+
+    def touch(self, obj: object) -> None:
+        """Report a structure-node touch to the attached tracker, if any."""
+        if self.tracker is not None:
+            self.tracker.access(obj)
+
+    def reset(self) -> None:
+        """Zero all tallies (the tracker attachment is preserved)."""
+        self.cell_reads = 0
+        self.cell_writes = 0
+        self.node_visits = 0
+
+    @property
+    def total_cell_ops(self) -> int:
+        """Reads plus writes — the paper's 'number of operations' axis."""
+        return self.cell_reads + self.cell_writes
+
+    def snapshot(self) -> "OpCounter":
+        """An independent copy of the current tallies."""
+        return OpCounter(self.cell_reads, self.cell_writes, self.node_visits)
+
+    def diff(self, earlier: "OpCounter") -> "OpCounter":
+        """Tallies accumulated since ``earlier`` (a prior snapshot)."""
+        return OpCounter(
+            self.cell_reads - earlier.cell_reads,
+            self.cell_writes - earlier.cell_writes,
+            self.node_visits - earlier.node_visits,
+        )
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter's tallies into this one."""
+        self.cell_reads += other.cell_reads
+        self.cell_writes += other.cell_writes
+        self.node_visits += other.node_visits
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OpCounter(reads={self.cell_reads}, writes={self.cell_writes}, "
+            f"nodes={self.node_visits})"
+        )
+
+
+@dataclass
+class CostSample:
+    """One measured data point for the empirical benchmark tables.
+
+    Attributes:
+        method: registry name of the measured method.
+        n: per-dimension size of the cube.
+        d: number of dimensions.
+        operation: ``"update"``, ``"query"``, or ``"build"``.
+        cell_ops: mean logical cell operations per call.
+        seconds: mean wall-clock seconds per call (optional; 0 when the
+            benchmark only counted operations).
+        samples: how many calls the means were taken over.
+    """
+
+    method: str
+    n: int
+    d: int
+    operation: str
+    cell_ops: float
+    seconds: float = 0.0
+    samples: int = 1
+
+    def as_row(self) -> tuple:
+        """Row tuple for table rendering."""
+        return (
+            self.method,
+            self.n,
+            self.d,
+            self.operation,
+            round(self.cell_ops, 2),
+            self.seconds,
+            self.samples,
+        )
+
+
+class MeasurementSession:
+    """Collects :class:`CostSample` rows and renders them as a text table.
+
+    Used by the benchmark harness to print paper-style tables alongside
+    the pytest-benchmark timings.
+    """
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.samples: list[CostSample] = []
+
+    def record(self, sample: CostSample) -> None:
+        """Append one measured data point."""
+        self.samples.append(sample)
+
+    def rows_for(self, operation: str) -> list[CostSample]:
+        """All samples matching ``operation``, in insertion order."""
+        return [s for s in self.samples if s.operation == operation]
+
+    def render(self) -> str:
+        """Fixed-width text table of every recorded sample."""
+        header = ("method", "n", "d", "op", "cell_ops", "seconds", "samples")
+        rows = [header] + [tuple(str(v) for v in s.as_row()) for s in self.samples]
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = [self.title, "-" * len(self.title)]
+        for row in rows:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)

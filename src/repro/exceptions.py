@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without also catching unrelated Python
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidShapeError(ReproError, ValueError):
+    """A cube shape is empty, non-positive, or otherwise malformed."""
+
+
+class OutOfBoundsError(ReproError, IndexError):
+    """A cell or range falls outside the logical shape of a cube."""
+
+
+class InvalidRangeError(ReproError, ValueError):
+    """A query range is malformed (e.g. low corner above high corner)."""
+
+
+class DimensionMismatchError(ReproError, ValueError):
+    """A cell, range, or array has the wrong number of dimensions."""
+
+
+class UnknownMethodError(ReproError, KeyError):
+    """A range-sum method name is not present in the registry."""
+
+
+class SchemaError(ReproError, ValueError):
+    """An OLAP schema definition or lookup is invalid."""
+
+
+class StructureError(ReproError, AssertionError):
+    """An internal structural invariant was violated.
+
+    Raised by the ``validate()`` methods of the core data structures; a
+    user should never see this unless the library has a bug.
+    """

@@ -1,0 +1,168 @@
+"""Geometry helpers for cells, inclusive ranges, and boxes.
+
+The paper ("The Dynamic Data Cube", EDBT 2000) works with a d-dimensional
+array ``A`` indexed from 0, and all of its range sums are **inclusive** on
+both ends: ``SUM(A[l] : A[h])`` includes the cells ``l`` and ``h``.  This
+module centralises the small amount of coordinate arithmetic the rest of
+the library relies on:
+
+* cell / range normalisation and validation,
+* the 2^d corner enumeration with inclusion-exclusion signs used to turn
+  prefix sums into arbitrary range sums (Figure 4 of the paper),
+* power-of-two capacity helpers (the paper assumes ``n = 2^i``; we pad
+  arbitrary shapes up to that internally).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .exceptions import (
+    DimensionMismatchError,
+    InvalidRangeError,
+    InvalidShapeError,
+    OutOfBoundsError,
+)
+
+Cell = tuple[int, ...]
+Shape = tuple[int, ...]
+
+
+def normalize_shape(shape: Sequence[int]) -> Shape:
+    """Validate a cube shape and return it as a tuple.
+
+    Every dimension must be a positive integer.  Raises
+    :class:`InvalidShapeError` otherwise.
+    """
+    shape = tuple(int(s) for s in shape)
+    if not shape:
+        raise InvalidShapeError("cube shape must have at least one dimension")
+    if any(s <= 0 for s in shape):
+        raise InvalidShapeError(f"all dimensions must be positive, got {shape}")
+    return shape
+
+
+def normalize_cell(cell: Sequence[int] | int, shape: Shape) -> Cell:
+    """Validate ``cell`` against ``shape`` and return it as a tuple.
+
+    A bare integer is accepted for one-dimensional cubes.  Raises
+    :class:`DimensionMismatchError` or :class:`OutOfBoundsError`.
+    """
+    if isinstance(cell, int):
+        cell = (cell,)
+    cell = tuple(int(c) for c in cell)
+    if len(cell) != len(shape):
+        raise DimensionMismatchError(
+            f"cell {cell} has {len(cell)} coordinates, cube has {len(shape)} dimensions"
+        )
+    for coordinate, size in zip(cell, shape):
+        if not 0 <= coordinate < size:
+            raise OutOfBoundsError(f"cell {cell} out of bounds for shape {shape}")
+    return cell
+
+
+def normalize_range(
+    low: Sequence[int] | int, high: Sequence[int] | int, shape: Shape
+) -> tuple[Cell, Cell]:
+    """Validate an inclusive range ``[low, high]`` against ``shape``.
+
+    Raises :class:`InvalidRangeError` if any ``low`` coordinate exceeds the
+    matching ``high`` coordinate.
+    """
+    low_cell = normalize_cell(low, shape)
+    high_cell = normalize_cell(high, shape)
+    if any(lo > hi for lo, hi in zip(low_cell, high_cell)):
+        raise InvalidRangeError(f"range low {low_cell} exceeds high {high_cell}")
+    return low_cell, high_cell
+
+
+def range_cell_count(low: Cell, high: Cell) -> int:
+    """Number of cells inside the inclusive range ``[low, high]``."""
+    count = 1
+    for lo, hi in zip(low, high):
+        count *= hi - lo + 1
+    return count
+
+
+def iter_cells(low: Cell, high: Cell) -> Iterator[Cell]:
+    """Iterate over every cell in the inclusive range ``[low, high]``.
+
+    Iteration order is row-major (last dimension varies fastest).
+    """
+    dims = len(low)
+    current = list(low)
+    while True:
+        yield tuple(current)
+        axis = dims - 1
+        while axis >= 0:
+            current[axis] += 1
+            if current[axis] <= high[axis]:
+                break
+            current[axis] = low[axis]
+            axis -= 1
+        else:
+            return
+
+
+def inclusion_exclusion_corners(
+    low: Cell, high: Cell
+) -> Iterator[tuple[int, Cell | None]]:
+    """Yield ``(sign, corner)`` pairs expressing a range sum via prefix sums.
+
+    This is the geometric identity from Figure 4 of the paper generalised
+    to d dimensions::
+
+        SUM(A[low] : A[high]) = sum over subsets S of dims of
+            (-1)^|S| * PREFIX(corner_S)
+
+    where ``corner_S`` picks ``high_i`` for dimensions outside ``S`` and
+    ``low_i - 1`` for dimensions in ``S``.  A corner with any coordinate of
+    ``-1`` denotes an empty prefix region and is yielded as ``None`` (its
+    contribution is zero); callers may simply skip those terms.
+    """
+    dims = len(low)
+    for mask in range(1 << dims):
+        sign = 1
+        corner = []
+        empty = False
+        for axis in range(dims):
+            if mask >> axis & 1:
+                sign = -sign
+                coordinate = low[axis] - 1
+                if coordinate < 0:
+                    empty = True
+                    break
+                corner.append(coordinate)
+            else:
+                corner.append(high[axis])
+        if empty:
+            yield sign, None
+        else:
+            yield sign, tuple(corner)
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two that is ``>= value`` (and at least 1)."""
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive power of two."""
+    return value > 0 and value & (value - 1) == 0
+
+
+def padded_side(shape: Shape) -> int:
+    """Hypercube side the paper's tree uses for this logical shape.
+
+    The primary tree always covers a hypercube of power-of-two side (the
+    paper assumes each dimension has size ``2^i``); any logical shape is
+    embedded into the smallest such hypercube.
+    """
+    return next_power_of_two(max(shape))
+
+
+def clamp_cell(cell: Cell, shape: Shape) -> Cell:
+    """Clamp each coordinate of ``cell`` to ``[0, shape_i - 1]``."""
+    return tuple(min(max(c, 0), s - 1) for c, s in zip(cell, shape))

@@ -1,0 +1,33 @@
+"""Range-sum methods: the paper's baselines plus the Fenwick comparator."""
+
+from .base import RangeSumMethod
+from .fenwick import FenwickCube
+from .naive import NaiveArray
+from .prefix_sum import PrefixSumCube
+from .relative_prefix_sum import RelativePrefixSumCube
+from .segment_tree import SegmentTreeCube
+from .registry import (
+    METHODS,
+    build_method,
+    create_method,
+    make_factory,
+    method_class,
+    method_names,
+    register_method,
+)
+
+__all__ = [
+    "RangeSumMethod",
+    "NaiveArray",
+    "PrefixSumCube",
+    "RelativePrefixSumCube",
+    "SegmentTreeCube",
+    "FenwickCube",
+    "METHODS",
+    "method_class",
+    "create_method",
+    "build_method",
+    "register_method",
+    "method_names",
+    "make_factory",
+]

@@ -1,0 +1,173 @@
+"""Common interface for every range-sum method in the library.
+
+The paper compares four ways of answering range-sum queries over the same
+logical d-dimensional array ``A``: the naive array, the prefix sum array
+(HAMS97), the relative prefix sum structure (GAES99), and the (Basic)
+Dynamic Data Cube.  All of them expose the same small contract, defined
+here, so that the OLAP layer, the benchmarks, and the cross-equivalence
+property tests can treat them interchangeably:
+
+* ``prefix_sum(cell)`` — ``SUM(A[0,...,0] : A[cell])``, both ends
+  inclusive (the "target region" of Section 3.2);
+* ``range_sum(low, high)`` — an arbitrary inclusive range, derived from
+  prefix sums via the inclusion-exclusion identity of Figure 4;
+* ``get`` / ``set`` / ``add`` — point reads and updates of ``A``;
+* ``memory_cells()`` and ``stats`` — the storage and operation-count
+  metrics the paper's evaluation is stated in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Sequence
+
+import numpy as np
+
+from .. import geometry
+from ..counters import OpCounter
+from ..geometry import Cell, Shape
+
+
+class RangeSumMethod(ABC):
+    """Abstract base for range-sum structures over a logical array ``A``.
+
+    Args:
+        shape: logical size of each dimension (``n_1, ..., n_d``).
+        dtype: numpy dtype for stored values; must support exact addition
+            and subtraction (the paper requires an invertible operator).
+    """
+
+    #: Registry name of the method (e.g. ``"ps"``); set by subclasses.
+    name: ClassVar[str] = "abstract"
+
+    def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
+        self.shape: Shape = geometry.normalize_shape(shape)
+        self.dims = len(self.shape)
+        self.dtype = np.dtype(dtype)
+        self.stats = OpCounter()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, **kwargs) -> "RangeSumMethod":
+        """Build a structure holding the contents of ``array``.
+
+        The default implementation performs a point update per non-zero
+        cell; subclasses override it with vectorised bulk builds.
+        """
+        array = np.asarray(array)
+        method = cls(array.shape, dtype=kwargs.pop("dtype", array.dtype), **kwargs)
+        for cell in np.argwhere(array != 0):
+            method.add(tuple(int(c) for c in cell), array[tuple(cell)])
+        return method
+
+    # ------------------------------------------------------------------
+    # Point access
+    # ------------------------------------------------------------------
+
+    def get(self, cell: Sequence[int] | int):
+        """Current value of ``A[cell]``.
+
+        Default implementation: a degenerate one-cell range sum (methods
+        that store ``A`` directly override this with an O(1) read).
+        """
+        cell = geometry.normalize_cell(cell, self.shape)
+        return self.range_sum(cell, cell)
+
+    def set(self, cell: Sequence[int] | int, value) -> None:
+        """Replace ``A[cell]`` with ``value`` (read-modify-write)."""
+        cell = geometry.normalize_cell(cell, self.shape)
+        old = self.get(cell)
+        delta = value - old
+        if delta != 0:
+            self.add(cell, delta)
+
+    @abstractmethod
+    def add(self, cell: Sequence[int] | int, delta) -> None:
+        """Add ``delta`` to ``A[cell]`` — the paper's point update."""
+
+    def add_many(self, updates: Sequence[tuple]) -> None:
+        """Apply a batch of ``(cell, delta)`` updates.
+
+        The paper observes that "most analysis systems are oriented
+        towards batch updates"; this entry point lets each method apply
+        a batch the cheapest way it can.  The default combines deltas
+        that hit the same cell (one structural update per distinct cell)
+        and applies them sequentially; the prefix-sum family overrides
+        it with a single vectorised pass whose cost is independent of
+        the batch size.
+        """
+        for cell, delta in self._combined_updates(updates):
+            self.add(cell, delta)
+
+    def _combined_updates(self, updates: Sequence[tuple]) -> list[tuple[Cell, object]]:
+        """Normalise a batch: validate cells, merge duplicates, drop zeros."""
+        combined: dict[Cell, object] = {}
+        for cell, delta in updates:
+            cell = geometry.normalize_cell(cell, self.shape)
+            if cell in combined:
+                combined[cell] = combined[cell] + delta
+            else:
+                combined[cell] = delta
+        return [(cell, delta) for cell, delta in combined.items() if delta != 0]
+
+    def _delta_array(self, updates: Sequence[tuple]) -> np.ndarray:
+        """A dense array holding the combined deltas of a batch."""
+        deltas = np.zeros(self.shape, dtype=self.dtype)
+        for cell, delta in self._combined_updates(updates):
+            deltas[cell] += delta
+        return deltas
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def prefix_sum(self, cell: Sequence[int] | int):
+        """``SUM(A[0,...,0] : A[cell])`` with ``cell`` included."""
+
+    def range_sum(self, low: Sequence[int] | int, high: Sequence[int] | int):
+        """``SUM(A[low] : A[high])``, all bounds inclusive.
+
+        Uses the inclusion-exclusion identity of Figure 4: the sum of the
+        region is an alternating combination of at most ``2^d`` prefix
+        sums anchored at ``A[0,...,0]``.
+        """
+        low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
+        result = self._zero()
+        for sign, corner in geometry.inclusion_exclusion_corners(low_cell, high_cell):
+            if corner is None:
+                continue
+            term = self.prefix_sum(corner)
+            result = result + term if sign > 0 else result - term
+        return result
+
+    def total(self):
+        """Sum of the entire cube."""
+        return self.prefix_sum(tuple(s - 1 for s in self.shape))
+
+    def _zero(self):
+        """Additive identity in this structure's value domain."""
+        return self.dtype.type(0)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def memory_cells(self) -> int:
+        """Number of value cells the structure currently stores."""
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the logical array ``A`` (testing / small cubes only)."""
+        dense = np.zeros(self.shape, dtype=self.dtype)
+        origin = (0,) * self.dims
+        top = tuple(s - 1 for s in self.shape)
+        for cell in geometry.iter_cells(origin, top):
+            dense[cell] = self.get(cell)
+        return dense
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(shape={self.shape}, dtype={self.dtype})"

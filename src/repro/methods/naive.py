@@ -1,0 +1,69 @@
+"""The naive method: the raw array ``A`` itself (Section 2).
+
+Queries sum every cell in the requested region — O(n^d) in the worst
+case — while updates write a single cell in O(1).  This is one end of the
+query/update trade-off spectrum the paper maps out, and it doubles as the
+reference oracle for the cross-method equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from .base import RangeSumMethod
+
+
+class NaiveArray(RangeSumMethod):
+    """Dense array ``A`` with O(1) updates and O(n^d) range queries."""
+
+    name = "naive"
+
+    def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
+        super().__init__(shape, dtype)
+        self._array = np.zeros(self.shape, dtype=self.dtype)
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, **kwargs) -> "NaiveArray":
+        array = np.asarray(array)
+        method = cls(array.shape, dtype=kwargs.pop("dtype", array.dtype), **kwargs)
+        method._array[...] = array
+        method.stats.cell_writes += array.size
+        return method
+
+    def get(self, cell: Sequence[int] | int):
+        cell = geometry.normalize_cell(cell, self.shape)
+        self.stats.cell_reads += 1
+        return self.dtype.type(self._array[cell])
+
+    def add(self, cell: Sequence[int] | int, delta) -> None:
+        cell = geometry.normalize_cell(cell, self.shape)
+        self._array[cell] += delta
+        self.stats.cell_writes += 1
+
+    def set(self, cell: Sequence[int] | int, value) -> None:
+        cell = geometry.normalize_cell(cell, self.shape)
+        self._array[cell] = value
+        self.stats.cell_writes += 1
+
+    def prefix_sum(self, cell: Sequence[int] | int):
+        cell = geometry.normalize_cell(cell, self.shape)
+        region = tuple(slice(0, c + 1) for c in cell)
+        self.stats.cell_reads += geometry.range_cell_count((0,) * self.dims, cell)
+        return self.dtype.type(self._array[region].sum())
+
+    def range_sum(self, low: Sequence[int] | int, high: Sequence[int] | int):
+        # Summing the region directly beats inclusion-exclusion here: the
+        # naive method has no precomputed prefixes to exploit.
+        low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
+        region = tuple(slice(lo, hi + 1) for lo, hi in zip(low_cell, high_cell))
+        self.stats.cell_reads += geometry.range_cell_count(low_cell, high_cell)
+        return self.dtype.type(self._array[region].sum())
+
+    def memory_cells(self) -> int:
+        return self._array.size
+
+    def to_dense(self) -> np.ndarray:
+        return self._array.copy()

@@ -1,0 +1,84 @@
+"""Name-based registry of every range-sum method.
+
+The OLAP layer, the examples, and the benchmark harness all select
+methods by short name, so the paper's comparisons ("PS vs RPS vs DDC")
+read the same in code as they do in Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..exceptions import UnknownMethodError
+from .base import RangeSumMethod
+from .fenwick import FenwickCube
+from .naive import NaiveArray
+from .prefix_sum import PrefixSumCube
+from .relative_prefix_sum import RelativePrefixSumCube
+from .segment_tree import SegmentTreeCube
+
+METHODS: dict[str, type[RangeSumMethod]] = {
+    NaiveArray.name: NaiveArray,
+    PrefixSumCube.name: PrefixSumCube,
+    RelativePrefixSumCube.name: RelativePrefixSumCube,
+    FenwickCube.name: FenwickCube,
+    SegmentTreeCube.name: SegmentTreeCube,
+}
+
+
+def _ensure_core_registered() -> None:
+    """Register the DDC classes on first use.
+
+    The core package imports :mod:`repro.methods.base`, so importing the
+    core classes here at module load time would create an import cycle;
+    instead they join the registry lazily.
+    """
+    if "ddc" in METHODS:
+        return
+    from ..core.basic_ddc import BasicDynamicDataCube
+    from ..core.ddc import DynamicDataCube
+
+    METHODS[BasicDynamicDataCube.name] = BasicDynamicDataCube
+    METHODS[DynamicDataCube.name] = DynamicDataCube
+
+
+def method_class(name: str) -> type[RangeSumMethod]:
+    """Look up a method class by registry name."""
+    _ensure_core_registered()
+    try:
+        return METHODS[name]
+    except KeyError:
+        known = ", ".join(sorted(METHODS))
+        raise UnknownMethodError(f"unknown method {name!r}; known methods: {known}") from None
+
+
+def create_method(name: str, shape: Sequence[int], **kwargs) -> RangeSumMethod:
+    """Instantiate an empty method of the given name over ``shape``."""
+    return method_class(name)(shape, **kwargs)
+
+
+def build_method(name: str, array, **kwargs) -> RangeSumMethod:
+    """Bulk-build a method of the given name from a dense array."""
+    return method_class(name).from_array(array, **kwargs)
+
+
+def register_method(cls: type[RangeSumMethod]) -> type[RangeSumMethod]:
+    """Register a user-provided method class (usable as a decorator)."""
+    METHODS[cls.name] = cls
+    return cls
+
+
+def method_names() -> list[str]:
+    """All registered method names, sorted."""
+    _ensure_core_registered()
+    return sorted(METHODS)
+
+
+def make_factory(name: str, **kwargs) -> Callable[[Sequence[int]], RangeSumMethod]:
+    """A shape -> instance factory with options pre-bound (for benches)."""
+
+    def factory(shape: Sequence[int]) -> RangeSumMethod:
+        return create_method(name, shape, **kwargs)
+
+    factory.__name__ = f"make_{name}"
+    return factory

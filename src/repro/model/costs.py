@@ -1,0 +1,218 @@
+"""The paper's analytic cost model (Table 1, Figure 1, Sections 3.3 & 4.3).
+
+Every function returns the *number of operations* an update or query
+costs under the paper's model, as a float (counts overflow 64-bit
+integers long before the paper's n = 10^9, d = 8 data points).  The
+table/figure builders below regenerate the published artifacts exactly:
+
+* :func:`table1` — "Update cost functions by method, d=8", values rounded
+  to the nearest power of 10;
+* :func:`figure1_series` — the three log-log update curves of Figure 1;
+* :func:`mips_seconds` — the narrative's "hypothetical 500 MIPS
+  processor" translation (6+ months for PS at n=10^2 vs fractions of a
+  second for the DDC).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Methods appearing in Table 1, in the paper's column order.
+TABLE1_METHODS = ("ps", "rps", "ddc")
+
+
+def full_cube_size(n: float, d: int) -> float:
+    """Total number of cells in the data cube: ``n^d``."""
+    return float(n) ** d
+
+
+def naive_update_cost(n: float, d: int) -> float:
+    """Naive array update: one cell write."""
+    return 1.0
+
+
+def naive_query_cost(n: float, d: int) -> float:
+    """Naive array worst-case range query: every cell — ``n^d``."""
+    return float(n) ** d
+
+
+def ps_update_cost(n: float, d: int) -> float:
+    """Prefix sum worst-case update: the whole cube — ``n^d`` (Table 1)."""
+    return float(n) ** d
+
+
+def ps_query_cost(n: float, d: int) -> float:
+    """Prefix sum query: one prefix cell per range corner — ``2^d``."""
+    return float(2**d)
+
+
+def rps_update_cost(n: float, d: int) -> float:
+    """Relative prefix sum worst-case update: ``n^(d/2)`` (Table 1)."""
+    return float(n) ** (d / 2)
+
+
+def rps_query_cost(n: float, d: int) -> float:
+    """Relative prefix sum query: constant accesses per corner."""
+    return float(2**d) * float(2**d)
+
+
+def basic_ddc_update_cost(n: float, d: int) -> float:
+    """Basic DDC worst-case update — the Section 3.3 geometric series.
+
+    ``d * (n^(d-1) - 1) / (2^(d-1) - 1)`` for ``d >= 2``; in one
+    dimension the Basic tree degenerates to one subtotal per level,
+    i.e. ``log2 n``.
+    """
+    if d == 1:
+        return math.log2(n) if n > 1 else 1.0
+    return d * (float(n) ** (d - 1) - 1) / (2 ** (d - 1) - 1)
+
+
+def basic_ddc_query_cost(n: float, d: int) -> float:
+    """Basic DDC query: ``(2^d - 1)`` O(1) overlay reads per level."""
+    levels = math.log2(n) if n > 1 else 1.0
+    return (2**d - 1) * levels
+
+
+def ddc_update_cost(n: float, d: int) -> float:
+    """Dynamic Data Cube update: ``(log2 n)^d`` (Table 1, Theorem 2)."""
+    if n <= 1:
+        return 1.0
+    return math.log2(n) ** d
+
+
+def ddc_query_cost(n: float, d: int) -> float:
+    """Dynamic Data Cube query: ``O(log^d n)`` (Theorem 2)."""
+    return ddc_update_cost(n, d)
+
+
+def bc_tree_op_cost(k: float, fanout: int = 16) -> float:
+    """B^c tree query/update: ``f * log_f k`` (Section 4.1)."""
+    if k <= 1:
+        return 1.0
+    return fanout * math.log(k, fanout)
+
+
+UPDATE_COSTS = {
+    "naive": naive_update_cost,
+    "ps": ps_update_cost,
+    "rps": rps_update_cost,
+    "basic-ddc": basic_ddc_update_cost,
+    "ddc": ddc_update_cost,
+}
+
+QUERY_COSTS = {
+    "naive": naive_query_cost,
+    "ps": ps_query_cost,
+    "rps": rps_query_cost,
+    "basic-ddc": basic_ddc_query_cost,
+    "ddc": ddc_query_cost,
+}
+
+
+def update_cost(method: str, n: float, d: int) -> float:
+    """Modelled worst-case update cost for a registered method."""
+    return UPDATE_COSTS[method](n, d)
+
+
+def query_cost(method: str, n: float, d: int) -> float:
+    """Modelled worst-case query cost for a registered method."""
+    return QUERY_COSTS[method](n, d)
+
+
+def mips_seconds(operations: float, mips: float = 500.0) -> float:
+    """Seconds a ``mips``-MIPS processor needs for ``operations`` ops.
+
+    Reproduces the paper's narrative translation of Table 1 ("on a
+    hypothetical 500MIPS processor ... the prefix sum method may require
+    more than 6 months of processing to update a single cell").
+    """
+    return operations / (mips * 1e6)
+
+
+def round_to_power_of_ten(value: float) -> int:
+    """Nearest-power-of-10 exponent, as used by Table 1's caption."""
+    if value <= 0:
+        return 0
+    return round(math.log10(value))
+
+
+@dataclass
+class Table1Row:
+    """One row of Table 1 (a given dimension size ``n``, with d fixed)."""
+
+    n: float
+    cube_size: float
+    ps: float
+    rps: float
+    ddc: float
+
+    def exponents(self) -> tuple[int, int, int, int]:
+        """The row as the paper prints it: powers of 10."""
+        return (
+            round_to_power_of_ten(self.cube_size),
+            round_to_power_of_ten(self.ps),
+            round_to_power_of_ten(self.rps),
+            round_to_power_of_ten(self.ddc),
+        )
+
+
+def table1(
+    d: int = 8, ns: tuple[float, ...] = (1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
+) -> list[Table1Row]:
+    """Regenerate Table 1: update cost functions by method, d = 8."""
+    return [
+        Table1Row(
+            n=n,
+            cube_size=full_cube_size(n, d),
+            ps=ps_update_cost(n, d),
+            rps=rps_update_cost(n, d),
+            ddc=ddc_update_cost(n, d),
+        )
+        for n in ns
+    ]
+
+
+def render_table1(rows: list[Table1Row], d: int = 8) -> str:
+    """Text rendering of Table 1 in the paper's layout."""
+    lines = [
+        f"Table 1. Update cost functions by method, d={d}.",
+        "Values are rounded to the nearest power of 10.",
+        f"{'n':>8}  {'cube=n^d':>9}  {'PS=n^d':>9}  {'RPS=n^(d/2)':>11}  {'DDC=(log2 n)^d':>14}",
+    ]
+    for row in rows:
+        cube, ps, rps, ddc = row.exponents()
+        lines.append(
+            f"{row.n:>8.0e}  {'1E+%02d' % cube:>9}  {'1E+%02d' % ps:>9}  "
+            f"{'1E+%02d' % rps:>11}  {'1E+%02d' % ddc:>14}"
+        )
+    return "\n".join(lines)
+
+
+def figure1_series(
+    d: int = 8,
+    ns: tuple[float, ...] = tuple(10.0**e for e in range(1, 10)),
+) -> dict[str, list[tuple[float, float]]]:
+    """The three update-cost curves of Figure 1 as (n, cost) points."""
+    return {
+        "ps": [(n, ps_update_cost(n, d)) for n in ns],
+        "rps": [(n, rps_update_cost(n, d)) for n in ns],
+        "ddc": [(n, ddc_update_cost(n, d)) for n in ns],
+    }
+
+
+def render_figure1(series: dict[str, list[tuple[float, float]]]) -> str:
+    """Text rendering of Figure 1's data (log10 of each curve)."""
+    ns = [point[0] for point in next(iter(series.values()))]
+    lines = [
+        "Figure 1. Comparison of update functions, d=8 (log10 of cost).",
+        "   n      " + "".join(f"{name:>10}" for name in series),
+    ]
+    for index, n in enumerate(ns):
+        row = f"{n:>8.0e}  "
+        for name in series:
+            cost = series[name][index][1]
+            row += f"{math.log10(cost):>10.1f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The paper's storage model (Table 2 and the Section 4.4 optimization).
+
+An overlay box of side ``k`` in ``d`` dimensions stores exactly
+``k^d - (k-1)^d`` values (the subtotal plus the row-sum faces), covering
+a region of ``k^d`` cells of ``A``.  Table 2 tabulates that ratio for
+``d = 2``: the overhead falls from 75% at ``k = 2`` to ~6% at ``k = 32``,
+which is why the *lowest* tree levels dominate the structure's storage —
+and why deleting ``h`` of them (level elision) recovers almost all of
+the overhead while costing at most ``2^((h+1)d)`` leaf-cell additions
+per query.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def overlay_cells(k: int, d: int) -> int:
+    """Values stored by one overlay box of side ``k``: ``k^d - (k-1)^d``."""
+    return k**d - (k - 1) ** d
+
+
+def overlay_region(k: int, d: int) -> int:
+    """Cells of ``A`` covered by one overlay box: ``k^d``."""
+    return k**d
+
+
+def overlay_fraction(k: int, d: int) -> float:
+    """Overlay storage as a fraction of the region it covers."""
+    return overlay_cells(k, d) / overlay_region(k, d)
+
+
+@dataclass
+class Table2Row:
+    """One row of Table 2."""
+
+    k: int
+    overlay_box: int
+    region: int
+    percentage: float
+
+
+def table2(ks: tuple[int, ...] = (2, 4, 8, 16, 32), d: int = 2) -> list[Table2Row]:
+    """Regenerate Table 2: required storage, overlay boxes vs array A."""
+    return [
+        Table2Row(
+            k=k,
+            overlay_box=overlay_cells(k, d),
+            region=overlay_region(k, d),
+            percentage=100.0 * overlay_fraction(k, d),
+        )
+        for k in ks
+    ]
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """Text rendering of Table 2 in the paper's layout."""
+    lines = [
+        "Table 2. Required storage, overlay boxes versus array A.",
+        f"{'k':>4}  {'overlay box':>12}  {'region in A':>12}  {'O.B./A':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.k:>4}  {row.overlay_box:>12}  {row.region:>12}  "
+            f"{row.percentage:>7.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def level_overlay_cells(n: int, k: int, d: int) -> int:
+    """Total overlay storage of one tree level with boxes of side ``k``.
+
+    A cube of side ``n`` has ``(n / k)^d`` boxes of side ``k``.
+    """
+    boxes = (n // k) ** d
+    return boxes * overlay_cells(k, d)
+
+
+def tree_storage_cells(n: int, d: int, leaf_side: int = 2) -> int:
+    """Modelled total storage of a (Basic) DDC over a dense cube.
+
+    Leaf blocks store the ``n^d`` cells of ``A`` themselves; every
+    internal level with box side ``k`` (``k = leaf_side, 2*leaf_side,
+    ..., n/2``) adds its overlay cells.  This models the dense
+    (array-overlay) layout; the tree-overlay layout adds a constant
+    factor of B-tree bookkeeping measured separately by
+    ``memory_cells()``.
+    """
+    if n < leaf_side:
+        return n**d
+    cells = n**d
+    k = leaf_side
+    while k <= n // 2:
+        cells += level_overlay_cells(n, k, d)
+        k *= 2
+    return cells
+
+
+def elision_storage_series(
+    n: int, d: int, leaf_sides: tuple[int, ...] = (2, 4, 8, 16)
+) -> list[tuple[int, int, float]]:
+    """Storage vs level-elision parameter (Section 4.4).
+
+    Returns ``(leaf_side, modelled_cells, overhead_vs_A)`` tuples: as
+    ``leaf_side`` grows, the modelled storage tends to ``|A| = n^d``
+    ("within epsilon of the size of array A").
+    """
+    base = n**d
+    series = []
+    for leaf_side in leaf_sides:
+        cells = tree_storage_cells(n, d, leaf_side)
+        series.append((leaf_side, cells, (cells - base) / base))
+    return series
+
+
+def elision_query_leaf_cost(leaf_side: int, d: int) -> int:
+    """Worst-case raw leaf cells summed at the bottom of a query.
+
+    The paper bounds the union of deleted regions by ``2^((h+1)d)`` leaf
+    cells for ``h`` elided levels; with our ``leaf_side = 2^(h+1)``
+    parametrisation this is ``leaf_side^d``.
+    """
+    return leaf_side**d
+
+
+def elision_levels(leaf_side: int) -> int:
+    """The paper's ``h`` for a given ``leaf_side`` (``h = log2(leaf_side) - 1``)."""
+    return int(math.log2(leaf_side)) - 1

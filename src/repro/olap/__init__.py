@@ -1,0 +1,32 @@
+"""OLAP front-end: schemas, aggregates, and the DataCube facade."""
+
+from .aggregates import SUM, XOR, AggregateResult, GroupOperator, rolling_windows
+from .cube import DataCube
+from .hierarchy import HierarchyDimension
+from .statistics import BivariateCube, BivariateSummary
+from .time import DateDimension
+from .schema import (
+    BinnedDimension,
+    CategoricalDimension,
+    CubeSchema,
+    Dimension,
+    IntegerDimension,
+)
+
+__all__ = [
+    "GroupOperator",
+    "SUM",
+    "XOR",
+    "AggregateResult",
+    "rolling_windows",
+    "Dimension",
+    "IntegerDimension",
+    "CategoricalDimension",
+    "BinnedDimension",
+    "DateDimension",
+    "HierarchyDimension",
+    "BivariateCube",
+    "BivariateSummary",
+    "CubeSchema",
+    "DataCube",
+]

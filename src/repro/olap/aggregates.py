@@ -1,0 +1,81 @@
+"""Aggregation operators over data cubes.
+
+Section 2 of the paper notes that its techniques apply to SUM and "any
+binary operator ⊕ for which there exists an inverse binary operator ⊖
+such that a ⊕ b ⊖ b = a" — i.e. any commutative group.  COUNT is SUM
+over unit weights; AVERAGE is the quotient of the two; ROLLING variants
+slide a window of range queries along one dimension.
+
+:class:`GroupOperator` captures the group structure so user-defined
+invertible operators (e.g. products of positive numbers via logarithms,
+vector sums) can ride the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class GroupOperator:
+    """An invertible (group) aggregation operator.
+
+    Attributes:
+        name: operator name for error messages and reports.
+        combine: the binary operator ``⊕``.
+        invert: the inverse operator ``⊖`` satisfying ``(a ⊕ b) ⊖ b = a``.
+        identity: the neutral element.
+    """
+
+    name: str
+    combine: Callable = field(repr=False)
+    invert: Callable = field(repr=False)
+    identity: object = 0
+
+    def fold(self, values) -> object:
+        """Combine an iterable of values."""
+        accumulator = self.identity
+        for value in values:
+            accumulator = self.combine(accumulator, value)
+        return accumulator
+
+
+#: Ordinary addition — the paper's running example.
+SUM = GroupOperator("sum", combine=lambda a, b: a + b, invert=lambda a, b: a - b)
+
+#: Exclusive-or: its own inverse; a compact demonstration that any group works.
+XOR = GroupOperator(
+    "xor", combine=lambda a, b: a ^ b, invert=lambda a, b: a ^ b, identity=0
+)
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Result of a SUM/COUNT/AVERAGE query over a cube region.
+
+    ``average`` is ``None`` when the region holds no records, mirroring
+    SQL's NULL-on-empty semantics rather than raising.
+    """
+
+    total: object
+    count: int
+
+    @property
+    def average(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+
+def rolling_windows(length: int, window: int) -> list[tuple[int, int]]:
+    """Inclusive index windows for a rolling aggregate along a dimension.
+
+    Produces ``length - window + 1`` windows ``(start, start + window - 1)``.
+    Raises :class:`ValueError` for a window longer than the dimension.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window > length:
+        raise ValueError(f"window {window} exceeds dimension length {length}")
+    return [(start, start + window - 1) for start in range(length - window + 1)]

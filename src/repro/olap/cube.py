@@ -1,0 +1,366 @@
+"""The data-cube facade: the analyst-facing API of the paper's introduction.
+
+A :class:`DataCube` binds a :class:`~repro.olap.schema.CubeSchema` to any
+registered range-sum method and answers the queries the paper motivates —
+"find the average daily sales to customers between the ages of 27 and 45
+during the time period December 7 to December 31" — while supporting the
+*dynamic* updates whose cost the paper is about:
+
+    >>> cube = DataCube(schema, method="ddc")
+    >>> cube.insert({"age": 37, "day": 220}, 129.0)   # a sale happens
+    >>> cube.sum(age=(27, 45), day=(220, 222))        # an ad-hoc range query
+
+SUM is served by the underlying structure directly; COUNT by a companion
+unit-weight cube over the same method; AVERAGE as their quotient
+(Section 2's invertible-operator remark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import SchemaError
+from ..methods.registry import create_method
+from .aggregates import AggregateResult, rolling_windows
+from .schema import CubeSchema
+
+
+class DataCube:
+    """An updatable OLAP data cube over a chosen range-sum method.
+
+    Args:
+        schema: dimensions and measure definition.
+        method: registry name of the backing structure (``"ddc"``,
+            ``"ps"``, ``"rps"``, ``"naive"``, ``"fenwick"``,
+            ``"basic-ddc"``).
+        dtype: measure dtype (``float64`` suits monetary measures).
+        track_count: maintain the companion COUNT cube needed for
+            AVERAGE; disable to halve storage when only SUM matters.
+        **method_options: forwarded to the method constructor
+            (``leaf_side``, ``block_side``, ``bc_fanout``, ...).
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        method: str = "ddc",
+        dtype=np.float64,
+        track_count: bool = True,
+        track_sum_squares: bool = False,
+        **method_options,
+    ) -> None:
+        self.schema = schema
+        self.method_name = method
+        self._sums = create_method(method, schema.shape, dtype=dtype, **method_options)
+        self._counts = (
+            create_method(method, schema.shape, dtype=np.int64, **method_options)
+            if track_count
+            else None
+        )
+        # Sum of squared measures: like COUNT, a companion cube over an
+        # invertible operator, enabling range VARIANCE/STDDEV
+        # (Var = E[X^2] - E[X]^2).
+        self._sum_squares = (
+            create_method(method, schema.shape, dtype=np.float64, **method_options)
+            if track_sum_squares
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, point: dict, amount) -> None:
+        """Record one measurement: ``measure += amount`` at ``point``.
+
+        ``point`` maps every dimension name to an attribute value, e.g.
+        ``{"age": 37, "day": 220}``.
+        """
+        cell = self.schema.cell_for(point)
+        self._sums.add(cell, amount)
+        if self._counts is not None:
+            self._counts.add(cell, 1)
+        if self._sum_squares is not None:
+            self._sum_squares.add(cell, float(amount) ** 2)
+
+    def remove(self, point: dict, amount) -> None:
+        """Retract a previously recorded measurement (inverse of insert)."""
+        cell = self.schema.cell_for(point)
+        self._sums.add(cell, -amount)
+        if self._counts is not None:
+            self._counts.add(cell, -1)
+        if self._sum_squares is not None:
+            self._sum_squares.add(cell, -(float(amount) ** 2))
+
+    def load_records(self, records, amount_key: str | None = None) -> int:
+        """Bulk-ingest an iterable of record dicts; returns how many.
+
+        Each record maps every dimension name to an attribute value plus
+        the measure under ``amount_key`` (default: the schema's measure
+        name).  The ingest batches through ``add_many``, so methods with
+        cheap bulk paths (PS, RPS, Fenwick) load in one pass.
+        """
+        key = amount_key if amount_key is not None else self.schema.measure
+        sums: list[tuple] = []
+        counts: list[tuple] = []
+        squares: list[tuple] = []
+        loaded = 0
+        for record in records:
+            record = dict(record)
+            amount = record.pop(key)
+            cell = self.schema.cell_for(record)
+            sums.append((cell, amount))
+            counts.append((cell, 1))
+            squares.append((cell, float(amount) ** 2))
+            loaded += 1
+        self._sums.add_many(sums)
+        if self._counts is not None:
+            self._counts.add_many(counts)
+        if self._sum_squares is not None:
+            self._sum_squares.add_many(squares)
+        return loaded
+
+    def set_cell(self, point: dict, total, count: int | None = None) -> None:
+        """Overwrite one cell's aggregate directly (bulk-load style)."""
+        cell = self.schema.cell_for(point)
+        self._sums.set(cell, total)
+        if self._counts is not None and count is not None:
+            self._counts.set(cell, count)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def sum(self, **conditions):
+        """Range SUM of the measure; see :meth:`aggregate` for conditions."""
+        low, high = self.schema.ranges_for(conditions)
+        return self._sums.range_sum(low, high)
+
+    def count(self, **conditions) -> int:
+        """Number of recorded measurements in the range."""
+        if self._counts is None:
+            raise RuntimeError("cube was created with track_count=False")
+        low, high = self.schema.ranges_for(conditions)
+        return int(self._counts.range_sum(low, high))
+
+    def average(self, **conditions) -> float | None:
+        """Range AVERAGE (``None`` over an empty region)."""
+        return self.aggregate(**conditions).average
+
+    def aggregate(self, **conditions) -> AggregateResult:
+        """SUM and COUNT together.
+
+        Each keyword names a dimension and gives either one attribute
+        value or an inclusive ``(low, high)`` tuple; unnamed dimensions
+        roll up over their full extent.
+        """
+        low, high = self.schema.ranges_for(conditions)
+        total = self._sums.range_sum(low, high)
+        count = (
+            int(self._counts.range_sum(low, high)) if self._counts is not None else 0
+        )
+        return AggregateResult(total=total, count=count)
+
+    def variance(self, **conditions) -> float | None:
+        """Population variance of the measure over the range.
+
+        Requires ``track_sum_squares=True``.  Computed from the three
+        companion cubes as ``E[X^2] - E[X]^2`` — each term is itself a
+        range sum, so variance queries cost three range queries.
+        Returns ``None`` over an empty region.
+        """
+        if self._sum_squares is None:
+            raise RuntimeError("cube was created with track_sum_squares=False")
+        if self._counts is None:
+            raise RuntimeError("cube was created with track_count=False")
+        low, high = self.schema.ranges_for(conditions)
+        count = int(self._counts.range_sum(low, high))
+        if count == 0:
+            return None
+        total = float(self._sums.range_sum(low, high))
+        total_squares = float(self._sum_squares.range_sum(low, high))
+        mean = total / count
+        # Clamp tiny negative values from floating-point cancellation.
+        return max(total_squares / count - mean * mean, 0.0)
+
+    def stddev(self, **conditions) -> float | None:
+        """Population standard deviation over the range (or ``None``)."""
+        variance = self.variance(**conditions)
+        if variance is None:
+            return None
+        return variance**0.5
+
+    def series(self, dimension: str, **conditions) -> list[tuple]:
+        """Per-position totals along a dimension: ``(value, sum)`` pairs.
+
+        The breakdown analysts chart — e.g. daily sales over December
+        with the other dimensions restricted as in :meth:`sum`.
+        """
+        target = self.schema.dimension(dimension)
+        if dimension in conditions:
+            condition = conditions.pop(dimension)
+            if isinstance(condition, tuple) and len(condition) == 2:
+                low_index, high_index = target.index_range(*condition)
+            else:
+                low_index = high_index = target.index_of(condition)
+        else:
+            low_index, high_index = target.full_range()
+        points = []
+        for index in range(low_index, high_index + 1):
+            value = target.value_of(index)
+            point_conditions = dict(conditions)
+            point_conditions[dimension] = value
+            points.append((value, self.sum(**point_conditions)))
+        return points
+
+    # ------------------------------------------------------------------
+    # Rollup / pivot (the GBLP96 data-cube operators)
+    # ------------------------------------------------------------------
+
+    def rollup(self, dimension: str, buckets, **conditions) -> list[tuple]:
+        """Group the measure into labelled buckets along one dimension.
+
+        ``buckets`` is an iterable of ``(label, condition)`` pairs where
+        each condition is an attribute value or an inclusive ``(low,
+        high)`` tuple for ``dimension`` (e.g. the output of
+        :meth:`DateDimension.months <repro.olap.time.DateDimension.months>`).
+        Remaining ``conditions`` restrict the other dimensions.  Returns
+        ``(label, sum)`` pairs in bucket order — each bucket is one range
+        query, so a 12-month rollup costs 12 polylog queries.
+        """
+        self.schema.dimension(dimension)  # validate the name early
+        results = []
+        for label, condition in buckets:
+            bucket_conditions = dict(conditions)
+            bucket_conditions[dimension] = condition
+            results.append((label, self.sum(**bucket_conditions)))
+        return results
+
+    def pivot(
+        self, row_dimension: str, row_buckets, column_dimension: str, column_buckets,
+        **conditions,
+    ) -> list[list]:
+        """A two-way rollup: rows x columns of range sums.
+
+        Returns a list of rows; each row is ``[row_label, v1, v2, ...]``
+        with one value per column bucket.  The classic cross-tab
+        (e.g. age band x month).
+        """
+        if row_dimension == column_dimension:
+            raise SchemaError("pivot needs two distinct dimensions")
+        column_buckets = list(column_buckets)
+        table = []
+        for row_label, row_condition in row_buckets:
+            row_conditions = dict(conditions)
+            row_conditions[row_dimension] = row_condition
+            row = [row_label]
+            for _, column_condition in column_buckets:
+                cell_conditions = dict(row_conditions)
+                cell_conditions[column_dimension] = column_condition
+                row.append(self.sum(**cell_conditions))
+            table.append(row)
+        return table
+
+    def top_k(self, dimension: str, k: int, **conditions) -> list[tuple]:
+        """The ``k`` dimension values with the largest restricted sums.
+
+        Returns ``(value, sum)`` pairs sorted by descending sum.  Ties
+        break by dimension order.  Costs one range query per index of
+        the dimension.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        series = self.series(dimension, **conditions)
+        ranked = sorted(series, key=lambda pair: -pair[1])
+        return ranked[:k]
+
+    def cell(self, point: dict):
+        """Aggregate value stored at a single fully-specified point."""
+        return self._sums.get(self.schema.cell_for(point))
+
+    def rolling_sum(self, dimension: str, window: int, **conditions) -> list[tuple]:
+        """ROLLING SUM along a dimension: ``(window_start_value, sum)`` pairs.
+
+        The window slides over the named dimension (or over the sub-range
+        supplied for it in ``conditions``); remaining conditions restrict
+        the other dimensions as in :meth:`sum`.
+        """
+        target = self.schema.dimension(dimension)
+        if dimension in conditions:
+            condition = conditions.pop(dimension)
+            if not (isinstance(condition, tuple) and len(condition) == 2):
+                raise ValueError("rolling dimension condition must be a (low, high) tuple")
+            base_low, base_high = target.index_range(*condition)
+        else:
+            base_low, base_high = target.full_range()
+        length = base_high - base_low + 1
+        series = []
+        for start, stop in rolling_windows(length, window):
+            window_conditions = dict(conditions)
+            window_conditions[dimension] = (
+                target.value_of(base_low + start),
+                target.value_of(base_low + stop),
+            )
+            series.append(
+                (target.value_of(base_low + start), self.sum(**window_conditions))
+            )
+        return series
+
+    def rolling_average(
+        self, dimension: str, window: int, **conditions
+    ) -> list[tuple]:
+        """ROLLING AVERAGE along a dimension: ``(start_value, avg | None)``."""
+        sums = self.rolling_sum(dimension, window, **dict(conditions))
+        if self._counts is None:
+            raise RuntimeError("cube was created with track_count=False")
+        counts = _rolling_counts(self, dimension, window, conditions)
+        return [
+            (value, total / count if count else None)
+            for (value, total), count in zip(sums, counts)
+        ]
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Operation counter of the SUM structure."""
+        return self._sums.stats
+
+    def memory_cells(self) -> int:
+        """Allocated cells across all companion structures."""
+        cells = self._sums.memory_cells()
+        if self._counts is not None:
+            cells += self._counts.memory_cells()
+        if self._sum_squares is not None:
+            cells += self._sum_squares.memory_cells()
+        return cells
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DataCube(measure={self.schema.measure!r}, "
+            f"dims={self.schema.names}, method={self.method_name!r})"
+        )
+
+
+def _rolling_counts(
+    cube: DataCube, dimension: str, window: int, conditions: dict
+) -> list[int]:
+    """COUNT series matching :meth:`DataCube.rolling_sum`'s windows."""
+    target = cube.schema.dimension(dimension)
+    if dimension in conditions:
+        base_low, base_high = target.index_range(*conditions[dimension])
+    else:
+        base_low, base_high = target.full_range()
+    length = base_high - base_low + 1
+    counts = []
+    for start, stop in rolling_windows(length, window):
+        window_conditions = dict(conditions)
+        window_conditions.pop(dimension, None)
+        window_conditions[dimension] = (
+            target.value_of(base_low + start),
+            target.value_of(base_low + stop),
+        )
+        counts.append(cube.count(**window_conditions))
+    return counts

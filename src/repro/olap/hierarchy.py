@@ -1,0 +1,182 @@
+"""Hierarchical dimensions: drill-down paths as contiguous index ranges.
+
+OLAP dimensions are usually hierarchies — region → country → city,
+category → product — and analysts aggregate at any level ("sales for
+EMEA", "sales for Germany", "sales for Berlin").  Laying the hierarchy's
+leaves out in depth-first order makes every internal node a *contiguous*
+index range, so a rollup at any level is a single range-sum query on the
+cube — the same O(log^d n) operation as any other range.
+
+Example::
+
+    geo = HierarchyDimension("geo", {
+        "emea": {"de": ["berlin", "munich"], "fr": ["paris"]},
+        "amer": {"us": ["nyc", "sf"]},
+    })
+    geo.index_of("berlin")          # leaves are addressable values
+    geo.range_of("de")              # ("berlin", "munich") as an index range
+    geo.buckets(level=1)            # [("de", ...), ("fr", ...), ("us", ...)]
+    cube.sum(geo=geo.member("emea"))  # one range query
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SchemaError
+from .schema import Dimension
+
+
+class _Node:
+    __slots__ = ("label", "depth", "low", "high", "children")
+
+    def __init__(self, label, depth: int) -> None:
+        self.label = label
+        self.depth = depth
+        self.low = 0
+        self.high = 0
+        self.children: list["_Node"] = []
+
+
+def _build(label, spec, depth: int) -> _Node:
+    node = _Node(label, depth)
+    if isinstance(spec, dict):
+        for child_label, child_spec in spec.items():
+            node.children.append(_build(child_label, child_spec, depth + 1))
+    elif isinstance(spec, (list, tuple)):
+        for child_label in spec:
+            if isinstance(child_label, (dict, list, tuple)):
+                raise SchemaError("hierarchy lists must contain leaf labels")
+            node.children.append(_Node(child_label, depth + 1))
+    else:
+        raise SchemaError(f"invalid hierarchy node spec: {spec!r}")
+    if not node.children:
+        raise SchemaError(f"hierarchy member {label!r} has no leaves")
+    return node
+
+
+class HierarchyDimension(Dimension):
+    """A dimension whose values form a tree of labelled levels.
+
+    Args:
+        name: dimension name.
+        hierarchy: nested mapping (or list at the deepest level).  Keys
+            are member labels; leaves are the addressable values of the
+            dimension.  Labels must be unique across the whole tree.
+    """
+
+    def __init__(self, name: str, hierarchy: dict) -> None:
+        super().__init__(name)
+        if not isinstance(hierarchy, dict) or not hierarchy:
+            raise SchemaError(f"dimension {name!r}: hierarchy must be a non-empty dict")
+        self._root = _Node("__root__", 0)
+        for label, spec in hierarchy.items():
+            if isinstance(spec, (dict, list, tuple)):
+                self._root.children.append(_build(label, spec, 1))
+            else:
+                raise SchemaError(f"invalid hierarchy node spec: {spec!r}")
+
+        self._leaves: list = []
+        self._members: dict = {}
+        self._assign(self._root)
+        if len(self._members) != self._count_members(self._root) - 1:
+            raise SchemaError(f"dimension {name!r}: duplicate labels in hierarchy")
+        self._leaf_index = {leaf: position for position, leaf in enumerate(self._leaves)}
+        if len(self._leaf_index) != len(self._leaves):
+            raise SchemaError(f"dimension {name!r}: duplicate leaf values")
+
+    def _assign(self, node: _Node) -> None:
+        node.low = len(self._leaves)
+        if not node.children:
+            self._leaves.append(node.label)
+        for child in node.children:
+            self._assign(child)
+            if child.label in self._members:
+                # flagged later by the count check; keep the first
+                continue
+            self._members[child.label] = child
+        node.high = len(self._leaves) - 1
+
+    def _count_members(self, node: _Node) -> int:
+        return 1 + sum(self._count_members(child) for child in node.children)
+
+    # -- Dimension interface ------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self._leaves)
+
+    def index_of(self, value) -> int:
+        try:
+            return self._leaf_index[value]
+        except KeyError:
+            if value in self._members:
+                raise SchemaError(
+                    f"dimension {self.name!r}: {value!r} is an internal level; "
+                    "use member() for group conditions"
+                ) from None
+            raise SchemaError(
+                f"dimension {self.name!r}: unknown value {value!r}"
+            ) from None
+
+    def value_of(self, index: int):
+        if not 0 <= index < len(self._leaves):
+            raise SchemaError(f"dimension {self.name!r}: index {index} out of range")
+        return self._leaves[index]
+
+    # -- hierarchy navigation -------------------------------------------------
+
+    def member(self, label) -> tuple:
+        """The inclusive leaf-value range covered by a hierarchy member.
+
+        Usable directly as a query condition:
+        ``cube.sum(geo=geo.member("emea"))``.
+        """
+        node = self._members.get(label)
+        if node is None:
+            if label in self._leaf_index:
+                return (label, label)
+            raise SchemaError(f"dimension {self.name!r}: unknown member {label!r}")
+        return (self._leaves[node.low], self._leaves[node.high])
+
+    def range_of(self, label) -> tuple[int, int]:
+        """The member's coverage as an inclusive index range."""
+        low_value, high_value = self.member(label)
+        return self._leaf_index[low_value], self._leaf_index[high_value]
+
+    def depth(self) -> int:
+        """Number of levels below the (implicit) root."""
+
+        def deepest(node: _Node) -> int:
+            if not node.children:
+                return node.depth
+            return max(deepest(child) for child in node.children)
+
+        return deepest(self._root)
+
+    def members_at(self, level: int) -> list:
+        """Labels of every member at the given level (1 = top)."""
+        if level < 1:
+            raise SchemaError(f"level must be >= 1, got {level}")
+        found = []
+
+        def walk(node: _Node) -> None:
+            for child in node.children:
+                if child.depth == level:
+                    found.append(child.label)
+                else:
+                    walk(child)
+
+        walk(self._root)
+        return found
+
+    def buckets(self, level: int) -> list[tuple]:
+        """``(label, condition)`` rollup buckets for one hierarchy level.
+
+        Feed straight into :meth:`DataCube.rollup
+        <repro.olap.cube.DataCube.rollup>`.
+        """
+        return [(label, self.member(label)) for label in self.members_at(level)]
+
+    def leaves_of(self, label) -> list:
+        """All leaf values under a member, in index order."""
+        low, high = self.range_of(label)
+        return self._leaves[low : high + 1]

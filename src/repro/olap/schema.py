@@ -1,0 +1,234 @@
+"""OLAP schema: named dimensions mapping attribute values to cube indexes.
+
+The paper's motivating cube aggregates SALES over CUSTOMER_AGE and
+DATE_AND_TIME.  A :class:`CubeSchema` names the measure and describes
+each functional attribute with a :class:`Dimension` that translates
+between attribute values (ages, dates, regions...) and the dense integer
+indexes the range-sum structures operate on.
+
+Three dimension flavours cover the paper's scenarios:
+
+* :class:`IntegerDimension` — contiguous integers (ages, days);
+* :class:`CategoricalDimension` — an explicit value list (regions,
+  product names), ordered as given;
+* :class:`BinnedDimension` — continuous values bucketed into equal-width
+  bins (sensor coordinates, prices).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from ..exceptions import SchemaError
+
+
+class Dimension(ABC):
+    """A functional attribute of the cube."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SchemaError("dimension name must be non-empty")
+        self.name = name
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of distinct index positions."""
+
+    @abstractmethod
+    def index_of(self, value) -> int:
+        """Cube index for an attribute value (raises on unknown values)."""
+
+    @abstractmethod
+    def value_of(self, index: int) -> object:
+        """Representative attribute value for a cube index."""
+
+    def index_range(self, low, high) -> tuple[int, int]:
+        """Inclusive index range covering attribute values ``[low, high]``."""
+        low_index = self.index_of(low)
+        high_index = self.index_of(high)
+        if low_index > high_index:
+            raise SchemaError(
+                f"dimension {self.name!r}: range low {low!r} maps after high {high!r}"
+            )
+        return low_index, high_index
+
+    def full_range(self) -> tuple[int, int]:
+        """The whole dimension as an inclusive index range."""
+        return 0, self.size - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, size={self.size})"
+
+
+class IntegerDimension(Dimension):
+    """Contiguous integer values ``low .. high`` (both inclusive)."""
+
+    def __init__(self, name: str, low: int, high: int) -> None:
+        super().__init__(name)
+        if high < low:
+            raise SchemaError(f"dimension {name!r}: high {high} below low {low}")
+        self.low = int(low)
+        self.high = int(high)
+
+    @property
+    def size(self) -> int:
+        return self.high - self.low + 1
+
+    def index_of(self, value) -> int:
+        value = int(value)
+        if not self.low <= value <= self.high:
+            raise SchemaError(
+                f"dimension {self.name!r}: value {value} outside [{self.low}, {self.high}]"
+            )
+        return value - self.low
+
+    def value_of(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise SchemaError(f"dimension {self.name!r}: index {index} out of range")
+        return self.low + index
+
+
+class CategoricalDimension(Dimension):
+    """An explicit, ordered list of attribute values."""
+
+    def __init__(self, name: str, values: Sequence) -> None:
+        super().__init__(name)
+        values = list(values)
+        if not values:
+            raise SchemaError(f"dimension {name!r}: needs at least one value")
+        if len(set(values)) != len(values):
+            raise SchemaError(f"dimension {name!r}: duplicate values")
+        self.values = values
+        self._index = {value: position for position, value in enumerate(values)}
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def index_of(self, value) -> int:
+        try:
+            return self._index[value]
+        except KeyError:
+            raise SchemaError(
+                f"dimension {self.name!r}: unknown value {value!r}"
+            ) from None
+
+    def value_of(self, index: int):
+        if not 0 <= index < self.size:
+            raise SchemaError(f"dimension {self.name!r}: index {index} out of range")
+        return self.values[index]
+
+
+class BinnedDimension(Dimension):
+    """Continuous values bucketed into ``bins`` equal-width intervals.
+
+    Bin ``i`` covers ``[origin + i * width, origin + (i + 1) * width)``;
+    the final bin additionally includes its upper edge, so the full
+    domain ``[origin, origin + bins * width]`` is covered.
+    """
+
+    def __init__(self, name: str, origin: float, width: float, bins: int) -> None:
+        super().__init__(name)
+        if width <= 0:
+            raise SchemaError(f"dimension {name!r}: bin width must be positive")
+        if bins < 1:
+            raise SchemaError(f"dimension {name!r}: needs at least one bin")
+        self.origin = float(origin)
+        self.width = float(width)
+        self.bins = int(bins)
+
+    @property
+    def size(self) -> int:
+        return self.bins
+
+    def index_of(self, value) -> int:
+        position = (float(value) - self.origin) / self.width
+        index = int(position)
+        if position == self.bins:  # the inclusive upper edge
+            index = self.bins - 1
+        if not 0 <= index < self.bins or position < 0:
+            raise SchemaError(
+                f"dimension {self.name!r}: value {value} outside binned domain"
+            )
+        return index
+
+    def value_of(self, index: int) -> float:
+        if not 0 <= index < self.bins:
+            raise SchemaError(f"dimension {self.name!r}: index {index} out of range")
+        return self.origin + (index + 0.5) * self.width  # bin midpoint
+
+
+class CubeSchema:
+    """Measure attribute plus an ordered list of dimensions."""
+
+    def __init__(self, dimensions: Sequence[Dimension], measure: str = "value") -> None:
+        dimensions = list(dimensions)
+        if not dimensions:
+            raise SchemaError("schema needs at least one dimension")
+        names = [dimension.name for dimension in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names: {names}")
+        self.dimensions = dimensions
+        self.measure = measure
+        self._by_name = {dimension.name: dimension for dimension in dimensions}
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Cube shape implied by the dimension sizes."""
+        return tuple(dimension.size for dimension in self.dimensions)
+
+    @property
+    def names(self) -> list[str]:
+        return [dimension.name for dimension in self.dimensions]
+
+    def dimension(self, name: str) -> Dimension:
+        """Dimension lookup by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown dimension {name!r}; known: {self.names}"
+            ) from None
+
+    def axis_of(self, name: str) -> int:
+        """Axis position of the named dimension."""
+        dimension = self.dimension(name)
+        return self.dimensions.index(dimension)
+
+    def cell_for(self, point: dict) -> tuple[int, ...]:
+        """Cube cell for a complete ``{dimension name: value}`` mapping."""
+        unknown = set(point) - set(self.names)
+        if unknown:
+            raise SchemaError(f"unknown dimensions in point: {sorted(unknown)}")
+        missing = set(self.names) - set(point)
+        if missing:
+            raise SchemaError(f"point missing dimensions: {sorted(missing)}")
+        return tuple(
+            dimension.index_of(point[dimension.name]) for dimension in self.dimensions
+        )
+
+    def ranges_for(self, conditions: dict) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Inclusive cube range for ``{name: value | (low, high)}`` conditions.
+
+        Dimensions absent from ``conditions`` span their full extent, so
+        a query naturally rolls up over unspecified attributes.
+        """
+        unknown = set(conditions) - set(self.names)
+        if unknown:
+            raise SchemaError(f"unknown dimensions in query: {sorted(unknown)}")
+        low = []
+        high = []
+        for dimension in self.dimensions:
+            if dimension.name not in conditions:
+                lo, hi = dimension.full_range()
+            else:
+                condition = conditions[dimension.name]
+                if isinstance(condition, tuple) and len(condition) == 2:
+                    lo, hi = dimension.index_range(*condition)
+                else:
+                    lo = hi = dimension.index_of(condition)
+            low.append(lo)
+            high.append(hi)
+        return tuple(low), tuple(high)

@@ -1,0 +1,127 @@
+"""Calendar support: a date-valued dimension with rollup range helpers.
+
+The paper's DATE_AND_TIME dimension ("what were the total sales ... on
+the 8th of December?", "December 7 to December 31") is calendar-shaped:
+analysts phrase ranges as days, months, and quarters.  A
+:class:`DateDimension` maps :class:`datetime.date` values onto dense day
+indexes and offers the rollup helpers that turn calendar phrases into
+inclusive (low, high) conditions for :class:`~repro.olap.cube.DataCube`
+queries.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from ..exceptions import SchemaError
+from .schema import Dimension
+
+_QUARTER_FIRST_MONTH = {1: 1, 2: 4, 3: 7, 4: 10}
+
+
+class DateDimension(Dimension):
+    """Consecutive calendar days ``start .. start + days - 1``."""
+
+    def __init__(self, name: str, start: datetime.date, days: int) -> None:
+        super().__init__(name)
+        if days < 1:
+            raise SchemaError(f"dimension {name!r}: needs at least one day")
+        self.start = start
+        self.days = int(days)
+
+    @property
+    def size(self) -> int:
+        return self.days
+
+    @property
+    def end(self) -> datetime.date:
+        """Last covered day (inclusive)."""
+        return self.start + datetime.timedelta(days=self.days - 1)
+
+    def index_of(self, value) -> int:
+        if isinstance(value, datetime.datetime):
+            value = value.date()
+        if not isinstance(value, datetime.date):
+            raise SchemaError(
+                f"dimension {self.name!r}: expected a date, got {value!r}"
+            )
+        index = (value - self.start).days
+        if not 0 <= index < self.days:
+            raise SchemaError(
+                f"dimension {self.name!r}: {value} outside "
+                f"[{self.start}, {self.end}]"
+            )
+        return index
+
+    def value_of(self, index: int) -> datetime.date:
+        if not 0 <= index < self.days:
+            raise SchemaError(f"dimension {self.name!r}: index {index} out of range")
+        return self.start + datetime.timedelta(days=index)
+
+    # -- calendar rollup helpers ----------------------------------------
+
+    def _clip(self, low: datetime.date, high: datetime.date):
+        low = max(low, self.start)
+        high = min(high, self.end)
+        if low > high:
+            raise SchemaError(
+                f"dimension {self.name!r}: range [{low}, {high}] outside domain"
+            )
+        return low, high
+
+    def month(self, year: int, month: int) -> tuple[datetime.date, datetime.date]:
+        """Inclusive date range of one calendar month, clipped to the domain."""
+        first = datetime.date(year, month, 1)
+        if month == 12:
+            last = datetime.date(year, 12, 31)
+        else:
+            last = datetime.date(year, month + 1, 1) - datetime.timedelta(days=1)
+        return self._clip(first, last)
+
+    def quarter(self, year: int, quarter: int) -> tuple[datetime.date, datetime.date]:
+        """Inclusive date range of one calendar quarter, clipped."""
+        if quarter not in _QUARTER_FIRST_MONTH:
+            raise SchemaError(f"quarter must be 1-4, got {quarter}")
+        first_month = _QUARTER_FIRST_MONTH[quarter]
+        first = datetime.date(year, first_month, 1)
+        if quarter == 4:
+            last = datetime.date(year, 12, 31)
+        else:
+            last = datetime.date(year, first_month + 3, 1) - datetime.timedelta(days=1)
+        return self._clip(first, last)
+
+    def year(self, year: int) -> tuple[datetime.date, datetime.date]:
+        """Inclusive date range of one calendar year, clipped."""
+        return self._clip(datetime.date(year, 1, 1), datetime.date(year, 12, 31))
+
+    # -- rollup bucket generators ----------------------------------------
+
+    def months(self) -> list[tuple[str, tuple[datetime.date, datetime.date]]]:
+        """``("YYYY-MM", (first, last))`` buckets covering the domain."""
+        buckets = []
+        cursor = datetime.date(self.start.year, self.start.month, 1)
+        while cursor <= self.end:
+            label = f"{cursor.year:04d}-{cursor.month:02d}"
+            buckets.append((label, self.month(cursor.year, cursor.month)))
+            if cursor.month == 12:
+                cursor = datetime.date(cursor.year + 1, 1, 1)
+            else:
+                cursor = datetime.date(cursor.year, cursor.month + 1, 1)
+        return buckets
+
+    def quarters(self) -> list[tuple[str, tuple[datetime.date, datetime.date]]]:
+        """``("YYYY-Qn", (first, last))`` buckets covering the domain."""
+        buckets = []
+        year = self.start.year
+        quarter = (self.start.month - 1) // 3 + 1
+        while True:
+            first_month = _QUARTER_FIRST_MONTH[quarter]
+            first = datetime.date(year, first_month, 1)
+            if first > self.end:
+                break
+            buckets.append((f"{year:04d}-Q{quarter}", self.quarter(year, quarter)))
+            quarter += 1
+            if quarter == 5:
+                quarter = 1
+                year += 1
+        return buckets

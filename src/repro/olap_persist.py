@@ -1,0 +1,167 @@
+"""Persistence for whole OLAP cubes: schema + every companion structure.
+
+:func:`repro.persist.save_cube` handles a single range-sum structure;
+analysts work with :class:`~repro.olap.cube.DataCube`, which bundles a
+schema and up to three companion structures (SUM, COUNT, sum-of-squares).
+This module serialises the whole bundle into one ``.npz``: the schema as
+JSON metadata (every built-in dimension type round-trips, dates and
+hierarchies included), each companion via the same sparse-aware payload
+the single-cube path uses.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+
+import numpy as np
+
+from .olap.cube import DataCube
+from .olap.hierarchy import HierarchyDimension, _Node
+from .olap.schema import (
+    BinnedDimension,
+    CategoricalDimension,
+    CubeSchema,
+    Dimension,
+    IntegerDimension,
+)
+from .olap.time import DateDimension
+from .persist import PersistError, _FORMAT_VERSION, _load_method, _method_payload
+
+
+def _hierarchy_spec(node: _Node):
+    """Reconstruct the nested-dict hierarchy spec from the node tree."""
+    if all(not child.children for child in node.children):
+        return [child.label for child in node.children]
+    return {child.label: _hierarchy_spec(child) for child in node.children}
+
+
+def _dimension_spec(dimension: Dimension) -> dict:
+    if isinstance(dimension, IntegerDimension):
+        return {
+            "type": "integer",
+            "name": dimension.name,
+            "low": dimension.low,
+            "high": dimension.high,
+        }
+    if isinstance(dimension, CategoricalDimension):
+        return {
+            "type": "categorical",
+            "name": dimension.name,
+            "values": list(dimension.values),
+        }
+    if isinstance(dimension, BinnedDimension):
+        return {
+            "type": "binned",
+            "name": dimension.name,
+            "origin": dimension.origin,
+            "width": dimension.width,
+            "bins": dimension.bins,
+        }
+    if isinstance(dimension, DateDimension):
+        return {
+            "type": "date",
+            "name": dimension.name,
+            "start": dimension.start.isoformat(),
+            "days": dimension.days,
+        }
+    if isinstance(dimension, HierarchyDimension):
+        return {
+            "type": "hierarchy",
+            "name": dimension.name,
+            "hierarchy": _hierarchy_spec(dimension._root),
+        }
+    raise PersistError(
+        f"cannot persist dimension of type {type(dimension).__name__}; "
+        "only the built-in dimension types round-trip"
+    )
+
+
+def _dimension_from_spec(spec: dict) -> Dimension:
+    kind = spec.get("type")
+    if kind == "integer":
+        return IntegerDimension(spec["name"], spec["low"], spec["high"])
+    if kind == "categorical":
+        return CategoricalDimension(spec["name"], spec["values"])
+    if kind == "binned":
+        return BinnedDimension(spec["name"], spec["origin"], spec["width"], spec["bins"])
+    if kind == "date":
+        return DateDimension(
+            spec["name"], datetime.date.fromisoformat(spec["start"]), spec["days"]
+        )
+    if kind == "hierarchy":
+        return HierarchyDimension(spec["name"], spec["hierarchy"])
+    raise PersistError(f"unknown dimension type {kind!r} in cube file")
+
+
+_COMPANIONS = ("sums", "counts", "sum_squares")
+
+
+def save_datacube(cube: DataCube, path) -> None:
+    """Serialise a :class:`DataCube` (schema + companions) to ``path``."""
+    meta = {
+        "kind": "datacube",
+        "format_version": _FORMAT_VERSION,
+        "measure": cube.schema.measure,
+        "method": cube.method_name,
+        "dimensions": [_dimension_spec(d) for d in cube.schema.dimensions],
+        "companions": {},
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for companion in _COMPANIONS:
+        structure = getattr(cube, f"_{companion}")
+        if structure is None:
+            continue
+        companion_meta, companion_arrays = _method_payload(structure)
+        meta["companions"][companion] = companion_meta
+        for key, value in companion_arrays.items():
+            arrays[f"{companion}__{key}"] = value
+    payload = {"__meta__": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    payload.update(arrays)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+
+class _Prefixed:
+    """View of an npz file restricted to one companion's arrays."""
+
+    def __init__(self, data, prefix: str) -> None:
+        self._data = data
+        self._prefix = prefix
+
+    def __getitem__(self, key: str):
+        return self._data[f"{self._prefix}__{key}"]
+
+
+def load_datacube(path) -> DataCube:
+    """Restore a :class:`DataCube` saved by :func:`save_datacube`."""
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as data:
+            if "__meta__" not in data:
+                raise PersistError(f"{path} is not a cube file (no metadata)")
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            if meta.get("kind") != "datacube":
+                raise PersistError(f"{path} does not hold a DataCube")
+            if meta.get("format_version") != _FORMAT_VERSION:
+                raise PersistError(f"unsupported format version in {path}")
+            schema = CubeSchema(
+                [_dimension_from_spec(spec) for spec in meta["dimensions"]],
+                measure=meta["measure"],
+            )
+            companions = meta["companions"]
+            cube = DataCube(
+                schema,
+                method=meta["method"],
+                track_count="counts" in companions,
+                track_sum_squares="sum_squares" in companions,
+            )
+            for companion, companion_meta in companions.items():
+                restored = _load_method(companion_meta, _Prefixed(data, companion))
+                setattr(cube, f"_{companion}", restored)
+            return cube
+    except PersistError:
+        raise
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        raise PersistError(f"failed to load DataCube from {path}: {error}") from error

@@ -1,0 +1,184 @@
+"""Persistence: save and load cubes to/from a single ``.npz`` file.
+
+A data cube is a long-lived asset — the paper's scenarios (sales
+warehouses, star catalogs, EOSDIS grids) all accumulate for years — so
+the library can serialise any method to disk and restore it losslessly:
+
+* dense methods (naive, PS, RPS, Fenwick) store their arrays directly;
+* the (Basic) Dynamic Data Cube stores only its *populated leaf blocks*
+  (anchor + contents) and rebuilds overlays on load, so a sparse cube's
+  file is proportional to its data, not its domain;
+* :class:`~repro.core.growth.GrowableCube` additionally stores its
+  origin and bounds.
+
+Format: numpy ``.npz`` (zip of arrays) with a JSON metadata entry.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .core.ddc import DynamicDataCube
+from .core.growth import GrowableCube
+from .exceptions import ReproError
+from .methods.base import RangeSumMethod
+from .methods.registry import method_class
+
+_FORMAT_VERSION = 1
+
+
+class PersistError(ReproError):
+    """A cube file is malformed, truncated, or from an unknown format."""
+
+
+# ----------------------------------------------------------------------
+# Leaf-block harvesting for the tree methods
+# ----------------------------------------------------------------------
+
+
+def _collect_blocks(cube: DynamicDataCube) -> tuple[np.ndarray, np.ndarray]:
+    """All populated leaf blocks as (anchors, stacked blocks)."""
+    anchors: list[tuple[int, ...]] = []
+    blocks: list[np.ndarray] = []
+    for anchor, block in cube.iter_blocks():
+        anchors.append(anchor)
+        blocks.append(block)
+    if not anchors:
+        empty_anchor = np.zeros((0, cube.dims), dtype=np.int64)
+        block_side = min(cube.leaf_side, cube._capacity)
+        empty_blocks = np.zeros((0,) + (block_side,) * cube.dims, dtype=cube.dtype)
+        return empty_anchor, empty_blocks
+    return np.array(anchors, dtype=np.int64), np.stack(blocks)
+
+
+def _restore_blocks(
+    cube: DynamicDataCube, anchors: np.ndarray, blocks: np.ndarray
+) -> None:
+    """Rebuild a cube's contents (and overlays) from saved leaf blocks."""
+    if not len(anchors):
+        return
+    for anchor, block in zip(anchors, blocks):
+        base = tuple(int(a) for a in anchor)
+        for offsets in np.ndindex(*block.shape):
+            value = block[offsets]
+            if value:
+                cell = tuple(b + o for b, o in zip(base, offsets))
+                cube.add(cell, value)
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
+
+
+def _method_payload(method: RangeSumMethod) -> tuple[dict, dict[str, np.ndarray]]:
+    meta = {
+        "kind": "method",
+        "method": method.name,
+        "shape": list(method.shape),
+        "dtype": method.dtype.str,
+    }
+    if isinstance(method, DynamicDataCube):
+        meta["options"] = {
+            "leaf_side": method.leaf_side,
+            "secondary_kind": method.secondary_kind,
+            "bc_fanout": method.bc_fanout,
+        }
+        meta["capacity"] = method._capacity
+        anchors, blocks = _collect_blocks(method)
+        return meta, {"anchors": anchors, "blocks": blocks}
+    if method.name == "rps":
+        meta["options"] = {"block_side": list(method.block_side)}
+    else:
+        meta["options"] = {}
+    return meta, {"dense": method.to_dense()}
+
+
+def save_cube(method, path) -> None:
+    """Serialise a range-sum method or a :class:`GrowableCube` to ``path``."""
+    if isinstance(method, GrowableCube):
+        inner_meta, arrays = _method_payload(method._cube)
+        meta = {
+            "kind": "growable",
+            "inner": inner_meta,
+            "dims": method.dims,
+            "dtype": method.dtype.str,
+            "initial_side": method._initial_side,
+            "origin": list(method._origin),
+            "anchored": method._anchored,
+            "low_bounds": method._low_bounds,
+            "high_bounds": method._high_bounds,
+            "options": method._cube_options,
+        }
+    elif isinstance(method, RangeSumMethod):
+        meta, arrays = _method_payload(method)
+    else:
+        raise PersistError(f"cannot persist object of type {type(method).__name__}")
+    meta["format_version"] = _FORMAT_VERSION
+    payload = {"__meta__": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+    payload.update(arrays)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+
+
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
+
+
+def _load_method(meta: dict, data) -> RangeSumMethod:
+    options = dict(meta.get("options", {}))
+    if "block_side" in options:
+        options["block_side"] = tuple(options["block_side"])
+    cls = method_class(meta["method"])
+    if issubclass(cls, DynamicDataCube):
+        cube = cls(tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), **options)
+        while cube._capacity < meta.get("capacity", cube._capacity):
+            cube.expand(0)
+        _restore_blocks(cube, data["anchors"], data["blocks"])
+        return cube
+    dense = data["dense"]
+    return cls.from_array(dense, dtype=np.dtype(meta["dtype"]), **options)
+
+
+def load_cube(path):
+    """Restore a cube saved by :func:`save_cube`.
+
+    Returns the same type that was saved (a method instance or a
+    :class:`GrowableCube`).  Raises :class:`PersistError` on malformed
+    or unknown files.
+    """
+    path = pathlib.Path(path)
+    try:
+        with np.load(path) as data:
+            if "__meta__" not in data:
+                raise PersistError(f"{path} is not a cube file (no metadata)")
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            version = meta.get("format_version")
+            if version != _FORMAT_VERSION:
+                raise PersistError(
+                    f"unsupported cube format version {version!r} in {path}"
+                )
+            if meta["kind"] == "method":
+                return _load_method(meta, data)
+            if meta["kind"] == "growable":
+                grown = GrowableCube(
+                    dims=meta["dims"],
+                    dtype=np.dtype(meta["dtype"]),
+                    initial_side=meta["initial_side"],
+                    **meta.get("options", {}),
+                )
+                grown._cube = _load_method(meta["inner"], data)
+                grown._origin = tuple(meta["origin"])
+                grown._anchored = meta["anchored"]
+                grown._low_bounds = meta["low_bounds"]
+                grown._high_bounds = meta["high_bounds"]
+                return grown
+            raise PersistError(f"unknown cube kind {meta['kind']!r} in {path}")
+    except PersistError:
+        raise
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as error:
+        raise PersistError(f"failed to load cube from {path}: {error}") from error

@@ -1,0 +1,18 @@
+"""Secondary-storage substrates: simulated buffer pool and real page files."""
+
+from .buffer import BufferPool, BufferStats, attach_pool, detach_pool
+from .disk_bc_tree import DiskBcTree
+from .disk_ddc import DiskDynamicDataCube
+from .pagefile import PageFile, PageFileError, PageStats
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "attach_pool",
+    "detach_pool",
+    "PageFile",
+    "PageFileError",
+    "PageStats",
+    "DiskBcTree",
+    "DiskDynamicDataCube",
+]

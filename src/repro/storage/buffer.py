@@ -1,0 +1,120 @@
+"""Simulated buffer pool: secondary-storage accesses during traversal.
+
+Section 4.4 of the paper justifies level elision partly by I/O: "the
+number of levels in the tree affects the number of accesses to secondary
+storage during traversal".  The paper has no disk substrate of its own
+(its cost model counts cell operations), so we build the closest
+meaningful simulation: every structure node touched by a real traversal
+is mapped to a *page*, and a bounded LRU buffer pool decides which of
+those touches would have been physical reads.
+
+The simulation is wired into the live data structures through the
+:class:`~repro.counters.OpCounter` tracker hook — the primary tree, the
+B^c trees, and the leaf blocks all report the objects they visit, so the
+measured page-access counts come from genuine query/update paths, not
+from a formula.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class BufferStats:
+    """Tally of simulated page traffic."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses served from the pool (0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """An LRU buffer pool over simulated pages.
+
+    Args:
+        capacity: number of pages the pool holds; accesses beyond it
+            evict the least-recently-used page.
+        objects_per_page: how many structure nodes share one page.  One
+            node per page models the paper's "each node is a disk page"
+            reading; larger values model packed on-disk layouts.
+    """
+
+    def __init__(self, capacity: int, objects_per_page: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if objects_per_page < 1:
+            raise ValueError(
+                f"objects_per_page must be >= 1, got {objects_per_page}"
+            )
+        self.capacity = capacity
+        self.objects_per_page = objects_per_page
+        self.stats = BufferStats()
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self._page_of_object: dict[int, int] = {}
+        self._next_page = 0
+
+    def _page_for(self, obj: object) -> int:
+        """Stable page id for a structure object (assigned on first touch)."""
+        key = id(obj)
+        page = self._page_of_object.get(key)
+        if page is None:
+            page = self._next_page // self.objects_per_page
+            self._next_page += 1
+            self._page_of_object[key] = page
+        return page
+
+    def access(self, obj: object) -> bool:
+        """Record a touch of ``obj``; returns True on a buffer hit."""
+        page = self._page_for(obj)
+        self.stats.accesses += 1
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return False
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently held in the pool."""
+        return len(self._pages)
+
+    def clear(self) -> None:
+        """Empty the pool (a cold restart) without clearing page ids."""
+        self._pages.clear()
+
+
+def attach_pool(structure, pool: BufferPool) -> BufferPool:
+    """Attach a buffer pool to a structure's operation counter.
+
+    Subsequent queries and updates on ``structure`` (and on every
+    secondary structure sharing its counter) report node touches to the
+    pool.  Returns the pool for chaining.
+    """
+    structure.stats.tracker = pool
+    return pool
+
+
+def detach_pool(structure) -> None:
+    """Stop tracking page accesses for ``structure``."""
+    structure.stats.tracker = None

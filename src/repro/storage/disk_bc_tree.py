@@ -1,0 +1,403 @@
+"""A disk-resident B^c tree over a page file.
+
+The in-memory :class:`~repro.core.keyed_bc_tree.KeyedBcTree` shows the
+algorithm; this class shows the *deployment* the paper has in mind — a
+cumulative B-tree whose nodes live in fixed-size disk pages, read and
+written through a bounded write-back node cache, with physical I/O
+counted by the underlying :class:`~repro.storage.pagefile.PageFile`.
+
+Nodes are encoded with ``struct`` (no pickling):
+
+* leaf:      ``tag=0, count, count * (key: int64, value: int64/float64)``
+* internal:  ``tag=1, count, count * (max_key: int64, sum, child: uint64)``
+
+A metadata page (page 0 of the file's data area) records the root page,
+entry count, running total, fanout, and value format, so a tree can be
+closed and re-opened losslessly.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+
+from ..exceptions import StructureError
+from .pagefile import PageFile, PageFileError
+
+_META = struct.Struct("<QQdIc")  # root_page, size, total, fanout, value_format
+_NODE_HEADER = struct.Struct("<BI")  # tag, entry count
+_LEAF_TAG = 0
+_INTERNAL_TAG = 1
+
+
+class _Node:
+    """Decoded node held in the cache."""
+
+    __slots__ = ("page_id", "leaf", "keys", "values", "children", "sums")
+
+    def __init__(self, page_id: int, leaf: bool) -> None:
+        self.page_id = page_id
+        self.leaf = leaf
+        self.keys: list[int] = []  # row keys (leaf) or child max-keys (internal)
+        self.values: list = []  # row values (leaf only)
+        self.children: list[int] = []  # child page ids (internal only)
+        self.sums: list = []  # per-child subtree sums (internal only)
+
+    def entry_count(self) -> int:
+        return len(self.keys)
+
+
+class DiskBcTree:
+    """Key-addressed cumulative B-tree stored in a :class:`PageFile`.
+
+    Args:
+        pages: the backing page file (shared ownership; closing the tree
+            flushes but does not close the file).
+        cache_pages: decoded nodes held in memory; evictions write dirty
+            nodes back to disk.  1 models a bufferless scan; a few dozen
+            pages keep the hot upper levels resident.
+        value_format: ``"q"`` for int64 rows, ``"d"`` for float64.
+        meta_page: page id of the tree's metadata page; ``None`` creates
+            a fresh tree, an integer re-opens an existing one.
+    """
+
+    def __init__(
+        self,
+        pages: PageFile,
+        cache_pages: int = 64,
+        value_format: str = "q",
+        meta_page: int | None = None,
+    ) -> None:
+        if cache_pages < 1:
+            raise ValueError("cache_pages must be >= 1")
+        self._pages = pages
+        self._cache_capacity = cache_pages
+        self._cache: OrderedDict[int, tuple[_Node, bool]] = OrderedDict()
+        usable = pages.page_size - 8  # length prefix + slack
+        if meta_page is None:
+            if value_format not in ("q", "d"):
+                raise ValueError(f"value_format must be 'q' or 'd', got {value_format}")
+            self.value_format = value_format
+            self.fanout = self._max_fanout(usable)
+            if self.fanout < 3:
+                raise PageFileError(
+                    f"page size {pages.page_size} too small for a B-tree node"
+                )
+            self._meta_page = pages.allocate()
+            root = _Node(pages.allocate(), leaf=True)
+            self._root_page = root.page_id
+            self._size = 0
+            self._total = 0.0 if value_format == "d" else 0
+            self._cache_put(root, dirty=True)
+            self._write_meta()
+        else:
+            self._meta_page = meta_page
+            self._read_meta()
+
+    @staticmethod
+    def _max_fanout(usable: int) -> int:
+        leaf_entry = 16  # int64 key + 8-byte value
+        internal_entry = 24  # max_key + sum + child page
+        room = usable - _NODE_HEADER.size
+        return min(room // leaf_entry, room // internal_entry)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def meta_page(self) -> int:
+        """Page id to pass back when re-opening this tree."""
+        return self._meta_page
+
+    def _write_meta(self) -> None:
+        payload = _META.pack(
+            self._root_page,
+            self._size,
+            float(self._total),
+            self.fanout,
+            self.value_format.encode(),
+        )
+        self._pages.write(self._meta_page, payload)
+
+    def _read_meta(self) -> None:
+        payload = self._pages.read(self._meta_page)
+        root_page, size, total, fanout, value_format = _META.unpack(
+            payload[: _META.size]
+        )
+        self._root_page = root_page
+        self._size = size
+        self.fanout = fanout
+        self.value_format = value_format.decode()
+        self._total = total if self.value_format == "d" else int(total)
+
+    # ------------------------------------------------------------------
+    # Node cache and serialisation
+    # ------------------------------------------------------------------
+
+    def _encode(self, node: _Node) -> bytes:
+        if node.leaf:
+            body = struct.pack(
+                f"<{len(node.keys)}q{len(node.values)}{self.value_format}",
+                *node.keys,
+                *node.values,
+            )
+            return _NODE_HEADER.pack(_LEAF_TAG, len(node.keys)) + body
+        body = struct.pack(
+            f"<{len(node.keys)}q{len(node.sums)}{self.value_format}"
+            f"{len(node.children)}Q",
+            *node.keys,
+            *node.sums,
+            *node.children,
+        )
+        return _NODE_HEADER.pack(_INTERNAL_TAG, len(node.keys)) + body
+
+    def _decode(self, page_id: int, payload: bytes) -> _Node:
+        tag, count = _NODE_HEADER.unpack_from(payload, 0)
+        offset = _NODE_HEADER.size
+        keys = list(struct.unpack_from(f"<{count}q", payload, offset))
+        offset += 8 * count
+        if tag == _LEAF_TAG:
+            node = _Node(page_id, leaf=True)
+            node.keys = keys
+            node.values = list(
+                struct.unpack_from(f"<{count}{self.value_format}", payload, offset)
+            )
+            return node
+        node = _Node(page_id, leaf=False)
+        node.keys = keys
+        node.sums = list(
+            struct.unpack_from(f"<{count}{self.value_format}", payload, offset)
+        )
+        offset += 8 * count
+        node.children = list(struct.unpack_from(f"<{count}Q", payload, offset))
+        return node
+
+    def _cache_put(self, node: _Node, dirty: bool) -> None:
+        if node.page_id in self._cache:
+            _, was_dirty = self._cache.pop(node.page_id)
+            dirty = dirty or was_dirty
+        self._cache[node.page_id] = (node, dirty)
+        self._cache.move_to_end(node.page_id)
+        while len(self._cache) > self._cache_capacity:
+            evicted_id, (evicted, evicted_dirty) = self._cache.popitem(last=False)
+            if evicted_dirty:
+                self._pages.write(evicted_id, self._encode(evicted))
+
+    def _load(self, page_id: int) -> _Node:
+        entry = self._cache.get(page_id)
+        if entry is not None:
+            self._cache.move_to_end(page_id)
+            return entry[0]
+        node = self._decode(page_id, self._pages.read(page_id))
+        self._cache_put(node, dirty=False)
+        return node
+
+    def _mark_dirty(self, node: _Node) -> None:
+        self._cache_put(node, dirty=True)
+
+    def flush(self) -> None:
+        """Write every dirty cached node and the metadata back to disk."""
+        for page_id, (node, dirty) in list(self._cache.items()):
+            if dirty:
+                self._pages.write(page_id, self._encode(node))
+                self._cache[page_id] = (node, False)
+        self._write_meta()
+        self._pages.flush()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def total(self):
+        return self._total
+
+    def prefix_sum(self, key: int):
+        """Sum of rows with key <= ``key`` — one node load per level."""
+        node = self._load(self._root_page)
+        acc = 0.0 if self.value_format == "d" else 0
+        while not node.leaf:
+            descend = None
+            for index, max_key in enumerate(node.keys):
+                if max_key <= key:
+                    acc += node.sums[index]
+                else:
+                    descend = node.children[index]
+                    break
+            if descend is None:
+                return acc
+            node = self._load(descend)
+        stop = bisect_right(node.keys, key)
+        for position in range(stop):
+            acc += node.values[position]
+        return acc
+
+    def get(self, key: int):
+        node = self._load(self._root_page)
+        while not node.leaf:
+            descend = None
+            for index, max_key in enumerate(node.keys):
+                if key <= max_key:
+                    descend = node.children[index]
+                    break
+            if descend is None:
+                return 0
+            node = self._load(descend)
+        position = bisect_left(node.keys, key)
+        if position < len(node.keys) and node.keys[position] == key:
+            return node.values[position]
+        return 0
+
+    def items(self):
+        """Every stored (key, value) pair in key order."""
+        yield from self._iter(self._root_page)
+
+    def _iter(self, page_id: int):
+        node = self._load(page_id)
+        if node.leaf:
+            yield from zip(list(node.keys), list(node.values))
+        else:
+            for child in list(node.children):
+                yield from self._iter(child)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def add(self, key: int, delta) -> None:
+        """Upsert ``delta`` into the row at ``key``.
+
+        Metadata (root page, totals) is checkpointed by :meth:`flush`,
+        not per update; call ``flush()`` before closing the file.
+        """
+        if delta == 0:
+            return
+        split = self._add(self._root_page, key, delta)
+        if split is not None:
+            (left_max, left_sum), right_page, (right_max, right_sum) = split
+            root = _Node(self._pages.allocate(), leaf=False)
+            root.keys = [left_max, right_max]
+            root.sums = [left_sum, right_sum]
+            root.children = [self._root_page, right_page]
+            self._root_page = root.page_id
+            self._mark_dirty(root)
+        self._total += delta
+
+    def set(self, key: int, value) -> None:
+        self.add(key, value - self.get(key))
+
+    def _add(self, page_id: int, key: int, delta):
+        node = self._load(page_id)
+        if node.leaf:
+            position = bisect_left(node.keys, key)
+            if position < len(node.keys) and node.keys[position] == key:
+                node.values[position] += delta
+            else:
+                node.keys.insert(position, key)
+                node.values.insert(position, delta)
+                self._size += 1
+            self._mark_dirty(node)
+            if len(node.keys) <= self.fanout:
+                return None
+            middle = len(node.keys) // 2
+            right = _Node(self._pages.allocate(), leaf=True)
+            right.keys = node.keys[middle:]
+            right.values = node.values[middle:]
+            node.keys = node.keys[:middle]
+            node.values = node.values[:middle]
+            self._mark_dirty(node)
+            self._mark_dirty(right)
+            return (
+                (node.keys[-1], sum(node.values)),
+                right.page_id,
+                (right.keys[-1], sum(right.values)),
+            )
+
+        child_index = len(node.children) - 1
+        for index, max_key in enumerate(node.keys):
+            if key <= max_key:
+                child_index = index
+                break
+        split = self._add(node.children[child_index], key, delta)
+        node.sums[child_index] += delta
+        node.keys[child_index] = max(node.keys[child_index], key)
+        self._mark_dirty(node)
+        if split is None:
+            return None
+        (left_max, left_sum), right_page, (right_max, right_sum) = split
+        node.keys[child_index] = left_max
+        node.sums[child_index] = left_sum
+        node.children.insert(child_index + 1, right_page)
+        node.keys.insert(child_index + 1, right_max)
+        node.sums.insert(child_index + 1, right_sum)
+        self._mark_dirty(node)
+        if len(node.children) <= self.fanout:
+            return None
+        middle = len(node.children) // 2
+        right = _Node(self._pages.allocate(), leaf=False)
+        right.keys = node.keys[middle:]
+        right.sums = node.sums[middle:]
+        right.children = node.children[middle:]
+        node.keys = node.keys[:middle]
+        node.sums = node.sums[:middle]
+        node.children = node.children[:middle]
+        self._mark_dirty(node)
+        self._mark_dirty(right)
+        return (
+            (node.keys[-1], sum(node.sums)),
+            right.page_id,
+            (right.keys[-1], sum(right.sums)),
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-check sums, key order, and fill from the pages themselves."""
+        self.flush()
+        size, total, _, _ = self._validate(self._root_page, is_root=True)
+        if size != self._size:
+            raise StructureError(f"size cache {self._size} != actual {size}")
+        if abs(total - self._total) > 1e-9:
+            raise StructureError(f"total cache {self._total} != actual {total}")
+
+    def _validate(self, page_id: int, is_root: bool):
+        node = self._decode(page_id, self._pages.read(page_id))
+        minimum = (self.fanout + 1) // 2
+        if node.leaf:
+            if not is_root and len(node.keys) < minimum:
+                raise StructureError("leaf underfull")
+            if sorted(node.keys) != node.keys or len(set(node.keys)) != len(node.keys):
+                raise StructureError("leaf keys unsorted or duplicated")
+            max_key = node.keys[-1] if node.keys else None
+            return len(node.keys), sum(node.values), 1, max_key
+        if not is_root and len(node.children) < minimum:
+            raise StructureError("internal node underfull")
+        total_size = 0
+        total_sum = 0
+        depths = set()
+        for child, cached_max, cached_sum in zip(node.children, node.keys, node.sums):
+            size, child_sum, depth, child_max = self._validate(child, is_root=False)
+            if child_max != cached_max:
+                raise StructureError("max-key cache mismatch")
+            if abs(child_sum - cached_sum) > 1e-9:
+                raise StructureError("subtree sum cache mismatch")
+            total_size += size
+            total_sum += child_sum
+            depths.add(depth)
+        if len(depths) != 1:
+            raise StructureError("leaves at differing depths")
+        return total_size, total_sum, depths.pop() + 1, node.keys[-1]
+
+    def height(self) -> int:
+        height = 1
+        node = self._load(self._root_page)
+        while not node.leaf:
+            height += 1
+            node = self._load(node.children[0])
+        return height

@@ -1,0 +1,195 @@
+"""A fixed-size page file: the disk substrate under the disk-backed B^c tree.
+
+The paper treats the B^c tree as a disk-resident structure ("the number
+of levels in the tree affects the number of accesses to secondary
+storage").  This module provides the minimal storage-manager machinery a
+real deployment needs, built from scratch:
+
+* :class:`PageFile` — a file of fixed-size pages with allocate / read /
+  write / free, a free-list threaded through freed pages, and a typed
+  header guarding size and version;
+* page-level access statistics (physical reads and writes), which the
+  disk-backed structures combine with an in-memory page cache to show
+  real I/O counts rather than simulated ones.
+
+The format is deliberately simple: page 0 is the header; each page is
+``page_size`` bytes; payloads carry a 4-byte length prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+from ..exceptions import ReproError
+
+_MAGIC = b"DDCPGF01"
+_HEADER = struct.Struct("<8sIQQ")  # magic, page_size, page_count, free_head
+_LENGTH = struct.Struct("<I")
+#: Sentinel for "no next free page".
+_NO_PAGE = 0xFFFFFFFFFFFFFFFF
+
+MIN_PAGE_SIZE = 64
+
+
+class PageFileError(ReproError):
+    """The page file is corrupt, mis-sized, or misused."""
+
+
+@dataclass
+class PageStats:
+    """Physical page traffic."""
+
+    reads: int = 0
+    writes: int = 0
+    allocations: int = 0
+    frees: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.allocations = 0
+        self.frees = 0
+
+
+class PageFile:
+    """Fixed-size pages in a single file.
+
+    Args:
+        path: backing file; created when absent, re-opened when present.
+        page_size: bytes per page.  ``None`` means "4096 at creation,
+            whatever the header says on re-open"; an explicit value must
+            match the stored header when re-opening.
+    """
+
+    DEFAULT_PAGE_SIZE = 4096
+
+    def __init__(self, path, page_size: int | None = None) -> None:
+        if page_size is not None and page_size < MIN_PAGE_SIZE:
+            raise PageFileError(f"page_size must be >= {MIN_PAGE_SIZE}")
+        self.path = os.fspath(path)
+        self.stats = PageStats()
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._handle = open(self.path, "r+b" if exists else "w+b")
+        if exists:
+            self._load_header(page_size)
+        else:
+            self.page_size = page_size if page_size is not None else self.DEFAULT_PAGE_SIZE
+            self._page_count = 0
+            self._free_head = _NO_PAGE
+            self._write_header()
+
+    # -- header ---------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = _HEADER.pack(
+            _MAGIC, self.page_size, self._page_count, self._free_head
+        )
+        self._handle.seek(0)
+        self._handle.write(header.ljust(self.page_size, b"\0"))
+        self._handle.flush()
+
+    def _load_header(self, requested_page_size: int | None) -> None:
+        self._handle.seek(0)
+        raw = self._handle.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise PageFileError(f"{self.path}: truncated header")
+        magic, page_size, page_count, free_head = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise PageFileError(f"{self.path}: not a page file")
+        if requested_page_size is not None and requested_page_size != page_size:
+            raise PageFileError(
+                f"{self.path}: page size is {page_size}, not {requested_page_size}"
+            )
+        self.page_size = page_size
+        self._page_count = page_count
+        self._free_head = free_head
+
+    # -- page lifecycle ---------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Pages ever allocated (including freed ones awaiting reuse)."""
+        return self._page_count
+
+    def _offset(self, page_id: int) -> int:
+        if not 0 <= page_id < self._page_count:
+            raise PageFileError(f"page {page_id} out of range")
+        return (page_id + 1) * self.page_size  # page 0 of the file = header
+
+    def allocate(self) -> int:
+        """Return a fresh (or recycled) page id."""
+        self.stats.allocations += 1
+        if self._free_head != _NO_PAGE:
+            page_id = self._free_head
+            raw = self._read_raw(page_id)
+            (self._free_head,) = struct.unpack_from("<Q", raw, 0)
+            self._write_header()
+            return page_id
+        page_id = self._page_count
+        self._page_count += 1
+        self._handle.seek(self._offset(page_id))
+        self._handle.write(b"\0" * self.page_size)
+        self._write_header()
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the free list."""
+        self.stats.frees += 1
+        link = struct.pack("<Q", self._free_head)
+        self._write_raw(page_id, link)
+        self._free_head = page_id
+        self._write_header()
+
+    # -- payload I/O -----------------------------------------------------
+
+    def _read_raw(self, page_id: int) -> bytes:
+        self._handle.seek(self._offset(page_id))
+        return self._handle.read(self.page_size)
+
+    def _write_raw(self, page_id: int, payload: bytes) -> None:
+        if len(payload) > self.page_size:
+            raise PageFileError(
+                f"payload of {len(payload)} bytes exceeds page size {self.page_size}"
+            )
+        self._handle.seek(self._offset(page_id))
+        self._handle.write(payload.ljust(self.page_size, b"\0"))
+
+    def read(self, page_id: int) -> bytes:
+        """Read a page's payload (the bytes previously written)."""
+        self.stats.reads += 1
+        raw = self._read_raw(page_id)
+        (length,) = _LENGTH.unpack_from(raw, 0)
+        if length > self.page_size - _LENGTH.size:
+            raise PageFileError(f"page {page_id}: corrupt length {length}")
+        return raw[_LENGTH.size : _LENGTH.size + length]
+
+    def write(self, page_id: int, payload: bytes) -> None:
+        """Write a payload (length-prefixed) into a page."""
+        if len(payload) > self.page_size - _LENGTH.size:
+            raise PageFileError(
+                f"payload of {len(payload)} bytes exceeds usable page size "
+                f"{self.page_size - _LENGTH.size}"
+            )
+        self.stats.writes += 1
+        self._write_raw(page_id, _LENGTH.pack(len(payload)) + payload)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def flush(self) -> None:
+        """Push buffered writes to the operating system."""
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        if not self._handle.closed:
+            self._write_header()
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *_) -> None:
+        self.close()

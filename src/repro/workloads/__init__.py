@@ -1,0 +1,39 @@
+"""Synthetic workloads: data generators and query/update streams."""
+
+from .generators import (
+    Discovery,
+    clustered,
+    dense_uniform,
+    growth_stream,
+    occupancy,
+    sparse_uniform,
+    zipf_skewed,
+)
+from .queries import (
+    PointUpdate,
+    RangeQuery,
+    hot_region_updates,
+    interleaved,
+    prefix_cells,
+    random_ranges,
+    random_updates,
+    worst_case_update,
+)
+
+__all__ = [
+    "dense_uniform",
+    "sparse_uniform",
+    "clustered",
+    "zipf_skewed",
+    "growth_stream",
+    "Discovery",
+    "occupancy",
+    "RangeQuery",
+    "PointUpdate",
+    "random_ranges",
+    "prefix_cells",
+    "random_updates",
+    "worst_case_update",
+    "hot_region_updates",
+    "interleaved",
+]

@@ -1,0 +1,143 @@
+"""Synthetic data generators exercising the paper's data regimes.
+
+The paper's evaluation is analytic and its motivating datasets (EOSDIS
+environmental grids, star catalogs, enterprise sales) are described
+qualitatively, so we generate synthetic data with the properties the
+arguments rely on:
+
+* dense uniform cubes — the regime PS/RPS were designed for;
+* sparse uniform cubes — density ``p`` of populated cells;
+* clustered cubes — Gaussian point-source clusters over a mostly empty
+  domain (the "methane around industrial centres" picture of Section 5);
+* skewed cubes — Zipf-distributed mass, for hot-spot update workloads;
+* growth streams — point discoveries drifting in arbitrary directions,
+  feeding the :class:`~repro.core.growth.GrowableCube` benchmarks.
+
+Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..geometry import normalize_shape
+
+
+def dense_uniform(
+    shape: Sequence[int], low: int = 0, high: int = 100, seed: int = 0
+) -> np.ndarray:
+    """Dense cube with i.i.d. uniform integer cells in ``[low, high)``."""
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=shape, dtype=np.int64)
+
+
+def sparse_uniform(
+    shape: Sequence[int],
+    density: float = 0.01,
+    low: int = 1,
+    high: int = 100,
+    seed: int = 0,
+) -> np.ndarray:
+    """Cube where each cell is populated independently with ``density``."""
+    shape = normalize_shape(shape)
+    if not 0 <= density <= 1:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    mask = rng.random(shape) < density
+    values = rng.integers(low, high, size=shape, dtype=np.int64)
+    return np.where(mask, values, 0)
+
+
+def clustered(
+    shape: Sequence[int],
+    clusters: int = 5,
+    points_per_cluster: int = 200,
+    spread: float = 0.03,
+    low: int = 1,
+    high: int = 100,
+    seed: int = 0,
+) -> np.ndarray:
+    """Gaussian point-source clusters over an otherwise empty cube.
+
+    Cluster centres are uniform over the domain; member points are
+    normal around the centre with standard deviation ``spread`` (as a
+    fraction of each dimension), clipped to the domain — the EOSDIS
+    regime the paper argues prefix-sum methods handle poorly.
+    """
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    cube = np.zeros(shape, dtype=np.int64)
+    for _ in range(clusters):
+        centre = [rng.uniform(0, size) for size in shape]
+        sigma = [max(spread * size, 0.5) for size in shape]
+        for _ in range(points_per_cluster):
+            cell = tuple(
+                int(np.clip(rng.normal(c, s), 0, size - 1))
+                for c, s, size in zip(centre, sigma, shape)
+            )
+            cube[cell] += int(rng.integers(low, high))
+    return cube
+
+
+def zipf_skewed(
+    shape: Sequence[int], exponent: float = 1.3, records: int = 5000, seed: int = 0
+) -> np.ndarray:
+    """Zipf-skewed mass: a few hot cells carry most of the total.
+
+    Cell coordinates are drawn per dimension from a truncated Zipf, so
+    the heat concentrates near the origin corner.
+    """
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    cube = np.zeros(shape, dtype=np.int64)
+    ranks = [np.arange(1, size + 1, dtype=np.float64) for size in shape]
+    probabilities = [r**-exponent / (r**-exponent).sum() for r in ranks]
+    for _ in range(records):
+        cell = tuple(
+            int(rng.choice(size, p=probability))
+            for size, probability in zip(shape, probabilities)
+        )
+        cube[cell] += int(rng.integers(1, 10))
+    return cube
+
+
+@dataclass(frozen=True)
+class Discovery:
+    """One point arriving in a growth stream."""
+
+    coordinate: tuple[int, ...]
+    value: int
+
+
+def growth_stream(
+    dims: int,
+    points: int = 1000,
+    drift: float = 2.0,
+    cluster_jumps: int = 10,
+    seed: int = 0,
+) -> Iterator[Discovery]:
+    """Star-catalog discovery stream wandering in arbitrary directions.
+
+    A random walk emits clustered discoveries around a drifting centre,
+    with occasional long jumps to fresh sky regions — including toward
+    negative coordinates, exercising growth in *any* direction
+    (Section 5).
+    """
+    rng = np.random.default_rng(seed)
+    centre = np.zeros(dims)
+    jump_every = max(1, points // max(cluster_jumps, 1))
+    for index in range(points):
+        if index and index % jump_every == 0:
+            centre = centre + rng.uniform(-50 * drift, 50 * drift, size=dims)
+        centre = centre + rng.normal(0, drift, size=dims)
+        coordinate = tuple(int(round(c + rng.normal(0, drift))) for c in centre)
+        yield Discovery(coordinate=coordinate, value=int(rng.integers(1, 20)))
+
+
+def occupancy(cube: np.ndarray) -> float:
+    """Fraction of non-zero cells — the sparsity metric used in reports."""
+    return float(np.count_nonzero(cube)) / cube.size

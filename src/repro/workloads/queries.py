@@ -1,0 +1,156 @@
+"""Query and update workloads for the benchmark harness.
+
+The paper's cost model is worst-case; the harness measures both the
+worst case (origin-corner updates, full-extent prefix queries) and
+averaged random workloads so the *shape* comparison of Figure 1 can be
+validated empirically on real structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..geometry import Cell, normalize_shape
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One inclusive range query."""
+
+    low: Cell
+    high: Cell
+
+
+@dataclass(frozen=True)
+class PointUpdate:
+    """One point update (delta semantics)."""
+
+    cell: Cell
+    delta: int
+
+
+def random_ranges(
+    shape: Sequence[int],
+    count: int,
+    selectivity: float | None = None,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """Random inclusive ranges, optionally of fixed per-dim selectivity.
+
+    With ``selectivity`` given, every range spans that fraction of each
+    dimension (clamped to at least one cell) at a random position;
+    otherwise both corners are uniform.
+    """
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        low = []
+        high = []
+        for size in shape:
+            if selectivity is None:
+                a = int(rng.integers(0, size))
+                b = int(rng.integers(0, size))
+                lo, hi = min(a, b), max(a, b)
+            else:
+                extent = max(1, int(round(selectivity * size)))
+                lo = int(rng.integers(0, size - extent + 1))
+                hi = lo + extent - 1
+            low.append(lo)
+            high.append(hi)
+        queries.append(RangeQuery(tuple(low), tuple(high)))
+    return queries
+
+
+def prefix_cells(shape: Sequence[int], count: int, seed: int = 0) -> list[Cell]:
+    """Random target cells for corner-anchored prefix queries."""
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    return [
+        tuple(int(rng.integers(0, size)) for size in shape) for _ in range(count)
+    ]
+
+
+def random_updates(
+    shape: Sequence[int],
+    count: int,
+    magnitude: int = 10,
+    seed: int = 0,
+) -> list[PointUpdate]:
+    """Uniformly random point updates with non-zero deltas."""
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    updates = []
+    for _ in range(count):
+        cell = tuple(int(rng.integers(0, size)) for size in shape)
+        delta = 0
+        while delta == 0:
+            delta = int(rng.integers(-magnitude, magnitude + 1))
+        updates.append(PointUpdate(cell, delta))
+    return updates
+
+
+def worst_case_update(shape: Sequence[int]) -> PointUpdate:
+    """The paper's worst case: updating ``A[0, ..., 0]`` (Figure 5)."""
+    shape = normalize_shape(shape)
+    return PointUpdate((0,) * len(shape), 1)
+
+
+def hot_region_updates(
+    shape: Sequence[int],
+    count: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.9,
+    magnitude: int = 10,
+    seed: int = 0,
+) -> list[PointUpdate]:
+    """Skewed updates: most deltas land in a small origin-corner region.
+
+    Models the "Internet commerce" scenario — a minority of cells (the
+    current trading day, the popular products) receive the bulk of the
+    update traffic.
+    """
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    hot_extent = [max(1, int(round(hot_fraction * size))) for size in shape]
+    updates = []
+    for _ in range(count):
+        limits = hot_extent if rng.random() < hot_probability else list(shape)
+        cell = tuple(int(rng.integers(0, limit)) for limit in limits)
+        delta = 0
+        while delta == 0:
+            delta = int(rng.integers(-magnitude, magnitude + 1))
+        updates.append(PointUpdate(cell, delta))
+    return updates
+
+
+def interleaved(
+    queries: Sequence[RangeQuery],
+    updates: Sequence[PointUpdate],
+    query_fraction: float = 0.5,
+    seed: int = 0,
+) -> Iterator[RangeQuery | PointUpdate]:
+    """Mixed read/write stream with the given read fraction.
+
+    The "what-if" workload of the introduction: analysts interleave
+    hypothetical updates with analytical queries and expect both to be
+    interactive.
+    """
+    rng = np.random.default_rng(seed)
+    query_iter = iter(queries)
+    update_iter = iter(updates)
+    pending_queries = len(queries)
+    pending_updates = len(updates)
+    while pending_queries or pending_updates:
+        take_query = pending_queries and (
+            not pending_updates or rng.random() < query_fraction
+        )
+        if take_query:
+            yield next(query_iter)
+            pending_queries -= 1
+        else:
+            yield next(update_iter)
+            pending_updates -= 1

@@ -1,0 +1,99 @@
+"""Tests for the workload advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor import Recommendation, WorkloadProfile, expected_operation_cost, recommend
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(n=1, d=2)
+        with pytest.raises(ValueError):
+            WorkloadProfile(n=100, d=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(n=100, d=2, query_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadProfile(n=100, d=2, updates_per_batch=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(n=100, d=2, density=0.0)
+
+
+class TestExpectedCost:
+    def test_read_only_ps_is_constant(self):
+        profile = WorkloadProfile(n=10**6, d=4, query_fraction=1.0)
+        assert expected_operation_cost(profile, "ps") == 2**4
+
+    def test_write_only_naive_is_one(self):
+        profile = WorkloadProfile(n=10**6, d=4, query_fraction=0.0)
+        assert expected_operation_cost(profile, "naive") == 1.0
+
+    def test_batching_amortises_ps(self):
+        interactive = WorkloadProfile(n=1000, d=2, query_fraction=0.0)
+        batched = WorkloadProfile(
+            n=1000, d=2, query_fraction=0.0, updates_per_batch=1000
+        )
+        assert expected_operation_cost(batched, "ps") == pytest.approx(
+            expected_operation_cost(interactive, "ps") / 1000
+        )
+
+
+class TestRecommend:
+    def test_read_only_dense_picks_prefix_family(self):
+        profile = WorkloadProfile(n=10**4, d=3, query_fraction=1.0)
+        result = recommend(profile)
+        assert result.method in ("ps", "rps")
+
+    def test_write_only_picks_naive(self):
+        profile = WorkloadProfile(n=10**4, d=3, query_fraction=0.0)
+        assert recommend(profile).method == "naive"
+
+    def test_balanced_large_cube_picks_ddc(self):
+        profile = WorkloadProfile(n=10**5, d=3, query_fraction=0.5)
+        result = recommend(profile)
+        assert result.method == "ddc"
+        assert any("mix" in reason for reason in result.reasons)
+
+    def test_growth_forces_ddc_family(self):
+        profile = WorkloadProfile(
+            n=10**4, d=2, query_fraction=1.0, needs_growth=True
+        )
+        result = recommend(profile)
+        assert result.method in ("ddc", "basic-ddc")
+        assert any("grow" in reason for reason in result.reasons)
+
+    def test_sparsity_forces_ddc_family(self):
+        profile = WorkloadProfile(n=10**4, d=2, query_fraction=1.0, density=0.001)
+        result = recommend(profile)
+        assert result.method in ("ddc", "basic-ddc")
+        assert any("sparse" in reason for reason in result.reasons)
+
+    def test_heavy_batching_rehabilitates_prefix_sums(self):
+        """With massive batches, PS's amortised update is workable again."""
+        profile = WorkloadProfile(
+            n=100,
+            d=2,
+            query_fraction=0.9,
+            updates_per_batch=100_000,
+        )
+        result = recommend(profile)
+        assert result.method in ("ps", "rps")
+
+    def test_costs_reported_for_all_candidates(self):
+        profile = WorkloadProfile(n=1000, d=2)
+        result = recommend(profile)
+        assert set(result.per_method_costs) == {
+            "naive",
+            "ps",
+            "rps",
+            "basic-ddc",
+            "ddc",
+        }
+        assert result.expected_op_cost == min(result.per_method_costs.values())
+
+    def test_recommendation_is_dataclass(self):
+        result = recommend(WorkloadProfile(n=100, d=2))
+        assert isinstance(result, Recommendation)
+        assert result.reasons

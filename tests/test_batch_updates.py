@@ -1,0 +1,153 @@
+"""Tests for batch updates (``add_many``) across all methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.methods import (
+    FenwickCube,
+    NaiveArray,
+    PrefixSumCube,
+    RelativePrefixSumCube,
+    method_class,
+    method_names,
+)
+from repro.workloads import dense_uniform, random_updates
+
+
+class TestSemantics:
+    @pytest.fixture(params=["naive", "ps", "rps", "fenwick", "basic-ddc", "ddc"])
+    def method(self, request):
+        data = dense_uniform((16, 16), seed=1)
+        return method_class(request.param).from_array(data)
+
+    def test_batch_equals_sequential(self, method):
+        updates = [(u.cell, u.delta) for u in random_updates((16, 16), 30, seed=2)]
+        sequential = method_class(method.name).from_array(method.to_dense())
+        for cell, delta in updates:
+            sequential.add(cell, delta)
+        method.add_many(updates)
+        assert np.array_equal(method.to_dense(), sequential.to_dense())
+        assert method.total() == sequential.total()
+
+    def test_empty_batch_is_noop(self, method):
+        before = method.to_dense()
+        method.add_many([])
+        assert np.array_equal(method.to_dense(), before)
+
+    def test_duplicate_cells_combine(self, method):
+        start = method.get((3, 3))
+        method.add_many([((3, 3), 5), ((3, 3), -2), ((3, 3), 1)])
+        assert method.get((3, 3)) == start + 4
+
+    def test_cancelling_batch_is_noop(self, method):
+        before = method.to_dense()
+        snapshot = method.stats.snapshot()
+        method.add_many([((4, 4), 7), ((4, 4), -7)])
+        assert np.array_equal(method.to_dense(), before)
+        # The zero-delta update must be skipped entirely.
+        assert method.stats.cell_writes == snapshot.cell_writes
+
+    def test_out_of_bounds_cell_rejected(self, method):
+        with pytest.raises(Exception):
+            method.add_many([((99, 0), 1)])
+
+
+class TestBatchCosts:
+    def test_ps_batch_cost_independent_of_size(self):
+        """One cube pass per batch: the batch-update economics of Section 1."""
+        shape = (64, 64)
+        data = dense_uniform(shape, seed=3)
+        small_batch = [(u.cell, u.delta) for u in random_updates(shape, 4, seed=4)]
+        large_batch = [(u.cell, u.delta) for u in random_updates(shape, 400, seed=5)]
+
+        ps = PrefixSumCube.from_array(data)
+        ps.stats.reset()
+        ps.add_many(small_batch)
+        small_cost = ps.stats.cell_writes
+
+        ps = PrefixSumCube.from_array(data)
+        ps.stats.reset()
+        ps.add_many(large_batch)
+        large_cost = ps.stats.cell_writes
+
+        assert small_cost == large_cost == 64 * 64
+
+    def test_ps_single_update_batch_uses_point_path(self):
+        ps = PrefixSumCube.from_array(dense_uniform((64, 64), seed=6))
+        ps.stats.reset()
+        ps.add_many([((63, 63), 5)])
+        assert ps.stats.cell_writes == 1
+
+    def test_ps_batch_beats_sequential(self):
+        shape = (64, 64)
+        data = dense_uniform(shape, seed=7)
+        updates = [(u.cell, u.delta) for u in random_updates(shape, 100, seed=8)]
+
+        batched = PrefixSumCube.from_array(data)
+        batched.stats.reset()
+        batched.add_many(updates)
+
+        sequential = PrefixSumCube.from_array(data)
+        sequential.stats.reset()
+        for cell, delta in updates:
+            sequential.add(cell, delta)
+
+        assert batched.stats.cell_writes < sequential.stats.cell_writes / 10
+        assert np.array_equal(batched.to_dense(), sequential.to_dense())
+
+    def test_fenwick_adaptive_small_batch(self):
+        fenwick = FenwickCube.from_array(dense_uniform((64, 64), seed=9))
+        fenwick.stats.reset()
+        fenwick.add_many([((10, 10), 1), ((20, 20), 2)])
+        # Two point updates, far below a full rebuild pass.
+        assert fenwick.stats.cell_writes < 200
+
+    def test_fenwick_adaptive_large_batch(self):
+        shape = (16, 16)
+        fenwick = FenwickCube.from_array(dense_uniform(shape, seed=10))
+        updates = [((x, y), 1) for x in range(16) for y in range(16)]
+        fenwick.stats.reset()
+        fenwick.add_many(updates)
+        # One rebuild pass (n^d writes) rather than 256 * log^2 n.
+        assert fenwick.stats.cell_writes == 16 * 16
+
+    def test_rps_batch_path_correct(self):
+        shape = (64, 64)
+        data = dense_uniform(shape, seed=11)
+        updates = [(u.cell, u.delta) for u in random_updates(shape, 300, seed=12)]
+        rps = RelativePrefixSumCube.from_array(data)
+        rps.add_many(updates)
+        oracle = NaiveArray.from_array(data)
+        for cell, delta in updates:
+            oracle.add(cell, delta)
+        assert np.array_equal(rps.to_dense(), oracle.to_dense())
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        name=st.sampled_from(["ps", "rps", "fenwick", "ddc"]),
+        seed=st.integers(0, 2**31),
+        batch_size=st.integers(0, 60),
+    )
+    def test_batch_matches_oracle(self, name, seed, batch_size):
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(2, 20)), int(rng.integers(2, 20)))
+        data = rng.integers(-9, 10, size=shape)
+        updates = [
+            (
+                tuple(int(rng.integers(0, s)) for s in shape),
+                int(rng.integers(-9, 10)),
+            )
+            for _ in range(batch_size)
+        ]
+        method = method_class(name).from_array(data)
+        method.add_many(updates)
+        oracle = NaiveArray.from_array(data)
+        for cell, delta in updates:
+            oracle.add(cell, delta)
+        assert np.array_equal(method.to_dense(), oracle.to_dense())

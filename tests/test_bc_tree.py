@@ -1,0 +1,300 @@
+"""Tests for the Cumulative B-Tree (B^c tree, Section 4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bc_tree import BcTree, _balanced_chunks
+from repro.counters import OpCounter
+from repro.exceptions import OutOfBoundsError, StructureError
+
+
+def reference_prefix(values: list, index: int) -> int:
+    return sum(values[: index + 1])
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = BcTree()
+        assert len(tree) == 0
+        assert tree.total() == 0
+        tree.validate()
+
+    def test_from_values_round_trip(self):
+        values = list(range(100))
+        tree = BcTree.from_values(values, fanout=4)
+        assert tree.to_list() == values
+        assert tree.total() == sum(values)
+        tree.validate()
+
+    def test_paper_example(self):
+        """The Figure 14 tree: rows [14, 9, 10, 12, 8, 13]."""
+        tree = BcTree.from_values([14, 9, 10, 12, 8, 13], fanout=3)
+        # Row sum value for cell 5 (paper counts rows from 1, so index 4):
+        # 33 (left STS) + 12 (preceding STS) + 8 (leaf) = 53.
+        assert tree.prefix_sum(4) == 53
+        assert tree.prefix_sum(0) == 14
+        assert tree.prefix_sum(1) == 23
+        assert tree.total() == 66
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            BcTree(fanout=2)
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 3, 4, 5, 15, 16, 17, 100, 257])
+    @pytest.mark.parametrize("fanout", [3, 4, 16])
+    def test_bulk_build_valid_at_all_sizes(self, size, fanout):
+        tree = BcTree.from_values(list(range(size)), fanout=fanout)
+        tree.validate()
+        assert len(tree) == size
+
+    def test_shared_counter(self):
+        counter = OpCounter()
+        tree = BcTree.from_values([1, 2, 3, 4], counter=counter)
+        tree.prefix_sum(2)
+        assert tree.stats is counter
+        assert counter.cell_reads > 0
+
+
+class TestQueries:
+    def test_prefix_sums_match_reference(self):
+        values = [7, -3, 0, 11, 2, 2, 9, -5, 4]
+        tree = BcTree.from_values(values, fanout=3)
+        for index in range(len(values)):
+            assert tree.prefix_sum(index) == reference_prefix(values, index)
+
+    def test_get_individual_rows(self):
+        values = [5, 1, 4, 1, 5, 9, 2, 6]
+        tree = BcTree.from_values(values, fanout=3)
+        for index, value in enumerate(values):
+            assert tree.get(index) == value
+
+    def test_out_of_range_queries(self):
+        tree = BcTree.from_values([1, 2, 3])
+        with pytest.raises(OutOfBoundsError):
+            tree.prefix_sum(3)
+        with pytest.raises(OutOfBoundsError):
+            tree.get(-1)
+
+    def test_query_cost_is_logarithmic(self):
+        """Paper: B^c access costs f * log_f k — node visits must be O(log k)."""
+        tree = BcTree.from_values(list(range(4096)), fanout=4)
+        tree.stats.reset()
+        tree.prefix_sum(4095)
+        # height <= ceil(log4(4096)) + 1 = 7
+        assert tree.stats.node_visits <= math.ceil(math.log(4096, 2)) + 1
+
+
+class TestPointUpdates:
+    def test_add_updates_prefixes(self):
+        values = [10, 20, 30, 40]
+        tree = BcTree.from_values(values, fanout=3)
+        tree.add(1, 5)
+        assert tree.get(1) == 25
+        assert tree.prefix_sum(0) == 10
+        assert tree.prefix_sum(3) == 105
+        tree.validate()
+
+    def test_set_replaces_value(self):
+        """The paper's update example: row 3 changes from 10 to 15."""
+        tree = BcTree.from_values([14, 9, 10, 12, 8, 13], fanout=3)
+        tree.set(2, 15)
+        assert tree.get(2) == 15
+        assert tree.prefix_sum(4) == 58  # 53 + 5
+        tree.validate()
+
+    def test_add_zero_is_free(self):
+        tree = BcTree.from_values([1, 2, 3])
+        before = tree.stats.snapshot()
+        tree.add(1, 0)
+        assert tree.stats.cell_writes == before.cell_writes
+
+    def test_update_cost_one_sts_per_level(self):
+        tree = BcTree.from_values(list(range(1024)), fanout=4)
+        tree.stats.reset()
+        tree.add(512, 7)
+        # one STS write per internal level plus the leaf write
+        assert tree.stats.cell_writes <= tree.height()
+
+
+class TestInsertDelete:
+    def test_append_sequence(self):
+        tree = BcTree(fanout=3)
+        for value in range(50):
+            tree.append(value)
+            tree.validate()
+        assert tree.to_list() == list(range(50))
+
+    def test_insert_front(self):
+        tree = BcTree(fanout=3)
+        for value in range(30):
+            tree.insert(0, value)
+            tree.validate()
+        assert tree.to_list() == list(reversed(range(30)))
+
+    def test_insert_middle_matches_list(self):
+        reference = []
+        tree = BcTree(fanout=4)
+        for step in range(60):
+            index = (step * 7) % (len(reference) + 1)
+            reference.insert(index, step)
+            tree.insert(index, step)
+        assert tree.to_list() == reference
+        tree.validate()
+
+    def test_insert_out_of_range(self):
+        tree = BcTree.from_values([1, 2])
+        with pytest.raises(OutOfBoundsError):
+            tree.insert(3, 9)
+
+    def test_delete_returns_value(self):
+        tree = BcTree.from_values([5, 6, 7], fanout=3)
+        assert tree.delete(1) == 6
+        assert tree.to_list() == [5, 7]
+        tree.validate()
+
+    def test_delete_everything(self):
+        tree = BcTree.from_values(list(range(40)), fanout=3)
+        for _ in range(40):
+            tree.delete(0)
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.total() == 0
+
+    def test_delete_from_back(self):
+        tree = BcTree.from_values(list(range(33)), fanout=4)
+        for size in range(32, -1, -1):
+            tree.delete(size)
+            tree.validate()
+        assert tree.to_list() == []
+
+    def test_delete_out_of_range(self):
+        tree = BcTree(fanout=3)
+        with pytest.raises(OutOfBoundsError):
+            tree.delete(0)
+
+    def test_interleaved_insert_delete_prefix(self):
+        reference = list(range(20))
+        tree = BcTree.from_values(reference, fanout=3)
+        operations = [
+            ("insert", 5, 100),
+            ("delete", 0, None),
+            ("insert", 0, -7),
+            ("delete", 10, None),
+            ("insert", 18, 3),
+        ]
+        for op, index, value in operations:
+            if op == "insert":
+                reference.insert(index, value)
+                tree.insert(index, value)
+            else:
+                reference.pop(index)
+                tree.delete(index)
+            tree.validate()
+            for probe in range(0, len(reference), 3):
+                assert tree.prefix_sum(probe) == reference_prefix(reference, probe)
+
+
+class TestMemoryAndHeight:
+    def test_memory_cells_counts_leaves_and_sts(self):
+        tree = BcTree.from_values([1, 2, 3])
+        assert tree.memory_cells() == 3  # single leaf, no internal nodes
+
+    def test_height_grows_logarithmically(self):
+        small = BcTree.from_values(list(range(4)), fanout=4)
+        large = BcTree.from_values(list(range(4096)), fanout=4)
+        assert small.height() == 1
+        assert 5 <= large.height() <= 8
+
+
+class TestBalancedChunks:
+    @given(st.integers(0, 500), st.integers(3, 16))
+    def test_chunk_fill_invariants(self, size, fanout):
+        chunks = _balanced_chunks(list(range(size)), fanout)
+        flattened = [item for chunk in chunks for item in chunk]
+        assert flattened == list(range(size))
+        if len(chunks) > 1:
+            assert all(fanout // 2 <= len(chunk) <= fanout for chunk in chunks)
+
+
+@st.composite
+def tree_operations(draw):
+    """A random sequence of B^c tree mutations."""
+    operations = []
+    size = draw(st.integers(0, 30))
+    for _ in range(draw(st.integers(0, 40))):
+        kind = draw(st.sampled_from(["insert", "delete", "add", "set"]))
+        if kind == "insert":
+            operations.append(("insert", draw(st.integers(0, 1000)), draw(st.integers(-50, 50))))
+        elif kind == "delete":
+            operations.append(("delete", draw(st.integers(0, 1000)), 0))
+        else:
+            operations.append((kind, draw(st.integers(0, 1000)), draw(st.integers(-50, 50))))
+    return size, operations
+
+
+class TestPropertyBased:
+    @settings(max_examples=150, deadline=None)
+    @given(tree_operations(), st.integers(3, 8))
+    def test_random_operation_sequences_match_list(self, scenario, fanout):
+        """Whole-lifecycle equivalence against a plain Python list."""
+        size, operations = scenario
+        reference = list(range(size))
+        tree = BcTree.from_values(reference, fanout=fanout)
+        for kind, position, value in operations:
+            if kind == "insert":
+                index = position % (len(reference) + 1)
+                reference.insert(index, value)
+                tree.insert(index, value)
+            elif kind == "delete":
+                if not reference:
+                    continue
+                index = position % len(reference)
+                assert tree.delete(index) == reference.pop(index)
+            elif kind == "add":
+                if not reference:
+                    continue
+                index = position % len(reference)
+                reference[index] += value
+                tree.add(index, value)
+            else:  # set
+                if not reference:
+                    continue
+                index = position % len(reference)
+                reference[index] = value
+                tree.set(index, value)
+        tree.validate()
+        assert tree.to_list() == reference
+        assert tree.total() == sum(reference)
+        for index in range(len(reference)):
+            assert tree.prefix_sum(index) == reference_prefix(reference, index)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), max_size=200), st.integers(3, 16))
+    def test_bulk_build_equals_incremental_appends(self, values, fanout):
+        bulk = BcTree.from_values(values, fanout=fanout)
+        incremental = BcTree(fanout=fanout)
+        for value in values:
+            incremental.append(value)
+        assert bulk.to_list() == incremental.to_list()
+        bulk.validate()
+        incremental.validate()
+
+
+class TestValidateDetectsCorruption:
+    def test_corrupted_sum_cache_detected(self):
+        tree = BcTree.from_values(list(range(64)), fanout=4)
+        node = tree._root
+        node.sums[0] += 1  # sabotage
+        with pytest.raises(StructureError):
+            tree.validate()
+
+    def test_corrupted_count_cache_detected(self):
+        tree = BcTree.from_values(list(range(64)), fanout=4)
+        tree._root.counts[0] -= 1
+        with pytest.raises(StructureError):
+            tree.validate()

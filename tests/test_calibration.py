@@ -1,0 +1,123 @@
+"""Tests for the model-calibration fitting utilities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.calibration import (
+    classify_growth,
+    constant_factor,
+    fit_polylog,
+    fit_power_law,
+)
+
+
+def power_series(exponent, coefficient=3.0, ns=(16, 32, 64, 128, 256, 512)):
+    return list(ns), [coefficient * n**exponent for n in ns]
+
+
+def polylog_series(exponent, coefficient=2.0, ns=(16, 32, 64, 128, 256, 512)):
+    return list(ns), [coefficient * math.log2(n) ** exponent for n in ns]
+
+
+class TestFitPowerLaw:
+    @pytest.mark.parametrize("exponent", [0.5, 1.0, 2.0, 3.0])
+    def test_recovers_exact_exponent(self, exponent):
+        ns, costs = power_series(exponent)
+        fit = fit_power_law(ns, costs)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-6)
+        assert fit.residual < 1e-9
+
+    def test_predict(self):
+        ns, costs = power_series(2.0)
+        fit = fit_power_law(ns, costs)
+        assert fit.predict(1024) == pytest.approx(3.0 * 1024**2, rel=1e-6)
+
+    def test_noisy_series_still_close(self, rng):
+        ns, costs = power_series(2.0)
+        noisy = [c * float(rng.uniform(0.9, 1.1)) for c in costs]
+        fit = fit_power_law(ns, noisy)
+        assert fit.exponent == pytest.approx(2.0, abs=0.15)
+        assert fit.residual > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2, 4], [1, 2])  # too few points
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 4], [1, 2, 3])  # n <= 1
+        with pytest.raises(ValueError):
+            fit_power_law([2, 4, 8], [1, 0, 3])  # non-positive cost
+        with pytest.raises(ValueError):
+            fit_power_law([2, 4, 8], [1, 2])  # length mismatch
+
+
+class TestFitPolylog:
+    @pytest.mark.parametrize("exponent", [1.0, 2.0, 3.0])
+    def test_recovers_exact_exponent(self, exponent):
+        ns, costs = polylog_series(exponent)
+        fit = fit_polylog(ns, costs)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-4)
+        assert fit.coefficient == pytest.approx(2.0, rel=1e-3)
+
+    def test_predict(self):
+        ns, costs = polylog_series(2.0)
+        fit = fit_polylog(ns, costs)
+        assert fit.predict(1024) == pytest.approx(2.0 * 10**2, rel=1e-3)
+
+
+class TestClassifyGrowth:
+    def test_polynomial_series_classified(self):
+        ns, costs = power_series(2.0)
+        result = classify_growth(ns, costs)
+        assert result.family == "polynomial"
+        assert result.fitted_exponent == pytest.approx(2.0, abs=0.05)
+
+    def test_polylog_series_classified(self):
+        ns, costs = polylog_series(2.0)
+        result = classify_growth(ns, costs)
+        assert result.family == "polylogarithmic"
+        assert result.fitted_exponent == pytest.approx(2.0, abs=0.2)
+
+    def test_linear_series_is_polynomial(self):
+        ns, costs = power_series(1.0)
+        assert classify_growth(ns, costs).family == "polynomial"
+
+    def test_measured_ddc_series_is_polylog(self):
+        """The actual d=2 measurements from the F1 experiment."""
+        ns = [32, 64, 128, 256, 512]
+        measured = [13, 18, 23, 28, 33]
+        assert classify_growth(ns, measured).family == "polylogarithmic"
+
+    def test_measured_ps_series_is_polynomial(self):
+        ns = [32, 64, 128, 256, 512]
+        measured = [1024, 4096, 16384, 65536, 262144]
+        result = classify_growth(ns, measured)
+        assert result.family == "polynomial"
+        assert result.fitted_exponent == pytest.approx(2.0, abs=0.01)
+
+
+class TestConstantFactor:
+    def test_exact_rescaling(self):
+        modelled = [10.0, 20.0, 40.0]
+        measured = [25.0, 50.0, 100.0]
+        factor, spread = constant_factor(measured, modelled)
+        assert factor == pytest.approx(2.5)
+        assert spread == pytest.approx(0.0, abs=1e-12)
+
+    def test_spread_reflects_noise(self):
+        modelled = [10.0, 20.0, 40.0]
+        measured = [20.0, 50.0, 70.0]
+        _, spread = constant_factor(measured, modelled)
+        assert spread > 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_factor([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            constant_factor([], [])
+        with pytest.raises(ValueError):
+            constant_factor([1.0, -1.0], [1.0, 1.0])

@@ -1,0 +1,148 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.persist import load_cube, save_cube
+from repro import DynamicDataCube, GrowableCube
+
+
+@pytest.fixture
+def points_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text("x,y,sales\n0,0,10\n3,4,25\n7,7,5\n3,4,15\n")
+    return path
+
+
+@pytest.fixture
+def cube_file(tmp_path, points_csv):
+    path = tmp_path / "cube.npz"
+    assert main(["build", str(points_csv), str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_from_csv(self, cube_file):
+        cube = load_cube(cube_file)
+        assert cube.name == "ddc"
+        assert cube.shape == (8, 8)
+        assert cube.get((3, 4)) == 40  # duplicate rows combined
+        assert cube.total() == 55
+
+    def test_build_other_method(self, tmp_path, points_csv):
+        path = tmp_path / "ps.npz"
+        assert main(["build", str(points_csv), str(path), "--method", "ps"]) == 0
+        assert load_cube(path).name == "ps"
+
+    def test_build_float_measure(self, tmp_path):
+        source = tmp_path / "f.csv"
+        source.write_text("0,0,1.5\n1,1,2.25\n")
+        path = tmp_path / "f.npz"
+        assert main(["build", str(source), str(path), "--float"]) == 0
+        assert load_cube(path).total() == pytest.approx(3.75)
+
+    def test_build_from_npy(self, tmp_path, rng):
+        data = rng.integers(0, 9, size=(6, 5))
+        source = tmp_path / "a.npy"
+        np.save(source, data)
+        path = tmp_path / "a.npz"
+        assert main(["build", str(source), str(path)]) == 0
+        assert np.array_equal(load_cube(path).to_dense(), data)
+
+    def test_build_three_dims(self, tmp_path):
+        source = tmp_path / "p3.csv"
+        source.write_text("1,2,3,10\n0,0,0,5\n")
+        path = tmp_path / "c3.npz"
+        assert main(["build", str(source), str(path), "--dims", "3"]) == 0
+        cube = load_cube(path)
+        assert cube.shape == (2, 3, 4)
+        assert cube.total() == 15
+
+    def test_build_rejects_bad_columns(self, tmp_path):
+        source = tmp_path / "bad.csv"
+        source.write_text("1,2\n")
+        with pytest.raises(SystemExit):
+            main(["build", str(source), str(tmp_path / "x.npz")])
+
+    def test_build_rejects_non_numeric_data_row(self, tmp_path):
+        source = tmp_path / "bad.csv"
+        source.write_text("0,0,5\noops,1,2\n")
+        with pytest.raises(SystemExit):
+            main(["build", str(source), str(tmp_path / "x.npz")])
+
+    def test_build_rejects_empty_file(self, tmp_path):
+        source = tmp_path / "empty.csv"
+        source.write_text("\n")
+        with pytest.raises(SystemExit):
+            main(["build", str(source), str(tmp_path / "x.npz")])
+
+
+class TestQuery:
+    def test_range_query(self, cube_file, capsys):
+        assert main(["query", str(cube_file), "--low", "0", "0", "--high", "7", "7"]) == 0
+        assert capsys.readouterr().out.strip() == "55"
+
+    def test_prefix_query(self, cube_file, capsys):
+        assert main(["query", str(cube_file), "--low", "3", "4"]) == 0
+        assert capsys.readouterr().out.strip() == "50"
+
+
+class TestUpdate:
+    def test_update_persists(self, cube_file, capsys):
+        assert main(
+            ["update", str(cube_file), "--cell", "1", "1", "--delta", "100"]
+        ) == 0
+        cube = load_cube(cube_file)
+        assert cube.get((1, 1)) == 100
+        assert cube.total() == 155
+
+
+class TestInfo:
+    def test_info_method_cube(self, cube_file, capsys):
+        assert main(["info", str(cube_file)]) == 0
+        out = capsys.readouterr().out
+        assert "method:        ddc" in out
+        assert "shape:         (8, 8)" in out
+        assert "total:         55" in out
+
+    def test_info_growable_cube(self, tmp_path, capsys):
+        grown = GrowableCube(dims=2)
+        grown.add((-5, 9), 3)
+        path = tmp_path / "g.npz"
+        save_cube(grown, path)
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "growable cube" in out
+        assert "bounds:" in out
+
+
+class TestArtifacts:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1E+72" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "75.00%" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table1_custom_dims(self, capsys):
+        assert main(["table1", "--dims", "2"]) == 0
+        assert "d=2" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,89 @@
+"""Tests for structure conversion and rebuild utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.convert import convert, rebuild
+from repro.core.ddc import DynamicDataCube
+from repro.exceptions import UnknownMethodError
+from repro.methods import build_method, method_names
+from repro.workloads import clustered, dense_uniform
+
+
+class TestConvert:
+    @pytest.mark.parametrize("source", ["naive", "ps", "ddc"])
+    @pytest.mark.parametrize("target", ["naive", "ps", "rps", "fenwick", "basic-ddc", "ddc"])
+    def test_all_pairs_preserve_contents(self, source, target, rng):
+        data = rng.integers(-9, 10, size=(13, 9))
+        original = build_method(source, data)
+        converted = convert(original, target)
+        assert converted.name == target
+        assert np.array_equal(converted.to_dense(), data)
+        assert converted.total() == data.sum()
+
+    def test_source_unchanged(self, rng):
+        data = rng.integers(0, 9, size=(8, 8))
+        original = build_method("ddc", data)
+        converted = convert(original, "ps")
+        converted.add((0, 0), 100)
+        assert np.array_equal(original.to_dense(), data)
+
+    def test_target_options_forwarded(self, rng):
+        data = rng.integers(0, 9, size=(16, 16))
+        converted = convert(build_method("naive", data), "ddc", leaf_side=8)
+        assert converted.leaf_side == 8
+        assert np.array_equal(converted.to_dense(), data)
+
+    def test_sparse_to_sparse_stays_sparse(self):
+        domain = (512, 512)
+        data = clustered(domain, clusters=2, points_per_cluster=50, seed=1)
+        source = DynamicDataCube.from_array(data)
+        converted = convert(source, "ddc", leaf_side=4)
+        assert np.array_equal(converted.to_dense(), data)
+        # Conversion never materialised the domain.
+        assert converted.memory_cells() < data.size / 10
+
+    def test_unknown_target_rejected(self, rng):
+        original = build_method("naive", rng.integers(0, 3, size=(4, 4)))
+        with pytest.raises(UnknownMethodError):
+            convert(original, "mythical-tree")
+
+    def test_float_dtype_preserved(self):
+        data = np.full((4, 4), 0.25)
+        converted = convert(build_method("ps", data), "ddc")
+        assert converted.dtype == np.float64
+        assert converted.total() == pytest.approx(4.0)
+
+    def test_three_dimensional(self, rng):
+        data = rng.integers(0, 5, size=(5, 6, 7))
+        converted = convert(build_method("fenwick", data), "ddc")
+        assert np.array_equal(converted.to_dense(), data)
+
+
+class TestRebuild:
+    def test_releveling(self, rng):
+        data = rng.integers(0, 9, size=(32, 32))
+        cube = DynamicDataCube.from_array(data, leaf_side=2, bc_fanout=4)
+        relevelled = rebuild(cube, leaf_side=16)
+        assert relevelled.leaf_side == 16
+        assert relevelled.bc_fanout == 4  # carried over
+        assert np.array_equal(relevelled.to_dense(), data)
+        relevelled.validate()
+
+    def test_secondary_swap(self, rng):
+        data = rng.integers(0, 9, size=(16, 16))
+        cube = DynamicDataCube.from_array(data)
+        swapped = rebuild(cube, secondary_kind="fenwick")
+        assert swapped.secondary_kind == "fenwick"
+        assert np.array_equal(swapped.to_dense(), data)
+
+    def test_rebuild_keeps_class(self, rng):
+        from repro.core.basic_ddc import BasicDynamicDataCube
+
+        data = rng.integers(0, 9, size=(8, 8))
+        basic = BasicDynamicDataCube.from_array(data)
+        rebuilt = rebuild(basic, leaf_side=4)
+        assert isinstance(rebuilt, BasicDynamicDataCube)
+        assert np.array_equal(rebuilt.to_dense(), data)

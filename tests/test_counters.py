@@ -1,0 +1,66 @@
+"""Tests for the operation-counting substrate."""
+
+from __future__ import annotations
+
+from repro.counters import CostSample, MeasurementSession, OpCounter
+
+
+class TestOpCounter:
+    def test_starts_at_zero(self):
+        counter = OpCounter()
+        assert counter.cell_reads == 0
+        assert counter.cell_writes == 0
+        assert counter.node_visits == 0
+        assert counter.total_cell_ops == 0
+
+    def test_total_cell_ops(self):
+        counter = OpCounter(cell_reads=3, cell_writes=5)
+        assert counter.total_cell_ops == 8
+
+    def test_reset(self):
+        counter = OpCounter(1, 2, 3)
+        counter.reset()
+        assert counter.total_cell_ops == 0
+        assert counter.node_visits == 0
+
+    def test_snapshot_is_independent(self):
+        counter = OpCounter(1, 1, 1)
+        snap = counter.snapshot()
+        counter.cell_reads += 10
+        assert snap.cell_reads == 1
+
+    def test_diff(self):
+        counter = OpCounter(5, 7, 2)
+        earlier = OpCounter(1, 2, 1)
+        delta = counter.diff(earlier)
+        assert (delta.cell_reads, delta.cell_writes, delta.node_visits) == (4, 5, 1)
+
+    def test_merge(self):
+        counter = OpCounter(1, 1, 1)
+        counter.merge(OpCounter(2, 3, 4))
+        assert (counter.cell_reads, counter.cell_writes, counter.node_visits) == (
+            3,
+            4,
+            5,
+        )
+
+
+class TestMeasurementSession:
+    def test_record_and_filter(self):
+        session = MeasurementSession("demo")
+        session.record(CostSample("ddc", 64, 2, "update", 12.0))
+        session.record(CostSample("ps", 64, 2, "query", 4.0))
+        assert len(session.rows_for("update")) == 1
+        assert session.rows_for("query")[0].method == "ps"
+
+    def test_render_contains_all_rows(self):
+        session = MeasurementSession("demo")
+        session.record(CostSample("ddc", 64, 2, "update", 12.5, seconds=0.001))
+        text = session.render()
+        assert "demo" in text
+        assert "ddc" in text
+        assert "12.5" in text
+
+    def test_sample_row_shape(self):
+        sample = CostSample("rps", 128, 3, "query", 9.0, seconds=0.5, samples=10)
+        assert sample.as_row() == ("rps", 128, 3, "query", 9.0, 0.5, 10)

@@ -1,0 +1,392 @@
+"""Tests for the Dynamic Data Cube primary tree (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DynamicDataCube, NaiveArray
+from repro.exceptions import OutOfBoundsError, StructureError
+
+
+def build_random(shape, seed=0, **options):
+    rng = np.random.default_rng(seed)
+    array = rng.integers(0, 10, size=shape)
+    return DynamicDataCube.from_array(array, **options), array
+
+
+class TestConstruction:
+    def test_empty_cube(self):
+        cube = DynamicDataCube((8, 8))
+        assert cube.total() == 0
+        assert cube.memory_cells() == 0  # fully lazy
+        assert cube.prefix_sum((7, 7)) == 0
+
+    def test_capacity_pads_to_power_of_two(self):
+        cube = DynamicDataCube((5, 9))
+        assert cube._capacity == 16
+        assert cube.shape == (5, 9)
+
+    def test_leaf_side_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            DynamicDataCube((8, 8), leaf_side=3)
+
+    def test_unknown_secondary_kind(self):
+        with pytest.raises(ValueError):
+            DynamicDataCube((8, 8), secondary_kind="skiplist")
+
+    def test_from_array_round_trip(self):
+        cube, array = build_random((12, 7), seed=1)
+        assert np.array_equal(cube.to_dense(), array)
+        cube.validate()
+
+    def test_from_all_zero_array_stays_lazy(self):
+        cube = DynamicDataCube.from_array(np.zeros((16, 16), dtype=np.int64))
+        assert cube.memory_cells() == 0
+
+    def test_bulk_build_equals_incremental(self):
+        rng = np.random.default_rng(9)
+        array = rng.integers(0, 10, size=(16, 16))
+        bulk = DynamicDataCube.from_array(array)
+        incremental = DynamicDataCube(array.shape)
+        for cell in np.ndindex(*array.shape):
+            if array[cell]:
+                incremental.add(cell, int(array[cell]))
+        bulk.validate()
+        incremental.validate()
+        assert np.array_equal(bulk.to_dense(), incremental.to_dense())
+        for probe in [(0, 0), (7, 7), (15, 15), (3, 12)]:
+            assert bulk.prefix_sum(probe) == incremental.prefix_sum(probe)
+
+
+class TestQueries:
+    @pytest.mark.parametrize("shape", [(16,), (16, 16), (8, 8, 8)])
+    def test_prefix_matches_cumsum(self, shape):
+        cube, array = build_random(shape, seed=2)
+        prefix = array.copy()
+        for axis in range(array.ndim):
+            prefix = np.cumsum(prefix, axis=axis)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            cell = tuple(int(rng.integers(0, s)) for s in shape)
+            assert cube.prefix_sum(cell) == prefix[cell]
+
+    def test_range_sum_matches_naive(self):
+        cube, array = build_random((20, 13), seed=4)
+        naive = NaiveArray.from_array(array)
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            low = tuple(int(rng.integers(0, s)) for s in array.shape)
+            high = tuple(int(rng.integers(lo, s)) for lo, s in zip(low, array.shape))
+            assert cube.range_sum(low, high) == naive.range_sum(low, high)
+
+    def test_query_visits_exactly_log_levels(self):
+        """Theorem 1: one child descended per level — log2(n) node visits."""
+        cube, _ = build_random((64, 64), seed=6)
+        cube.stats.reset()
+        cube.prefix_sum((63, 63))
+        internal_levels = int(math.log2(64 // cube.leaf_side))
+        # Primary-tree visits are exactly the internal levels; secondary
+        # structures account for any further node visits.
+        assert cube.stats.node_visits >= internal_levels
+
+    def test_primary_navigation_is_logarithmic(self):
+        """Primary node visits for n=256 vs n=16 differ by the log ratio."""
+        small, _ = build_random((16, 16), seed=7, secondary_kind="fenwick")
+        large, _ = build_random((256, 256), seed=7, secondary_kind="fenwick")
+        # Fenwick secondaries do not touch node_visits, isolating the
+        # primary-tree navigation in the counter.
+        small.stats.reset()
+        small.prefix_sum((15, 15))
+        large.stats.reset()
+        large.prefix_sum((255, 255))
+        assert small.stats.node_visits == int(math.log2(16 // 2))
+        assert large.stats.node_visits == int(math.log2(256 // 2))
+
+    def test_out_of_bounds(self):
+        cube = DynamicDataCube((8, 8))
+        with pytest.raises(OutOfBoundsError):
+            cube.prefix_sum((8, 0))
+
+
+class TestUpdates:
+    def test_add_then_get(self):
+        cube = DynamicDataCube((32, 32))
+        cube.add((17, 3), 9)
+        assert cube.get((17, 3)) == 9
+        assert cube.get((3, 17)) == 0
+        assert cube.total() == 9
+
+    def test_set_semantics(self):
+        cube = DynamicDataCube((8, 8))
+        cube.set((2, 2), 5)
+        cube.set((2, 2), 3)
+        assert cube.get((2, 2)) == 3
+        assert cube.total() == 3
+
+    def test_add_zero_allocates_nothing(self):
+        cube = DynamicDataCube((32, 32))
+        cube.add((5, 5), 0)
+        assert cube.memory_cells() == 0
+
+    def test_updates_keep_structure_valid(self):
+        cube, array = build_random((16, 16), seed=8)
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            cell = tuple(int(rng.integers(0, 16)) for _ in range(2))
+            delta = int(rng.integers(-5, 6))
+            cube.add(cell, delta)
+            array[cell] += delta
+        cube.validate()
+        assert np.array_equal(cube.to_dense(), array)
+
+    def test_worst_case_update_is_polylogarithmic(self):
+        """The headline claim: origin updates cost O(log^d n), not O(n^d)."""
+        cube = DynamicDataCube((256, 256))
+        cube.add((0, 0), 1)  # allocate the path
+        cube.stats.reset()
+        cube.add((0, 0), 1)
+        ops = cube.stats.total_cell_ops
+        # (log2 256)^2 = 64; allow a generous constant factor, but stay
+        # far below the 65536 cells PS would rewrite.
+        assert ops < 1500
+        assert ops < 256 * 256 / 40
+
+    def test_update_costs_shrink_after_allocation(self):
+        cube = DynamicDataCube((64, 64))
+        cube.add((10, 10), 1)
+        first_build = cube.stats.total_cell_ops
+        cube.stats.reset()
+        cube.add((10, 10), 1)
+        assert cube.stats.total_cell_ops <= first_build
+
+
+class TestLeafSideElision:
+    """Section 4.4: trading query adds for storage."""
+
+    @pytest.mark.parametrize("leaf_side", [1, 2, 4, 8, 16])
+    def test_equivalence_across_leaf_sides(self, leaf_side):
+        cube, array = build_random((16, 16), seed=10, leaf_side=leaf_side)
+        prefix = array.cumsum(axis=0).cumsum(axis=1)
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            cell = tuple(int(rng.integers(0, 16)) for _ in range(2))
+            assert cube.prefix_sum(cell) == prefix[cell]
+
+    def test_larger_leaves_use_less_memory(self):
+        dense = np.ones((64, 64), dtype=np.int64)
+        cells = [
+            DynamicDataCube.from_array(dense, leaf_side=leaf).memory_cells()
+            for leaf in (2, 4, 8, 16)
+        ]
+        assert cells == sorted(cells, reverse=True)
+        # With leaf_side = n the structure is within epsilon of |A|.
+        flat = DynamicDataCube.from_array(dense, leaf_side=64)
+        assert flat.memory_cells() == 64 * 64
+
+    def test_height_reflects_elision(self):
+        cube = DynamicDataCube((64, 64), leaf_side=2)
+        elided = DynamicDataCube((64, 64), leaf_side=8)
+        assert cube.height() == 5
+        assert elided.height() == 3
+
+
+class TestSecondaryKinds:
+    @pytest.mark.parametrize("secondary_kind", ["ddc", "fenwick"])
+    @pytest.mark.parametrize("shape", [(16, 16), (8, 8, 8)])
+    def test_secondary_kinds_equivalent(self, secondary_kind, shape):
+        cube, array = build_random(shape, seed=12, secondary_kind=secondary_kind)
+        naive = NaiveArray.from_array(array)
+        rng = np.random.default_rng(13)
+        for _ in range(15):
+            cell = tuple(int(rng.integers(0, s)) for s in shape)
+            cube.add(cell, 3)
+            naive.add(cell, 3)
+        for _ in range(20):
+            low = tuple(int(rng.integers(0, s)) for s in shape)
+            high = tuple(int(rng.integers(lo, s)) for lo, s in zip(low, shape))
+            assert cube.range_sum(low, high) == naive.range_sum(low, high)
+
+    def test_recursive_secondaries_in_three_dims(self):
+        """d=3: groups are 2-d, stored in 2-d DDCs whose groups are B^c trees."""
+        cube, array = build_random((8, 8, 8), seed=14, secondary_kind="ddc")
+        assert cube.prefix_sum((7, 7, 7)) == array.sum()
+        cube.validate()
+
+
+class TestSparsity:
+    def test_memory_proportional_to_population(self):
+        sparse = DynamicDataCube((256, 256))
+        for index in range(16):
+            sparse.add((index, index), 1)
+        dense_equivalent = 256 * 256
+        assert sparse.memory_cells() < dense_equivalent / 20
+
+    def test_cluster_cost_independent_of_domain_size(self):
+        small = DynamicDataCube((64, 64))
+        huge = DynamicDataCube((4096, 4096))
+        for cube in (small, huge):
+            for dx in range(4):
+                for dy in range(4):
+                    cube.add((dx, dy), 5)
+        # The huge domain only pays for extra path levels, not area.
+        assert huge.memory_cells() < small.memory_cells() * 4
+
+
+class TestExpansion:
+    def test_expand_into_upper_corner(self):
+        cube = DynamicDataCube((8, 8))
+        cube.add((3, 3), 7)
+        cube.expand(0)  # old cube stays at the low corner
+        assert cube.shape == (16, 16)
+        assert cube.get((3, 3)) == 7
+        assert cube.prefix_sum((15, 15)) == 7
+        cube.validate()
+
+    def test_expand_into_lower_corner(self):
+        cube = DynamicDataCube((8, 8))
+        cube.add((3, 3), 7)
+        cube.expand(3)  # old cube becomes the high corner in both dims
+        assert cube.get((3 + 8, 3 + 8)) == 7
+        assert cube.prefix_sum((7, 7)) == 0
+        assert cube.prefix_sum((15, 15)) == 7
+        cube.validate()
+
+    def test_expand_preserves_random_content(self):
+        cube, array = build_random((16, 16), seed=15)
+        cube.expand(1)
+        padded = np.zeros((32, 32), dtype=np.int64)
+        padded[16:32, 0:16] = array  # bit 0 set -> upper half of dim 0
+        assert np.array_equal(cube.to_dense(), padded)
+        cube.validate()
+
+    def test_expand_empty_cube(self):
+        cube = DynamicDataCube((8, 8))
+        cube.expand(2)
+        assert cube.shape == (16, 16)
+        assert cube.total() == 0
+
+    def test_expand_rejects_bad_mask(self):
+        cube = DynamicDataCube((8, 8))
+        with pytest.raises(ValueError):
+            cube.expand(4)
+
+    def test_repeated_expansion_with_updates(self):
+        cube = DynamicDataCube((4, 4))
+        cube.add((1, 1), 3)
+        for corner in (0, 3, 1, 2):
+            cube.expand(corner)
+            cube.validate()
+        assert cube.total() == 3
+        # Updates after expansion still work everywhere.
+        top = cube.shape[0] - 1
+        cube.add((top, top), 2)
+        assert cube.total() == 5
+        cube.validate()
+
+
+class TestValidateDetectsCorruption:
+    def test_subtotal_corruption_detected(self):
+        cube, _ = build_random((16, 16), seed=16)
+        node = cube._root
+        overlay = next(o for o in node.overlays if o is not None)
+        overlay._subtotal += 1
+        with pytest.raises(StructureError):
+            cube.validate()
+
+    def test_total_corruption_detected(self):
+        cube, _ = build_random((16, 16), seed=17)
+        cube._total += 1
+        with pytest.raises(StructureError):
+            cube.validate()
+
+
+class TestSparseIteration:
+    def test_iter_nonzero_matches_dense(self):
+        cube, array = build_random((12, 9), seed=20)
+        collected = dict(cube.iter_nonzero())
+        expected = {
+            tuple(int(c) for c in cell): array[tuple(cell)]
+            for cell in np.argwhere(array != 0)
+        }
+        assert collected == expected
+
+    def test_iter_nonzero_skips_padding(self):
+        cube = DynamicDataCube((5, 5))
+        cube.add((4, 4), 3)
+        assert list(cube.iter_nonzero()) == [((4, 4), 3)]
+
+    def test_iter_nonzero_empty_cube(self):
+        assert list(DynamicDataCube((8, 8)).iter_nonzero()) == []
+
+    def test_iter_blocks_cover_population(self):
+        cube, array = build_random((16, 16), seed=21)
+        total = sum(block.sum() for _, block in cube.iter_blocks())
+        assert total == array.sum()
+
+    def test_iter_cost_proportional_to_data(self):
+        sparse = DynamicDataCube((4096, 4096))
+        sparse.add((0, 0), 1)
+        sparse.add((4000, 4000), 2)
+        items = list(sparse.iter_nonzero())
+        assert sorted(items) == [((0, 0), 1), ((4000, 4000), 2)]
+
+
+class TestStorageBreakdown:
+    def test_components_sum_to_memory_cells(self):
+        cube, _ = build_random((32, 32), seed=22)
+        breakdown = cube.storage_breakdown()
+        assert breakdown["total"] == cube.memory_cells()
+        assert breakdown["blocks"] + breakdown["subtotals"] + breakdown["groups"] == (
+            breakdown["total"]
+        )
+
+    def test_dense_cube_blocks_match_domain(self):
+        cube, _ = build_random((16, 16), seed=23)
+        assert cube.storage_breakdown()["blocks"] == 16 * 16
+
+    def test_empty_cube_breakdown(self):
+        cube = DynamicDataCube((16, 16))
+        breakdown = cube.storage_breakdown()
+        assert breakdown == {"blocks": 0, "subtotals": 0, "groups": 0, "total": 0}
+
+    def test_group_share_shrinks_with_elision(self):
+        dense = np.ones((64, 64), dtype=np.int64)
+        shares = []
+        for leaf_side in (2, 16):
+            cube = DynamicDataCube.from_array(dense, leaf_side=leaf_side)
+            breakdown = cube.storage_breakdown()
+            shares.append(breakdown["groups"] / breakdown["total"])
+        assert shares[1] < shares[0]
+
+
+class TestHighDimensionality:
+    """The recursion of Section 4.2 at depth: d-1 nested secondary levels."""
+
+    @pytest.mark.parametrize("dims,side", [(4, 8), (5, 4)])
+    def test_matches_naive_in_high_dims(self, dims, side):
+        rng = np.random.default_rng(24)
+        shape = (side,) * dims
+        array = rng.integers(0, 5, size=shape)
+        cube = DynamicDataCube.from_array(array)
+        naive = NaiveArray.from_array(array)
+        for _ in range(10):
+            cell = tuple(int(rng.integers(0, side)) for _ in range(dims))
+            cube.add(cell, 2)
+            naive.add(cell, 2)
+        for _ in range(15):
+            low = tuple(int(rng.integers(0, side)) for _ in range(dims))
+            high = tuple(int(rng.integers(lo, side)) for lo in low)
+            assert cube.range_sum(low, high) == naive.range_sum(low, high)
+        assert cube.total() == naive.total()
+
+    def test_update_stays_far_below_cube_size_at_d4(self):
+        side = 16
+        cube = DynamicDataCube((side,) * 4)
+        cube.add((0, 0, 0, 0), 1)
+        cube.stats.reset()
+        cube.add((0, 0, 0, 0), 1)
+        # n^d = 65,536 cells; the DDC touches a few hundred at most.
+        assert cube.stats.total_cell_ops < side**4 / 50

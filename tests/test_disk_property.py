@@ -1,0 +1,89 @@
+"""Property tests for the disk engines against in-memory oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keyed_bc_tree import KeyedBcTree
+from repro.methods import NaiveArray
+from repro.storage import DiskBcTree, DiskDynamicDataCube, PageFile
+
+
+class TestDiskBcTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(-200, 200), st.integers(-9, 9)), max_size=60
+        ),
+        cache_pages=st.sampled_from([1, 3, 16]),
+        page_size=st.sampled_from([128, 512]),
+    )
+    def test_matches_in_memory_tree(
+        self, tmp_path_factory, operations, cache_pages, page_size
+    ):
+        tmp = tmp_path_factory.mktemp("disk")
+        with PageFile(tmp / "t.pf", page_size=page_size) as pages:
+            disk = DiskBcTree(pages, cache_pages=cache_pages)
+            memory = KeyedBcTree()
+            for key, delta in operations:
+                disk.add(key, delta)
+                memory.add(key, delta)
+            assert disk.total() == memory.total()
+            assert len(disk) == len(memory)
+            for probe in range(-220, 221, 37):
+                assert disk.prefix_sum(probe) == memory.prefix_sum(probe)
+            assert list(disk.items()) == list(memory.items())
+            disk.validate()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_flush_reopen_is_lossless(self, tmp_path_factory, seed):
+        rng = np.random.default_rng(seed)
+        tmp = tmp_path_factory.mktemp("disk")
+        path = tmp / "t.pf"
+        items = {}
+        with PageFile(path, page_size=256) as pages:
+            tree = DiskBcTree(pages, cache_pages=2)
+            for _ in range(int(rng.integers(0, 80))):
+                key = int(rng.integers(0, 500))
+                delta = int(rng.integers(1, 9))
+                tree.add(key, delta)
+                items[key] = items.get(key, 0) + delta
+            meta = tree.meta_page
+            tree.flush()
+        with PageFile(path, page_size=256) as pages:
+            tree = DiskBcTree(pages, meta_page=meta)
+            assert dict(tree.items()) == items
+            tree.validate()
+
+
+class TestDiskDdcProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        node_cache=st.sampled_from([2, 64]),
+        leaf_side=st.sampled_from([2, 4]),
+    )
+    def test_matches_naive_oracle(self, tmp_path_factory, seed, node_cache, leaf_side):
+        rng = np.random.default_rng(seed)
+        shape = (int(rng.integers(2, 40)), int(rng.integers(2, 40)))
+        tmp = tmp_path_factory.mktemp("ddc")
+        with PageFile(tmp / "c.pf", page_size=512) as pages:
+            cube = DiskDynamicDataCube(
+                shape, pages, node_cache=node_cache, leaf_side=leaf_side
+            )
+            oracle = NaiveArray(shape)
+            for _ in range(int(rng.integers(0, 80))):
+                cell = tuple(int(rng.integers(0, s)) for s in shape)
+                delta = int(rng.integers(-6, 7))
+                cube.add(cell, delta)
+                oracle.add(cell, delta)
+            for _ in range(15):
+                low = tuple(int(rng.integers(0, s)) for s in shape)
+                high = tuple(int(rng.integers(lo, s)) for lo, s in zip(low, shape))
+                assert cube.range_sum(low, high) == oracle.range_sum(low, high)
+            assert cube.total() == oracle.total()
+            assert np.array_equal(cube.to_dense(), oracle.to_dense())

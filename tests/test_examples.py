@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; each must execute
+end-to-end on a clean checkout.  They are run in-process (``runpy``)
+with stdout captured, and a few load-bearing lines of their output are
+asserted so a silently-degenerate example fails loudly.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+EXPECTED_OUTPUT = {
+    "quickstart.py": ["All methods agree after the update"],
+    "sales_olap.py": ["Paper query", "December sales by age band"],
+    "star_catalog.py": ["domain doublings", "box beyond the data : 0"],
+    "earth_observation.py": ["cattle ranch", "northern hemisphere"],
+    "interactive_whatif.py": ["identical query results"],
+    "method_advisor.py": ["star catalog", "-> ddc"],
+    "cube_lifecycle.py": ["persisted", "reopened from disk"],
+}
+
+
+def test_every_example_is_covered():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_OUTPUT), (
+        "examples/ and the smoke-test table are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.chdir(EXAMPLES_DIR.parent)
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    for marker in EXPECTED_OUTPUT[script]:
+        assert marker in output, f"{script}: expected {marker!r} in output"

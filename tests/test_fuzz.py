@@ -1,0 +1,156 @@
+"""Structural fuzzing: long mixed operation sequences with invariant checks.
+
+These tests hammer the Dynamic Data Cube with randomly interleaved
+updates, queries, expansions, batches, and conversions while repeatedly
+validating every internal invariant and cross-checking results against a
+dense oracle — the closest thing to fault injection a deterministic
+structure admits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.convert import convert
+from repro.core.basic_ddc import BasicDynamicDataCube
+from repro.core.ddc import DynamicDataCube
+from repro.core.growth import GrowableCube
+from repro.persist import load_cube, save_cube
+
+
+@st.composite
+def fuzz_program(draw):
+    """A random sequence of cube operations with a seed for the data."""
+    seed = draw(st.integers(0, 2**31))
+    side = draw(st.sampled_from([4, 8, 16]))
+    leaf_side = draw(st.sampled_from([1, 2, 4]))
+    steps = draw(
+        st.lists(
+            st.sampled_from(["add", "set", "batch", "query", "expand", "validate"]),
+            max_size=25,
+        )
+    )
+    return seed, side, leaf_side, steps
+
+
+class TestDdcFuzz:
+    @settings(max_examples=20, deadline=None)
+    @given(program=fuzz_program(), cube_class=st.sampled_from(["ddc", "basic"]))
+    def test_mixed_operations_stay_consistent(self, program, cube_class):
+        seed, side, leaf_side, steps = program
+        rng = np.random.default_rng(seed)
+        cls = DynamicDataCube if cube_class == "ddc" else BasicDynamicDataCube
+        oracle = rng.integers(-5, 6, size=(side, side))
+        cube = cls.from_array(oracle.copy(), leaf_side=leaf_side)
+        oracle = np.array(oracle)
+
+        for step in steps:
+            current_side = cube.shape[0]
+            if step == "add":
+                cell = tuple(int(rng.integers(0, current_side)) for _ in range(2))
+                delta = int(rng.integers(-5, 6))
+                cube.add(cell, delta)
+                oracle[cell] += delta
+            elif step == "set":
+                cell = tuple(int(rng.integers(0, current_side)) for _ in range(2))
+                value = int(rng.integers(-9, 10))
+                cube.set(cell, value)
+                oracle[cell] = value
+            elif step == "batch":
+                batch = []
+                for _ in range(int(rng.integers(1, 6))):
+                    cell = tuple(
+                        int(rng.integers(0, current_side)) for _ in range(2)
+                    )
+                    delta = int(rng.integers(-5, 6))
+                    batch.append((cell, delta))
+                    oracle[cell] += delta
+                cube.add_many(batch)
+            elif step == "query":
+                low = tuple(int(rng.integers(0, current_side)) for _ in range(2))
+                high = tuple(
+                    int(rng.integers(lo, current_side)) for lo in low
+                )
+                region = tuple(slice(lo, hi + 1) for lo, hi in zip(low, high))
+                assert cube.range_sum(low, high) == oracle[region].sum()
+            elif step == "expand":
+                if cube.shape[0] >= 32:
+                    continue  # keep validate() affordable
+                corner = int(rng.integers(0, 4))
+                cube.expand(corner)
+                grown = np.zeros((oracle.shape[0] * 2,) * 2, dtype=oracle.dtype)
+                row = oracle.shape[0] if corner & 1 else 0
+                column = oracle.shape[1] if corner & 2 else 0
+                grown[
+                    row : row + oracle.shape[0], column : column + oracle.shape[1]
+                ] = oracle
+                oracle = grown
+            elif step == "validate":
+                if cube.shape[0] <= 16:  # full validation is O(n^2 log n)
+                    cube.validate()
+
+        cube.validate()
+        assert np.array_equal(cube.to_dense(), oracle)
+        assert cube.total() == oracle.sum()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_convert_round_trips_preserve_everything(self, seed):
+        """ddc -> ps -> fenwick -> ddc must be the identity."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-9, 10, size=(int(rng.integers(2, 12)),) * 2)
+        start = DynamicDataCube.from_array(data)
+        chain = convert(convert(convert(start, "ps"), "fenwick"), "ddc")
+        assert np.array_equal(chain.to_dense(), data)
+        chain.validate()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_persist_round_trip_mid_lifecycle(self, seed, tmp_path_factory):
+        """Save/load at a random point, then keep operating."""
+        rng = np.random.default_rng(seed)
+        cube = DynamicDataCube((16, 16))
+        oracle = np.zeros((16, 16), dtype=np.int64)
+        for _ in range(int(rng.integers(0, 20))):
+            cell = tuple(int(rng.integers(0, 16)) for _ in range(2))
+            delta = int(rng.integers(-5, 6))
+            cube.add(cell, delta)
+            oracle[cell] += delta
+        path = tmp_path_factory.mktemp("fuzz") / "cube.npz"
+        save_cube(cube, path)
+        restored = load_cube(path)
+        for _ in range(int(rng.integers(0, 10))):
+            cell = tuple(int(rng.integers(0, 16)) for _ in range(2))
+            delta = int(rng.integers(-5, 6))
+            restored.add(cell, delta)
+            oracle[cell] += delta
+        restored.validate()
+        assert np.array_equal(restored.to_dense(), oracle)
+
+
+class TestGrowableFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        scale=st.sampled_from([10, 1000, 10**6]),
+    )
+    def test_extreme_coordinate_scales(self, seed, scale):
+        rng = np.random.default_rng(seed)
+        cube = GrowableCube(dims=2, initial_side=4)
+        reference: dict[tuple[int, int], int] = {}
+        for _ in range(25):
+            point = (
+                int(rng.integers(-scale, scale)),
+                int(rng.integers(-scale, scale)),
+            )
+            delta = int(rng.integers(1, 9))
+            cube.add(point, delta)
+            reference[point] = reference.get(point, 0) + delta
+        assert cube.total() == sum(reference.values())
+        if cube.side <= 1024:  # full validation materialises side^2 cells
+            cube._cube.validate()
+        for point, value in list(reference.items())[:5]:
+            assert cube.get(point) == value

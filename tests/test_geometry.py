@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import geometry
+from repro.exceptions import (
+    DimensionMismatchError,
+    InvalidRangeError,
+    InvalidShapeError,
+    OutOfBoundsError,
+)
+
+
+class TestNormalizeShape:
+    def test_tuple_round_trip(self):
+        assert geometry.normalize_shape([3, 4, 5]) == (3, 4, 5)
+
+    def test_accepts_numpy_ints(self):
+        assert geometry.normalize_shape(np.array([2, 3])) == (2, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidShapeError):
+            geometry.normalize_shape([])
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(InvalidShapeError):
+            geometry.normalize_shape([4, bad])
+
+
+class TestNormalizeCell:
+    def test_valid_cell(self):
+        assert geometry.normalize_cell((1, 2), (3, 3)) == (1, 2)
+
+    def test_bare_int_for_one_dim(self):
+        assert geometry.normalize_cell(4, (10,)) == (4,)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            geometry.normalize_cell((1, 2, 3), (3, 3))
+
+    @pytest.mark.parametrize("cell", [(-1, 0), (0, 3), (3, 0)])
+    def test_out_of_bounds(self, cell):
+        with pytest.raises(OutOfBoundsError):
+            geometry.normalize_cell(cell, (3, 3))
+
+
+class TestNormalizeRange:
+    def test_valid_range(self):
+        assert geometry.normalize_range((0, 1), (2, 2), (3, 3)) == ((0, 1), (2, 2))
+
+    def test_single_cell_range(self):
+        assert geometry.normalize_range((1, 1), (1, 1), (3, 3)) == ((1, 1), (1, 1))
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            geometry.normalize_range((2, 0), (1, 2), (3, 3))
+
+
+class TestRangeCellCount:
+    def test_single_cell(self):
+        assert geometry.range_cell_count((1, 1), (1, 1)) == 1
+
+    def test_rectangle(self):
+        assert geometry.range_cell_count((0, 0), (2, 3)) == 12
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)).map(
+                lambda pair: (min(pair), max(pair))
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_matches_enumeration(self, ranges):
+        low = tuple(lo for lo, _ in ranges)
+        high = tuple(hi for _, hi in ranges)
+        count = geometry.range_cell_count(low, high)
+        assert count == sum(1 for _ in geometry.iter_cells(low, high))
+
+
+class TestIterCells:
+    def test_row_major_order(self):
+        cells = list(geometry.iter_cells((0, 0), (1, 1)))
+        assert cells == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_one_dimension(self):
+        assert list(geometry.iter_cells((2,), (4,))) == [(2,), (3,), (4,)]
+
+
+class TestInclusionExclusion:
+    def test_two_dim_interior_range(self):
+        """The Figure 4 identity in its textbook 2-d form."""
+        terms = dict()
+        for sign, corner in geometry.inclusion_exclusion_corners((2, 3), (5, 6)):
+            terms[corner] = sign
+        assert terms == {(5, 6): 1, (1, 6): -1, (5, 2): -1, (1, 2): 1}
+
+    def test_origin_anchored_range_collapses(self):
+        terms = list(geometry.inclusion_exclusion_corners((0, 0), (4, 4)))
+        non_empty = [(s, c) for s, c in terms if c is not None]
+        assert non_empty == [(1, (4, 4))]
+
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda d: st.tuples(
+                st.lists(st.integers(1, 6), min_size=d, max_size=d),
+                st.integers(0, 10**6),
+            )
+        )
+    )
+    def test_identity_against_dense_array(self, params):
+        """Range sum via corners equals direct summation, for random arrays."""
+        shape, seed = params
+        rng = np.random.default_rng(seed)
+        array = rng.integers(0, 10, size=tuple(shape))
+        low = tuple(int(rng.integers(0, s)) for s in shape)
+        high = tuple(int(rng.integers(lo, s)) for lo, s in zip(low, shape))
+        prefix = array.copy()
+        for axis in range(array.ndim):
+            prefix = np.cumsum(prefix, axis=axis)
+        total = 0
+        for sign, corner in geometry.inclusion_exclusion_corners(low, high):
+            if corner is not None:
+                total += sign * prefix[corner]
+        region = tuple(slice(lo, hi + 1) for lo, hi in zip(low, high))
+        assert total == array[region].sum()
+
+
+class TestPowersOfTwo:
+    @pytest.mark.parametrize(
+        "value,expected", [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1023, 1024)]
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert geometry.next_power_of_two(value) == expected
+
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024])
+    def test_is_power_of_two_true(self, value):
+        assert geometry.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 1000])
+    def test_is_power_of_two_false(self, value):
+        assert not geometry.is_power_of_two(value)
+
+    def test_padded_side_uses_largest_dim(self):
+        assert geometry.padded_side((3, 9, 2)) == 16
+
+    @given(st.integers(1, 10**6))
+    def test_next_power_of_two_bounds(self, value):
+        power = geometry.next_power_of_two(value)
+        assert geometry.is_power_of_two(power)
+        assert power >= value
+        assert power < 2 * value or value == 1
+
+
+class TestClampCell:
+    def test_clamps_both_sides(self):
+        assert geometry.clamp_cell((-3, 10), (4, 4)) == (0, 3)
+
+    def test_identity_inside(self):
+        assert geometry.clamp_cell((1, 2), (4, 4)) == (1, 2)

@@ -1,0 +1,205 @@
+"""Tests for dynamic growth in any direction (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.growth import GrowableCube
+from repro.exceptions import DimensionMismatchError, InvalidRangeError
+from repro.workloads import growth_stream
+
+
+class TestBasics:
+    def test_empty_cube(self):
+        cube = GrowableCube(dims=2)
+        assert cube.total() == 0
+        assert cube.get((0, 0)) == 0
+        assert cube.range_sum((-100, -100), (100, 100)) == 0
+        assert cube.bounds is None
+
+    def test_single_point(self):
+        cube = GrowableCube(dims=2)
+        cube.add((5, -3), 7)
+        assert cube.get((5, -3)) == 7
+        assert cube.total() == 7
+        assert cube.bounds == ((5, -3), (5, -3))
+
+    def test_first_point_anchors_domain(self):
+        cube = GrowableCube(dims=2, initial_side=8)
+        cube.add((1000, 1000), 1)
+        # No growth needed: the domain re-anchored around the first point.
+        assert cube.side == 8
+        assert cube.get((1000, 1000)) == 1
+
+    def test_dimension_validation(self):
+        cube = GrowableCube(dims=2)
+        with pytest.raises(DimensionMismatchError):
+            cube.add((1, 2, 3), 1)
+        with pytest.raises(DimensionMismatchError):
+            GrowableCube(dims=0)
+
+    def test_initial_side_validation(self):
+        with pytest.raises(ValueError):
+            GrowableCube(dims=2, initial_side=10)
+
+    def test_one_dimensional(self):
+        cube = GrowableCube(dims=1)
+        cube.add(5, 2)
+        cube.add(-5, 3)
+        assert cube.range_sum(-10, 10) == 5
+        assert cube.range_sum(0, 10) == 2
+
+
+class TestGrowthDirections:
+    def test_grows_upward(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        cube.add((0, 0), 1)
+        cube.add((100, 100), 2)
+        assert cube.get((0, 0)) == 1
+        assert cube.get((100, 100)) == 2
+        assert cube.total() == 3
+
+    def test_grows_downward(self):
+        """The paper's headline: growth toward *negative* coordinates."""
+        cube = GrowableCube(dims=2, initial_side=4)
+        cube.add((0, 0), 1)
+        cube.add((-100, -100), 2)
+        assert cube.get((-100, -100)) == 2
+        assert cube.range_sum((-200, -200), (0, 0)) == 3
+
+    def test_grows_mixed_directions(self):
+        cube = GrowableCube(dims=3, initial_side=4)
+        cube.add((0, 0, 0), 1)
+        cube.add((-50, 60, -70), 2)
+        cube.add((80, -90, 100), 4)
+        assert cube.total() == 7
+        assert cube.get((-50, 60, -70)) == 2
+        assert cube.range_sum((-100, -100, -100), (0, 100, 0)) == 3
+
+    def test_set_grows_too(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        cube.set((0, 0), 5)
+        cube.set((-30, 40), 6)
+        cube.set((-30, 40), 2)
+        assert cube.get((-30, 40)) == 2
+        assert cube.total() == 7
+
+    def test_side_doubles_per_expansion(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        cube.add((0, 0), 1)
+        initial = cube.side
+        cube.add((initial * 3, 0), 1)
+        assert cube.side > initial
+        assert (cube.side & (cube.side - 1)) == 0  # still a power of two
+
+
+class TestQueries:
+    def test_range_clipped_to_domain(self):
+        cube = GrowableCube(dims=2)
+        cube.add((0, 0), 5)
+        assert cube.range_sum((-(10**9), -(10**9)), (10**9, 10**9)) == 5
+
+    def test_disjoint_range_is_zero(self):
+        cube = GrowableCube(dims=2)
+        cube.add((0, 0), 5)
+        assert cube.range_sum((10**6, 10**6), (10**6 + 5, 10**6 + 5)) == 0
+
+    def test_inverted_range_rejected(self):
+        cube = GrowableCube(dims=2)
+        cube.add((0, 0), 5)
+        with pytest.raises(InvalidRangeError):
+            cube.range_sum((5, 5), (0, 0))
+
+    def test_get_outside_domain_is_zero(self):
+        cube = GrowableCube(dims=2)
+        cube.add((0, 0), 5)
+        assert cube.get((10**8, -(10**8))) == 0
+
+
+class TestSparsityEconomics:
+    def test_storage_tracks_population_not_extent(self):
+        """Two distant clusters must not pay for the space between them."""
+        cube = GrowableCube(dims=2, initial_side=8)
+        for dx in range(3):
+            for dy in range(3):
+                cube.add((dx, dy), 1)
+                cube.add((100_000 + dx, 100_000 + dy), 1)
+        extent_cells = cube.side**2
+        assert extent_cells >= 100_000**2 / 4
+        assert cube.memory_cells() < 2_000
+
+    def test_expansion_preserves_queries(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        reference = {}
+        rng = np.random.default_rng(1)
+        for scale in (1, 10, 100, 1000):
+            for _ in range(20):
+                point = (
+                    int(rng.integers(-scale, scale)),
+                    int(rng.integers(-scale, scale)),
+                )
+                cube.add(point, 1)
+                reference[point] = reference.get(point, 0) + 1
+            low = (-scale, -scale)
+            high = (scale, scale)
+            expected = sum(
+                v
+                for (x, y), v in reference.items()
+                if low[0] <= x <= high[0] and low[1] <= y <= high[1]
+            )
+            assert cube.range_sum(low, high) == expected
+
+
+class TestAgainstDictOracle:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.integers(-500, 500), st.integers(-500, 500), st.integers(1, 9)
+            ),
+            max_size=60,
+        ),
+        probes=st.lists(
+            st.tuples(st.integers(-600, 600), st.integers(-600, 600)),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    def test_random_points_and_ranges(self, points, probes):
+        cube = GrowableCube(dims=2, initial_side=4)
+        reference: dict[tuple[int, int], int] = {}
+        for x, y, value in points:
+            cube.add((x, y), value)
+            reference[(x, y)] = reference.get((x, y), 0) + value
+        assert cube.total() == sum(reference.values())
+        for ax, ay in probes:
+            low = (min(ax, -ax), min(ay, -ay))
+            high = (max(ax, -ax), max(ay, -ay))
+            expected = sum(
+                v
+                for (x, y), v in reference.items()
+                if low[0] <= x <= high[0] and low[1] <= y <= high[1]
+            )
+            assert cube.range_sum(low, high) == expected
+
+
+class TestWithGrowthStream:
+    def test_star_catalog_stream(self):
+        """End-to-end: the Section 5 astronomy scenario at small scale."""
+        cube = GrowableCube(dims=2, initial_side=8)
+        reference = {}
+        for discovery in growth_stream(dims=2, points=300, seed=11):
+            cube.add(discovery.coordinate, discovery.value)
+            reference[discovery.coordinate] = (
+                reference.get(discovery.coordinate, 0) + discovery.value
+            )
+        assert cube.total() == sum(reference.values())
+        low, high = cube.bounds
+        full = cube.range_sum(low, high)
+        assert full == cube.total()
+        # The populated bounding box is a tiny part of the domain, yet
+        # storage stays proportional to the catalog.
+        assert cube.memory_cells() < 60 * len(reference)

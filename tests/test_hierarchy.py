@@ -1,0 +1,155 @@
+"""Tests for hierarchical dimensions (drill-down as range queries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.olap import (
+    CubeSchema,
+    DataCube,
+    HierarchyDimension,
+    IntegerDimension,
+)
+
+
+@pytest.fixture
+def geo() -> HierarchyDimension:
+    return HierarchyDimension(
+        "geo",
+        {
+            "emea": {"de": ["berlin", "munich"], "fr": ["paris", "lyon"]},
+            "amer": {"us": ["nyc", "sf", "austin"], "ca": ["toronto"]},
+            "apac": {"jp": ["tokyo"]},
+        },
+    )
+
+
+@pytest.fixture
+def cube(geo) -> DataCube:
+    schema = CubeSchema([geo, IntegerDimension("day", 0, 9)], measure="sales")
+    cube = DataCube(schema)
+    for city, amount in [
+        ("berlin", 10.0),
+        ("munich", 20.0),
+        ("paris", 5.0),
+        ("nyc", 100.0),
+        ("sf", 200.0),
+        ("tokyo", 7.0),
+    ]:
+        cube.insert({"geo": city, "day": 1}, amount)
+    return cube
+
+
+class TestStructure:
+    def test_leaves_in_dfs_order(self, geo):
+        assert geo.size == 9
+        assert geo.value_of(0) == "berlin"
+        assert geo.value_of(8) == "tokyo"
+
+    def test_depth(self, geo):
+        assert geo.depth() == 3
+
+    def test_member_ranges_are_contiguous(self, geo):
+        assert geo.range_of("emea") == (0, 3)
+        assert geo.range_of("de") == (0, 1)
+        assert geo.range_of("us") == (4, 6)
+        assert geo.range_of("apac") == (8, 8)
+
+    def test_leaf_is_its_own_member(self, geo):
+        assert geo.member("berlin") == ("berlin", "berlin")
+
+    def test_members_at_levels(self, geo):
+        assert geo.members_at(1) == ["emea", "amer", "apac"]
+        assert geo.members_at(2) == ["de", "fr", "us", "ca", "jp"]
+        assert "berlin" in geo.members_at(3)
+
+    def test_leaves_of(self, geo):
+        assert geo.leaves_of("fr") == ["paris", "lyon"]
+        assert geo.leaves_of("amer") == ["nyc", "sf", "austin", "toronto"]
+
+    def test_index_of_leaf(self, geo):
+        assert geo.index_of("munich") == 1
+
+    def test_index_of_internal_member_rejected(self, geo):
+        with pytest.raises(SchemaError, match="internal level"):
+            geo.index_of("emea")
+
+    def test_unknown_value(self, geo):
+        with pytest.raises(SchemaError):
+            geo.index_of("atlantis")
+        with pytest.raises(SchemaError):
+            geo.member("atlantis")
+
+    def test_members_at_validation(self, geo):
+        with pytest.raises(SchemaError):
+            geo.members_at(0)
+        assert geo.members_at(9) == []
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {"a": ["x"], "b": ["x"]})
+
+    def test_duplicate_internal_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {"a": {"c": ["x"]}, "b": {"c": ["y"]}})
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {})
+
+    def test_empty_member_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {"a": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", ["just", "a", "list"])
+
+    def test_scalar_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {"a": "oops"})
+
+    def test_nested_list_rejected(self):
+        with pytest.raises(SchemaError):
+            HierarchyDimension("bad", {"a": [["nested"]]})
+
+
+class TestQueries:
+    def test_sum_at_every_level(self, cube, geo):
+        assert cube.sum(geo=geo.member("emea")) == 35.0
+        assert cube.sum(geo=geo.member("de")) == 30.0
+        assert cube.sum(geo=geo.member("berlin")) == 10.0
+        assert cube.sum() == 342.0
+
+    def test_rollup_at_levels(self, cube, geo):
+        top = cube.rollup("geo", geo.buckets(1))
+        assert top == [("emea", 35.0), ("amer", 300.0), ("apac", 7.0)]
+        mid = dict(cube.rollup("geo", geo.buckets(2)))
+        assert mid["us"] == 300.0
+        assert mid["ca"] == 0.0
+
+    def test_level_totals_agree(self, cube, geo):
+        for level in (1, 2, 3):
+            rolled = cube.rollup("geo", geo.buckets(level))
+            assert sum(total for _, total in rolled) == cube.sum()
+
+    def test_drill_down_path(self, cube, geo):
+        """amer -> us -> sf narrows consistently."""
+        amer = cube.sum(geo=geo.member("amer"))
+        us = cube.sum(geo=geo.member("us"))
+        sf = cube.sum(geo=geo.member("sf"))
+        assert amer >= us >= sf
+        assert sf == 200.0
+
+    def test_pivot_with_hierarchy(self, cube, geo):
+        table = cube.pivot("geo", geo.buckets(1), "day", [("d1", 1), ("rest", (2, 9))])
+        assert table[0] == ["emea", 35.0, 0.0]
+        assert table[1] == ["amer", 300.0, 0.0]
+
+    def test_updates_visible_through_hierarchy(self, cube, geo):
+        cube.insert({"geo": "lyon", "day": 2}, 50.0)
+        assert cube.sum(geo=geo.member("fr")) == 55.0
+        assert cube.sum(geo=geo.member("emea")) == 85.0

@@ -1,0 +1,250 @@
+"""Integration tests: the paper's claims exercised end-to-end.
+
+These tests measure real operation counts on real structures and check
+the *shape* of the paper's comparisons — who wins, how costs scale —
+rather than unit-level behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    BasicDynamicDataCube,
+    DynamicDataCube,
+    GrowableCube,
+)
+from repro.methods import FenwickCube, PrefixSumCube, RelativePrefixSumCube
+from repro.olap import CubeSchema, DataCube, IntegerDimension
+from repro.workloads import clustered, dense_uniform, growth_stream, random_updates
+
+
+def measured_update_ops(method, updates) -> float:
+    """Mean logical cell ops per update over a workload."""
+    method.stats.reset()
+    for update in updates:
+        method.add(update.cell, update.delta)
+    return method.stats.total_cell_ops / len(updates)
+
+
+class TestUpdateCostOrdering:
+    """The Figure 1 ordering, measured: PS > RPS > Basic DDC > DDC."""
+
+    def test_worst_case_update_ordering(self):
+        n = 64
+        shape = (n, n)
+        array = dense_uniform(shape, seed=1)
+        ps = PrefixSumCube.from_array(array)
+        rps = RelativePrefixSumCube.from_array(array)
+        basic = BasicDynamicDataCube.from_array(array)
+        ddc = DynamicDataCube.from_array(array)
+
+        costs = {}
+        for method in (ps, rps, basic, ddc):
+            method.stats.reset()
+            method.add((0, 0), 1)
+            costs[method.name] = method.stats.cell_writes
+
+        assert costs["ps"] == n * n
+        assert costs["rps"] < costs["ps"] / 4
+        assert costs["basic-ddc"] < costs["rps"]
+        assert costs["ddc"] < costs["basic-ddc"]
+
+    def test_average_update_ordering(self):
+        shape = (64, 64)
+        array = dense_uniform(shape, seed=2)
+        updates = random_updates(shape, 50, seed=3)
+        costs = {
+            cls.name: measured_update_ops(cls.from_array(array), updates)
+            for cls in (PrefixSumCube, RelativePrefixSumCube, DynamicDataCube)
+        }
+        assert costs["ps"] > costs["rps"] > costs["ddc"]
+
+
+class TestUpdateCostScaling:
+    """Theorem 2's shape: DDC update cost grows polylogarithmically."""
+
+    def test_ddc_update_growth_is_sublinear(self):
+        costs = []
+        for n in (32, 128, 512):
+            cube = DynamicDataCube((n, n))
+            cube.add((0, 0), 1)  # allocate path
+            cube.stats.reset()
+            cube.add((0, 0), 1)
+            costs.append(cube.stats.total_cell_ops)
+        # Quadrupling n must grow cost far slower than linearly in n.
+        assert costs[1] / costs[0] < 4
+        assert costs[2] / costs[1] < 4
+
+    def test_ps_update_growth_is_quadratic(self):
+        costs = []
+        for n in (16, 32, 64):
+            ps = PrefixSumCube((n, n))
+            ps.stats.reset()
+            ps.add((0, 0), 1)
+            costs.append(ps.stats.cell_writes)
+        assert costs[1] / costs[0] == 4
+        assert costs[2] / costs[1] == 4
+
+    def test_rps_update_growth_is_linearish(self):
+        """RPS worst-case update scales like n^(d/2) = n in 2-d."""
+        costs = []
+        for n in (64, 256):
+            rps = RelativePrefixSumCube((n, n))
+            rps.stats.reset()
+            rps.add((0, 0), 1)
+            costs.append(rps.stats.cell_writes)
+        ratio = costs[1] / costs[0]
+        assert 2.5 < ratio < 6  # ~4x for a 4x n increase
+
+    def test_basic_ddc_update_growth_is_linear_2d(self):
+        """Section 3.3: Basic DDC worst-case update is O(n^(d-1)) = O(n)."""
+        costs = []
+        for n in (64, 256):
+            basic = BasicDynamicDataCube((n, n))
+            basic.add((0, 0), 1)
+            basic.stats.reset()
+            basic.add((0, 0), 1)
+            costs.append(basic.stats.total_cell_ops)
+        ratio = costs[1] / costs[0]
+        assert 2.5 < ratio < 6
+
+
+class TestQueryCostShape:
+    def test_ddc_query_cost_polylogarithmic(self):
+        ops = []
+        for n in (64, 512):
+            array = dense_uniform((n, n), seed=4)
+            cube = DynamicDataCube.from_array(array)
+            cube.stats.reset()
+            cube.prefix_sum((n - 1, n - 1))
+            ops.append(cube.stats.total_cell_ops)
+        # 8x larger n: at most ~ (log 512 / log 64)^2 = 2.25x the cost,
+        # plus constants; certainly below 4x.
+        assert ops[1] / ops[0] < 4
+
+    def test_ps_query_constant(self):
+        for n in (16, 128):
+            ps = PrefixSumCube.from_array(dense_uniform((n, n), seed=5))
+            ps.stats.reset()
+            ps.range_sum((1, 1), (n - 2, n - 2))
+            assert ps.stats.cell_reads == 4
+
+    def test_query_update_balance(self):
+        """The DDC's point: neither operation dominates the other."""
+        array = dense_uniform((256, 256), seed=6)
+        cube = DynamicDataCube.from_array(array)
+        cube.stats.reset()
+        cube.prefix_sum((200, 123))
+        query_ops = cube.stats.total_cell_ops
+        cube.stats.reset()
+        cube.add((200, 123), 5)
+        update_ops = cube.stats.total_cell_ops
+        assert query_ops < 40 * update_ops
+        assert update_ops < 40 * query_ops
+
+
+class TestStorageClaims:
+    def test_clustered_data_storage_advantage(self):
+        """Section 5: DDC storage tracks population; PS/RPS pay the domain."""
+        domain = (256, 256)
+        data = clustered(domain, clusters=4, points_per_cluster=100, seed=7)
+        ddc = DynamicDataCube.from_array(data)
+        ps = PrefixSumCube.from_array(data)
+        rps = RelativePrefixSumCube.from_array(data)
+        assert ps.memory_cells() >= data.size
+        assert rps.memory_cells() >= data.size
+        assert ddc.memory_cells() < data.size  # only populated subtrees
+
+    def test_dense_data_storage_overhead_bounded(self):
+        data = dense_uniform((64, 64), seed=8)
+        ddc = DynamicDataCube.from_array(data)
+        # Tree overlays cost bookkeeping, but stay within a small factor.
+        assert ddc.memory_cells() < 6 * data.size
+
+
+class TestThreeDimensions:
+    def test_ordering_holds_in_3d(self):
+        shape = (16, 16, 16)
+        array = dense_uniform(shape, seed=9)
+        ps = PrefixSumCube.from_array(array)
+        ddc = DynamicDataCube.from_array(array)
+        ps.stats.reset()
+        ps.add((0, 0, 0), 1)
+        ddc.stats.reset()
+        ddc.add((0, 0, 0), 1)
+        assert ps.stats.cell_writes == 16**3
+        assert ddc.stats.total_cell_ops < ps.stats.cell_writes / 10
+        assert ddc.prefix_sum((15, 15, 15)) == ps.prefix_sum((15, 15, 15))
+
+    def test_fenwick_and_ddc_same_complexity_class(self):
+        shape = (32, 32, 32)
+        array = dense_uniform(shape, seed=10)
+        fenwick = FenwickCube.from_array(array)
+        ddc = DynamicDataCube.from_array(array)
+        fenwick.stats.reset()
+        fenwick.add((0, 0, 0), 1)
+        ddc.stats.reset()
+        ddc.add((0, 0, 0), 1)
+        # Both polylog; within a couple orders of magnitude of each other
+        # and both far below the n^d = 32768 PS would pay.
+        assert fenwick.stats.total_cell_ops < 1000
+        assert ddc.stats.total_cell_ops < 2000
+
+
+class TestEndToEndScenarios:
+    def test_sales_analysis_scenario(self):
+        """The introduction's example, at small scale, on the DDC."""
+        schema = CubeSchema(
+            [IntegerDimension("age", 18, 90), IntegerDimension("day", 0, 364)],
+            measure="sales",
+        )
+        cube = DataCube(schema, method="ddc")
+        rng = np.random.default_rng(11)
+        december = range(340, 365)
+        for _ in range(500):
+            cube.insert(
+                {"age": int(rng.integers(18, 91)), "day": int(rng.integers(0, 365))},
+                float(rng.integers(10, 500)),
+            )
+        cube.insert({"age": 45, "day": 342}, 120.0)
+        result = cube.aggregate(age=(27, 45), day=(340, 364))
+        assert result.count >= 1
+        assert result.total >= 120.0
+        assert result.average == result.total / result.count
+        assert len(list(december)) == 25
+
+    def test_star_catalog_scenario(self):
+        """Section 5's astronomy example: grow as stars are discovered."""
+        catalog = GrowableCube(dims=3, initial_side=8)
+        total = 0
+        for discovery in growth_stream(dims=3, points=400, seed=12):
+            catalog.add(discovery.coordinate, discovery.value)
+            total += discovery.value
+        assert catalog.total() == total
+        low, high = catalog.bounds
+        assert catalog.range_sum(low, high) == total
+        volume = math.prod(hi - lo + 1 for lo, hi in zip(low, high))
+        assert catalog.memory_cells() < max(volume, 10_000)
+
+    def test_whatif_interleaving(self):
+        """Interactive what-if: interleaved updates and queries stay consistent."""
+        shape = (64, 64)
+        array = dense_uniform(shape, seed=13)
+        ddc = DynamicDataCube.from_array(array)
+        reference = array.copy()
+        rng = np.random.default_rng(14)
+        for _ in range(200):
+            if rng.random() < 0.5:
+                cell = tuple(int(rng.integers(0, 64)) for _ in range(2))
+                delta = int(rng.integers(-20, 21))
+                ddc.add(cell, delta)
+                reference[cell] += delta
+            else:
+                low = tuple(int(rng.integers(0, 64)) for _ in range(2))
+                high = tuple(int(rng.integers(lo, 64)) for lo in low)
+                region = tuple(slice(lo, hi + 1) for lo, hi in zip(low, high))
+                assert ddc.range_sum(low, high) == reference[region].sum()

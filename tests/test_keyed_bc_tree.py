@@ -1,0 +1,182 @@
+"""Tests for the sparse, key-addressed B^c tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.keyed_bc_tree import KeyedBcTree
+from repro.counters import OpCounter
+from repro.exceptions import StructureError
+
+
+def reference_prefix(mapping: dict, key: int):
+    return sum(value for k, value in mapping.items() if k <= key)
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = KeyedBcTree()
+        assert len(tree) == 0
+        assert tree.total() == 0
+        assert tree.prefix_sum(10**9) == 0
+        tree.validate()
+
+    def test_from_items(self):
+        items = [(2, 5), (7, 1), (100, 3)]
+        tree = KeyedBcTree.from_items(items, fanout=3)
+        assert list(tree.items()) == items
+        assert tree.total() == 9
+        tree.validate()
+
+    def test_from_items_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            KeyedBcTree.from_items([(3, 1), (2, 1)])
+
+    def test_from_items_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            KeyedBcTree.from_items([(3, 1), (3, 1)])
+
+    @pytest.mark.parametrize("count", [0, 1, 2, 5, 16, 17, 100, 333])
+    @pytest.mark.parametrize("fanout", [3, 4, 16])
+    def test_bulk_sizes(self, count, fanout):
+        tree = KeyedBcTree.from_items(
+            [(k * 3, k) for k in range(count)], fanout=fanout
+        )
+        tree.validate()
+        assert len(tree) == count
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            KeyedBcTree(fanout=2)
+
+    def test_shared_counter(self):
+        counter = OpCounter()
+        tree = KeyedBcTree.from_items([(1, 1)], counter=counter)
+        tree.prefix_sum(1)
+        assert counter.cell_reads > 0
+
+
+class TestReads:
+    def test_prefix_between_keys(self):
+        tree = KeyedBcTree.from_items([(10, 1), (20, 2), (30, 4)], fanout=3)
+        assert tree.prefix_sum(5) == 0
+        assert tree.prefix_sum(10) == 1
+        assert tree.prefix_sum(15) == 1
+        assert tree.prefix_sum(25) == 3
+        assert tree.prefix_sum(10**9) == 7
+
+    def test_get_missing_is_zero(self):
+        tree = KeyedBcTree.from_items([(10, 1)])
+        assert tree.get(9) == 0
+        assert tree.get(10) == 1
+        assert tree.get(11) == 0
+
+    def test_negative_keys(self):
+        tree = KeyedBcTree()
+        tree.add(-5, 3)
+        tree.add(5, 4)
+        assert tree.prefix_sum(-5) == 3
+        assert tree.prefix_sum(0) == 3
+        assert tree.prefix_sum(5) == 7
+        tree.validate()
+
+
+class TestUpserts:
+    def test_add_creates_row(self):
+        tree = KeyedBcTree()
+        tree.add(42, 7)
+        assert tree.get(42) == 7
+        assert len(tree) == 1
+
+    def test_add_accumulates(self):
+        tree = KeyedBcTree()
+        tree.add(42, 7)
+        tree.add(42, -3)
+        assert tree.get(42) == 4
+        assert len(tree) == 1
+
+    def test_add_zero_is_noop(self):
+        tree = KeyedBcTree()
+        tree.add(1, 0)
+        assert len(tree) == 0
+
+    def test_set_semantics(self):
+        tree = KeyedBcTree.from_items([(5, 9)])
+        tree.set(5, 2)
+        tree.set(6, 4)
+        assert tree.get(5) == 2
+        assert tree.get(6) == 4
+        tree.validate()
+
+    def test_many_inserts_all_orders(self):
+        for order in ("ascending", "descending", "interleaved"):
+            keys = list(range(200))
+            if order == "descending":
+                keys.reverse()
+            elif order == "interleaved":
+                keys = keys[::2] + keys[1::2]
+            tree = KeyedBcTree(fanout=4)
+            for key in keys:
+                tree.add(key, key + 1)
+            tree.validate()
+            assert len(tree) == 200
+            assert tree.total() == sum(range(1, 201))
+
+    def test_update_cost_logarithmic(self):
+        tree = KeyedBcTree(fanout=4)
+        for key in range(4096):
+            tree.add(key, 1)
+        tree.stats.reset()
+        tree.add(2048, 5)
+        assert tree.stats.node_visits <= tree.height()
+
+
+class TestPropertyBased:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-100, 100), st.integers(-50, 50)), max_size=80
+        ),
+        st.integers(3, 8),
+    )
+    def test_matches_dict_reference(self, operations, fanout):
+        tree = KeyedBcTree(fanout=fanout)
+        reference: dict[int, int] = {}
+        for key, delta in operations:
+            tree.add(key, delta)
+            if delta != 0:
+                reference[key] = reference.get(key, 0) + delta
+        tree.validate()
+        assert tree.total() == sum(reference.values())
+        for probe in range(-110, 111, 13):
+            assert tree.prefix_sum(probe) == reference_prefix(reference, probe)
+        for key in list(reference)[:10]:
+            assert tree.get(key) == reference[key]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(0, 10**6), max_size=120), st.integers(3, 16))
+    def test_bulk_equals_incremental(self, keys, fanout):
+        items = sorted((key, key % 7 + 1) for key in keys)
+        bulk = KeyedBcTree.from_items(items, fanout=fanout)
+        incremental = KeyedBcTree(fanout=fanout)
+        for key, value in items:
+            incremental.add(key, value)
+        assert list(bulk.items()) == list(incremental.items())
+        bulk.validate()
+        incremental.validate()
+
+
+class TestValidateDetectsCorruption:
+    def test_sts_corruption(self):
+        tree = KeyedBcTree.from_items([(k, 1) for k in range(64)], fanout=4)
+        tree._root.sums[0] += 1
+        with pytest.raises(StructureError):
+            tree.validate()
+
+    def test_max_key_corruption(self):
+        tree = KeyedBcTree.from_items([(k, 1) for k in range(64)], fanout=4)
+        tree._root.max_keys[0] += 1
+        with pytest.raises(StructureError):
+            tree.validate()

@@ -1,0 +1,275 @@
+"""Unit tests for the baseline methods (naive, PS, RPS, Fenwick)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InvalidRangeError,
+    InvalidShapeError,
+    OutOfBoundsError,
+    UnknownMethodError,
+)
+from repro.methods import (
+    FenwickCube,
+    NaiveArray,
+    PrefixSumCube,
+    RelativePrefixSumCube,
+    build_method,
+    create_method,
+    method_class,
+    method_names,
+)
+
+PAPER_ARRAY = np.array(
+    # An 8x8 example array in the style of the paper's Figure 2 (the
+    # figure's exact cell values are not recoverable from the text).
+    [
+        [3, 4, 2, 2, 5, 3, 2, 1],
+        [2, 7, 3, 8, 4, 2, 9, 4],
+        [5, 2, 1, 2, 3, 1, 2, 4],
+        [2, 4, 3, 4, 5, 7, 4, 3],
+        [6, 1, 2, 3, 4, 2, 1, 3],
+        [4, 3, 5, 2, 2, 4, 5, 6],
+        [2, 5, 2, 4, 3, 1, 3, 2],
+        [1, 2, 4, 2, 1, 3, 2, 4],
+    ],
+    dtype=np.int64,
+)
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        assert method_names() == [
+            "basic-ddc",
+            "ddc",
+            "fenwick",
+            "naive",
+            "ps",
+            "rps",
+            "segtree",
+        ]
+
+    def test_unknown_method(self):
+        with pytest.raises(UnknownMethodError):
+            method_class("btree-of-doom")
+
+    def test_create_and_build(self):
+        empty = create_method("ps", (4, 4))
+        assert empty.total() == 0
+        built = build_method("ps", PAPER_ARRAY)
+        assert built.total() == PAPER_ARRAY.sum()
+
+    def test_names_match_classes(self):
+        for name in method_names():
+            assert method_class(name).name == name
+
+
+class TestCommonBehaviour:
+    """Contract tests executed against every registered method."""
+
+    def test_empty_cube_sums_to_zero(self, method_name):
+        method = create_method(method_name, (5, 6))
+        assert method.total() == 0
+        assert method.range_sum((0, 0), (4, 5)) == 0
+
+    def test_single_add_visible_everywhere(self, method_name):
+        method = create_method(method_name, (8, 8))
+        method.add((3, 4), 7)
+        assert method.get((3, 4)) == 7
+        assert method.prefix_sum((7, 7)) == 7
+        assert method.prefix_sum((2, 7)) == 0
+        assert method.range_sum((3, 4), (3, 4)) == 7
+
+    def test_set_overwrites(self, method_name):
+        method = create_method(method_name, (4, 4))
+        method.set((1, 1), 10)
+        method.set((1, 1), 4)
+        assert method.get((1, 1)) == 4
+        assert method.total() == 4
+
+    def test_negative_values_supported(self, method_name):
+        method = create_method(method_name, (4, 4))
+        method.add((0, 0), -5)
+        method.add((3, 3), 2)
+        assert method.total() == -3
+
+    def test_out_of_bounds_rejected(self, method_name):
+        method = create_method(method_name, (4, 4))
+        with pytest.raises(OutOfBoundsError):
+            method.add((4, 0), 1)
+        with pytest.raises(OutOfBoundsError):
+            method.prefix_sum((0, 4))
+
+    def test_inverted_range_rejected(self, method_name):
+        method = create_method(method_name, (4, 4))
+        with pytest.raises(InvalidRangeError):
+            method.range_sum((2, 2), (1, 3))
+
+    def test_invalid_shape_rejected(self, method_name):
+        with pytest.raises(InvalidShapeError):
+            create_method(method_name, (0, 4))
+
+    def test_from_array_round_trip(self, method_name):
+        method = method_class(method_name).from_array(PAPER_ARRAY)
+        assert np.array_equal(method.to_dense(), PAPER_ARRAY)
+
+    def test_prefix_matches_dense_cumsum(self, method_name):
+        """Every prefix cell equals the dense double-cumsum (array P)."""
+        method = method_class(method_name).from_array(PAPER_ARRAY)
+        prefix = PAPER_ARRAY.cumsum(axis=0).cumsum(axis=1)
+        for cell in [(0, 0), (3, 3), (6, 6), (7, 7), (0, 7), (7, 0), (2, 5)]:
+            assert method.prefix_sum(cell) == prefix[cell]
+
+    def test_one_dimensional_cube(self, method_name):
+        method = create_method(method_name, (16,))
+        for index in range(16):
+            method.add((index,), index)
+        assert method.prefix_sum((7,)) == sum(range(8))
+        assert method.range_sum((4,), (11,)) == sum(range(4, 12))
+
+    def test_float_dtype(self, method_name):
+        method = create_method(method_name, (4, 4), dtype=np.float64)
+        method.add((1, 2), 2.5)
+        method.add((2, 1), 0.25)
+        assert method.total() == pytest.approx(2.75)
+
+    def test_memory_cells_positive_after_build(self, method_name):
+        method = method_class(method_name).from_array(PAPER_ARRAY)
+        assert method.memory_cells() >= PAPER_ARRAY.size // 2
+
+
+class TestNaive:
+    def test_query_cost_proportional_to_region(self):
+        naive = NaiveArray.from_array(PAPER_ARRAY)
+        naive.stats.reset()
+        naive.range_sum((0, 0), (3, 3))
+        assert naive.stats.cell_reads == 16
+
+    def test_update_cost_is_one(self):
+        naive = NaiveArray((8, 8))
+        naive.stats.reset()
+        naive.add((5, 5), 3)
+        assert naive.stats.cell_writes == 1
+
+    def test_to_dense_is_copy(self):
+        naive = NaiveArray.from_array(PAPER_ARRAY)
+        dense = naive.to_dense()
+        dense[0, 0] = 999
+        assert naive.get((0, 0)) == PAPER_ARRAY[0, 0]
+
+
+class TestPrefixSum:
+    def test_prefix_array_matches_figure3(self):
+        """Spot-check cells of the paper's array P."""
+        ps = PrefixSumCube.from_array(PAPER_ARRAY)
+        # P[i,j] = SUM(A[0,0]:A[i,j])
+        assert ps.prefix_sum((0, 0)) == 3
+        assert ps.prefix_sum((1, 1)) == 16  # 3+4+2+7
+        assert ps.prefix_sum((7, 7)) == PAPER_ARRAY.sum()
+
+    def test_query_reads_constant_cells(self):
+        ps = PrefixSumCube.from_array(PAPER_ARRAY)
+        ps.stats.reset()
+        ps.range_sum((2, 2), (5, 5))
+        assert ps.stats.cell_reads == 4  # 2^d corners in 2-d
+
+    def test_worst_case_update_touches_whole_cube(self):
+        """Figure 5: updating A[0,0] rewrites every cell of P."""
+        ps = PrefixSumCube.from_array(PAPER_ARRAY)
+        ps.stats.reset()
+        ps.add((0, 0), 1)
+        assert ps.stats.cell_writes == 64
+
+    def test_corner_update_touches_one_cell(self):
+        ps = PrefixSumCube.from_array(PAPER_ARRAY)
+        ps.stats.reset()
+        ps.add((7, 7), 1)
+        assert ps.stats.cell_writes == 1
+
+    def test_update_region_shape(self):
+        """Updating A[1,1] touches the dominated (shaded) region only."""
+        ps = PrefixSumCube.from_array(PAPER_ARRAY)
+        ps.stats.reset()
+        ps.add((1, 1), 1)
+        assert ps.stats.cell_writes == 49  # 7 x 7
+
+
+class TestRelativePrefixSum:
+    def test_default_block_side_near_sqrt(self):
+        rps = RelativePrefixSumCube((64, 64))
+        assert rps.block_side == (8, 8)
+
+    def test_explicit_block_side(self):
+        rps = RelativePrefixSumCube((64, 64), block_side=4)
+        assert rps.block_side == (4, 4)
+        assert rps.block_counts == (16, 16)
+
+    def test_block_side_validation(self):
+        with pytest.raises(ValueError):
+            RelativePrefixSumCube((8, 8), block_side=(4,))
+        with pytest.raises(ValueError):
+            RelativePrefixSumCube((8, 8), block_side=0)
+
+    def test_query_reads_2d_components(self):
+        rps = RelativePrefixSumCube.from_array(PAPER_ARRAY, block_side=4)
+        rps.stats.reset()
+        rps.prefix_sum((5, 5))
+        assert rps.stats.cell_reads == 4  # local + 3 boundary families
+
+    def test_update_bounded_by_block_structure(self):
+        """Worst-case update touches O(n^(d/2)) cells, far below n^d."""
+        side = 64
+        rps = RelativePrefixSumCube((side, side), block_side=8)
+        rps.stats.reset()
+        rps.add((0, 0), 1)
+        writes = rps.stats.cell_writes
+        # local block 8x8 = 64; families bounded by 8*64/8 etc.
+        assert writes < side * side / 4
+        assert writes >= 64
+
+    def test_non_square_shapes(self):
+        rng = np.random.default_rng(7)
+        array = rng.integers(0, 9, size=(13, 30))
+        rps = RelativePrefixSumCube.from_array(array)
+        assert rps.prefix_sum((12, 29)) == array.sum()
+        assert np.array_equal(rps.to_dense(), array)
+
+    def test_update_then_query_consistency(self):
+        rps = RelativePrefixSumCube.from_array(PAPER_ARRAY, block_side=4)
+        rps.add((2, 3), 10)
+        assert rps.get((2, 3)) == PAPER_ARRAY[2, 3] + 10
+        assert rps.prefix_sum((7, 7)) == PAPER_ARRAY.sum() + 10
+
+
+class TestFenwick:
+    def test_update_cost_logarithmic(self):
+        fenwick = FenwickCube((1024, 1024))
+        fenwick.stats.reset()
+        fenwick.add((0, 0), 1)
+        # <= (log2 n + 1)^2 touched cells
+        assert fenwick.stats.cell_writes <= 121
+
+    def test_query_cost_logarithmic(self):
+        fenwick = FenwickCube.from_array(np.ones((256, 256), dtype=np.int64))
+        fenwick.stats.reset()
+        assert fenwick.prefix_sum((255, 255)) == 256 * 256
+        assert fenwick.stats.cell_reads <= 81
+
+    def test_bulk_build_matches_incremental(self):
+        rng = np.random.default_rng(3)
+        array = rng.integers(0, 9, size=(9, 17))
+        bulk = FenwickCube.from_array(array)
+        incremental = FenwickCube(array.shape)
+        for cell in np.ndindex(*array.shape):
+            if array[cell]:
+                incremental.add(cell, int(array[cell]))
+        assert np.array_equal(bulk._tree, incremental._tree)
+
+    def test_three_dimensional(self):
+        rng = np.random.default_rng(4)
+        array = rng.integers(0, 5, size=(6, 7, 8))
+        fenwick = FenwickCube.from_array(array)
+        assert fenwick.prefix_sum((5, 6, 7)) == array.sum()
+        assert fenwick.range_sum((1, 2, 3), (4, 5, 6)) == array[1:5, 2:6, 3:7].sum()

@@ -1,0 +1,146 @@
+"""Cross-method equivalence: every structure answers every query identically.
+
+This is the load-bearing correctness suite: the naive array is the
+oracle, and each method must agree with it over random build / update /
+query lifecycles in one, two, and three dimensions.  Hypothesis drives
+the shapes, contents, and operation sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.methods import NaiveArray, method_class
+
+CHALLENGERS = ["ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"]
+
+
+@st.composite
+def cube_scenario(draw, max_dims=3, max_side=12):
+    """A random array plus a random sequence of updates and queries."""
+    dims = draw(st.integers(1, max_dims))
+    shape = tuple(draw(st.integers(1, max_side)) for _ in range(dims))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    array = rng.integers(-9, 10, size=shape)
+    updates = []
+    for _ in range(draw(st.integers(0, 12))):
+        cell = tuple(int(rng.integers(0, s)) for s in shape)
+        updates.append((cell, int(rng.integers(-9, 10))))
+    queries = []
+    for _ in range(draw(st.integers(1, 12))):
+        low = tuple(int(rng.integers(0, s)) for s in shape)
+        high = tuple(int(rng.integers(lo, s)) for lo, s in zip(low, shape))
+        queries.append((low, high))
+    return array, updates, queries
+
+
+class TestLifecycleEquivalence:
+    @pytest.mark.parametrize("challenger", CHALLENGERS)
+    @settings(max_examples=40, deadline=None)
+    @given(scenario=cube_scenario())
+    def test_full_lifecycle_matches_naive(self, challenger, scenario):
+        array, updates, queries = scenario
+        oracle = NaiveArray.from_array(array)
+        method = method_class(challenger).from_array(array)
+        for cell, delta in updates:
+            oracle.add(cell, delta)
+            method.add(cell, delta)
+        for low, high in queries:
+            assert method.range_sum(low, high) == oracle.range_sum(low, high)
+        assert method.total() == oracle.total()
+        assert np.array_equal(method.to_dense(), oracle.to_dense())
+
+    @pytest.mark.parametrize("challenger", CHALLENGERS)
+    def test_incremental_build_equals_bulk(self, challenger, rng):
+        array = rng.integers(0, 10, size=(9, 11))
+        bulk = method_class(challenger).from_array(array)
+        incremental = method_class(challenger)(array.shape)
+        for cell in np.ndindex(*array.shape):
+            if array[cell]:
+                incremental.add(cell, int(array[cell]))
+        for probe in [(0, 0), (8, 10), (4, 7), (8, 0), (0, 10)]:
+            assert bulk.prefix_sum(probe) == incremental.prefix_sum(probe)
+
+
+class TestPairwiseAgreement:
+    """All methods pairwise agree — catches shared-oracle blind spots."""
+
+    def test_all_methods_identical_prefixes(self, rng):
+        array = rng.integers(0, 50, size=(16, 16))
+        methods = [method_class(name).from_array(array) for name in CHALLENGERS]
+        for _ in range(25):
+            cell = tuple(int(rng.integers(0, 16)) for _ in range(2))
+            values = {m.name: m.prefix_sum(cell) for m in methods}
+            assert len(set(values.values())) == 1, values
+
+
+class TestAlgebraicProperties:
+    """Invariants that must hold for any correct range-sum structure."""
+
+    @pytest.mark.parametrize("challenger", CHALLENGERS + ["naive"])
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31), split_axis=st.integers(0, 1))
+    def test_range_additivity_under_partition(self, challenger, seed, split_axis):
+        """Splitting a range along any axis preserves the total."""
+        rng = np.random.default_rng(seed)
+        array = rng.integers(-9, 10, size=(10, 10))
+        method = method_class(challenger).from_array(array)
+        low = (1, 2)
+        high = (8, 9)
+        cut = int(rng.integers(low[split_axis], high[split_axis]))
+        first_high = list(high)
+        first_high[split_axis] = cut
+        second_low = list(low)
+        second_low[split_axis] = cut + 1
+        whole = method.range_sum(low, high)
+        first = method.range_sum(low, tuple(first_high))
+        second = method.range_sum(tuple(second_low), high)
+        assert whole == first + second
+
+    @pytest.mark.parametrize("challenger", CHALLENGERS)
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_update_linearity(self, challenger, seed):
+        """A +delta then -delta round trip is a no-op for every query."""
+        rng = np.random.default_rng(seed)
+        array = rng.integers(0, 10, size=(8, 8))
+        method = method_class(challenger).from_array(array)
+        cell = tuple(int(rng.integers(0, 8)) for _ in range(2))
+        delta = int(rng.integers(1, 50))
+        before = method.prefix_sum((7, 7))
+        method.add(cell, delta)
+        assert method.prefix_sum((7, 7)) == before + delta
+        method.add(cell, -delta)
+        assert method.prefix_sum((7, 7)) == before
+        assert np.array_equal(method.to_dense(), array)
+
+    @pytest.mark.parametrize("challenger", CHALLENGERS)
+    def test_prefix_monotone_for_nonnegative_data(self, challenger, rng):
+        array = rng.integers(0, 10, size=(12,))
+        method = method_class(challenger).from_array(array)
+        prefixes = [method.prefix_sum((i,)) for i in range(12)]
+        assert prefixes == sorted(prefixes)
+
+    @pytest.mark.parametrize("challenger", CHALLENGERS + ["naive"])
+    def test_total_equals_full_range(self, challenger, rng):
+        array = rng.integers(-5, 6, size=(7, 9))
+        method = method_class(challenger).from_array(array)
+        assert method.total() == method.range_sum((0, 0), (6, 8)) == array.sum()
+
+
+class TestFloatEquivalence:
+    @pytest.mark.parametrize("challenger", CHALLENGERS)
+    def test_float_cubes_agree_with_oracle(self, challenger, rng):
+        array = rng.random((9, 9)) * 100
+        oracle = NaiveArray.from_array(array)
+        method = method_class(challenger).from_array(array)
+        for _ in range(20):
+            low = tuple(int(rng.integers(0, 9)) for _ in range(2))
+            high = tuple(int(rng.integers(lo, 9)) for lo in low)
+            assert method.range_sum(low, high) == pytest.approx(
+                oracle.range_sum(low, high), rel=1e-9
+            )

@@ -1,0 +1,208 @@
+"""Tests for the analytic cost/storage model against the paper's numbers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model import (
+    basic_ddc_query_cost,
+    basic_ddc_update_cost,
+    bc_tree_op_cost,
+    ddc_update_cost,
+    elision_levels,
+    elision_query_leaf_cost,
+    elision_storage_series,
+    figure1_series,
+    full_cube_size,
+    mips_seconds,
+    overlay_cells,
+    overlay_fraction,
+    ps_update_cost,
+    query_cost,
+    render_figure1,
+    render_table1,
+    render_table2,
+    round_to_power_of_ten,
+    rps_update_cost,
+    table1,
+    table2,
+    tree_storage_cells,
+    update_cost,
+)
+
+
+class TestTable1:
+    """Table 1: update cost functions by method, d=8."""
+
+    def test_published_exponents(self):
+        """The paper's rounded powers of 10 for each n."""
+        rows = table1()
+        by_n = {row.n: row.exponents() for row in rows}
+        # n=10^2: cube 1E16, PS 1E16, RPS 1E8, DDC ~1E7
+        assert by_n[1e2] == (16, 16, 8, 7)
+        # n=10^4: cube 1E32, PS 1E32, RPS 1E16, DDC ~1E9
+        assert by_n[1e4] == (32, 32, 16, 9)
+        # n=10^9: cube 1E72, PS 1E72, RPS 1E36, DDC ~1E12
+        assert by_n[1e9] == (72, 72, 36, 12)
+
+    def test_ps_equals_cube_size(self):
+        for row in table1():
+            assert row.ps == row.cube_size
+
+    def test_rps_is_square_root_of_ps(self):
+        for row in table1():
+            assert row.rps == pytest.approx(math.sqrt(row.ps))
+
+    def test_ddc_formula(self):
+        assert ddc_update_cost(1e2, 8) == pytest.approx(math.log2(1e2) ** 8)
+
+    def test_six_month_narrative(self):
+        """Paper: PS at n=10^2, d=8 needs >6 months on a 500 MIPS CPU."""
+        seconds = mips_seconds(ps_update_cost(1e2, 8))
+        assert seconds > 6 * 30 * 86400
+
+    def test_231_day_narrative(self):
+        """Paper: RPS at n=10^4 needs 231 days to update a single cell."""
+        days = mips_seconds(rps_update_cost(1e4, 8)) / 86400
+        assert days == pytest.approx(231.48, abs=0.5)
+
+    def test_ddc_subsecond_narrative(self):
+        """Paper: the DDC updates the same cells in under ~2 seconds."""
+        assert mips_seconds(ddc_update_cost(1e2, 8)) < 1.0
+        assert mips_seconds(ddc_update_cost(1e4, 8)) < 2.0
+
+    def test_render_contains_rows(self):
+        text = render_table1(table1())
+        assert "d=8" in text
+        assert "1E+72" in text
+        assert "1E+36" in text
+
+
+class TestFigure1:
+    def test_series_cover_paper_domain(self):
+        series = figure1_series()
+        assert set(series) == {"ps", "rps", "ddc"}
+        ns = [n for n, _ in series["ps"]]
+        assert ns[0] == 10.0 and ns[-1] == 1e9
+
+    def test_strict_ordering_everywhere(self):
+        """PS > RPS > DDC at every plotted n (the figure's visual claim)."""
+        series = figure1_series()
+        for (n, ps), (_, rps), (_, ddc) in zip(
+            series["ps"], series["rps"], series["ddc"]
+        ):
+            if n >= 100:
+                assert ps > rps > ddc, n
+
+    def test_log_log_slopes(self):
+        """PS slope d, RPS slope d/2, DDC nearly flat on log-log axes."""
+        series = figure1_series(d=8)
+
+        def slope(points):
+            (n1, c1), (n2, c2) = points[2], points[-1]
+            return (math.log10(c2) - math.log10(c1)) / (
+                math.log10(n2) - math.log10(n1)
+            )
+
+        assert slope(series["ps"]) == pytest.approx(8.0)
+        assert slope(series["rps"]) == pytest.approx(4.0)
+        assert slope(series["ddc"]) < 1.0
+
+    def test_render(self):
+        text = render_figure1(figure1_series())
+        assert "Figure 1" in text
+        assert "ddc" in text
+
+
+class TestTable2:
+    def test_published_percentages(self):
+        """75%, 43.75%, 23.44%, 12.11%, 6.15% — the paper's exact column."""
+        rows = table2()
+        percentages = [round(row.percentage, 2) for row in rows]
+        assert percentages == [75.0, 43.75, 23.44, 12.11, 6.15]
+
+    def test_published_cell_counts(self):
+        rows = table2()
+        assert [(row.k, row.overlay_box, row.region) for row in rows] == [
+            (2, 3, 4),
+            (4, 7, 16),
+            (8, 15, 64),
+            (16, 31, 256),
+            (32, 63, 1024),
+        ]
+
+    def test_overlay_cells_formula(self):
+        assert overlay_cells(4, 3) == 64 - 27
+        assert overlay_fraction(2, 2) == 0.75
+
+    def test_fraction_decreases_with_k(self):
+        fractions = [overlay_fraction(k, 2) for k in (2, 4, 8, 16, 32, 64)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_render(self):
+        text = render_table2(table2())
+        assert "Table 2" in text
+        assert "75.00%" in text
+
+
+class TestCostFunctions:
+    def test_update_cost_dispatch(self):
+        assert update_cost("ps", 100, 2) == 10_000
+        assert update_cost("naive", 100, 2) == 1
+        assert update_cost("rps", 100, 2) == pytest.approx(100)
+
+    def test_query_cost_dispatch(self):
+        assert query_cost("naive", 10, 2) == 100
+        assert query_cost("ps", 10, 3) == 8
+
+    def test_basic_ddc_series_formula(self):
+        """Section 3.3: d (n^(d-1) - 1) / (2^(d-1) - 1)."""
+        assert basic_ddc_update_cost(8, 2) == pytest.approx(2 * (8 - 1) / 1)
+        assert basic_ddc_update_cost(16, 3) == pytest.approx(3 * (256 - 1) / 3)
+        assert basic_ddc_update_cost(16, 1) == pytest.approx(4.0)
+
+    def test_basic_ddc_query_is_logarithmic(self):
+        assert basic_ddc_query_cost(256, 2) == pytest.approx(3 * 8)
+
+    def test_bc_tree_cost(self):
+        assert bc_tree_op_cost(16, fanout=16) == pytest.approx(16.0)
+        assert bc_tree_op_cost(1) == 1.0
+
+    def test_ddc_beats_basic_ddc_asymptotically(self):
+        assert ddc_update_cost(2**20, 3) < basic_ddc_update_cost(2**20, 3)
+
+    def test_edge_cases(self):
+        assert ddc_update_cost(1, 4) == 1.0
+        assert basic_ddc_update_cost(1, 1) == 1.0
+        assert full_cube_size(10, 3) == 1000
+
+    def test_round_to_power_of_ten(self):
+        assert round_to_power_of_ten(1e16) == 16
+        assert round_to_power_of_ten(3.1e7) == 7
+        assert round_to_power_of_ten(9.9e7) == 8
+        assert round_to_power_of_ten(0) == 0
+
+
+class TestStorageModel:
+    def test_tree_storage_exceeds_array(self):
+        assert tree_storage_cells(64, 2, leaf_side=2) > 64 * 64
+
+    def test_elision_series_monotone(self):
+        """Section 4.4: storage approaches |A| as levels are elided."""
+        series = elision_storage_series(256, 2, leaf_sides=(2, 4, 8, 16, 32))
+        overheads = [overhead for _, _, overhead in series]
+        assert overheads == sorted(overheads, reverse=True)
+        assert overheads[-1] < overheads[0] / 4
+
+    def test_elision_query_cost(self):
+        assert elision_query_leaf_cost(4, 2) == 16
+        assert elision_query_leaf_cost(8, 3) == 512
+
+    def test_elision_levels(self):
+        assert elision_levels(2) == 0
+        assert elision_levels(8) == 2
+
+    def test_small_cube_storage(self):
+        assert tree_storage_cells(1, 2, leaf_side=2) == 1

@@ -1,0 +1,245 @@
+"""Tests for the OLAP front-end: schemas, DataCube facade, aggregates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.olap import (
+    SUM,
+    XOR,
+    AggregateResult,
+    BinnedDimension,
+    CategoricalDimension,
+    CubeSchema,
+    DataCube,
+    IntegerDimension,
+    rolling_windows,
+)
+
+
+@pytest.fixture
+def sales_schema() -> CubeSchema:
+    return CubeSchema(
+        [IntegerDimension("age", 18, 80), IntegerDimension("day", 0, 30)],
+        measure="sales",
+    )
+
+
+class TestIntegerDimension:
+    def test_mapping(self):
+        dim = IntegerDimension("age", 18, 80)
+        assert dim.size == 63
+        assert dim.index_of(18) == 0
+        assert dim.index_of(80) == 62
+        assert dim.value_of(5) == 23
+
+    def test_out_of_domain(self):
+        dim = IntegerDimension("age", 18, 80)
+        with pytest.raises(SchemaError):
+            dim.index_of(17)
+        with pytest.raises(SchemaError):
+            dim.value_of(63)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(SchemaError):
+            IntegerDimension("age", 10, 5)
+
+    def test_index_range(self):
+        dim = IntegerDimension("day", 0, 364)
+        assert dim.index_range(7, 31) == (7, 31)
+        with pytest.raises(SchemaError):
+            dim.index_range(31, 7)
+
+
+class TestCategoricalDimension:
+    def test_mapping_preserves_order(self):
+        dim = CategoricalDimension("region", ["west", "central", "east"])
+        assert dim.size == 3
+        assert dim.index_of("central") == 1
+        assert dim.value_of(2) == "east"
+
+    def test_unknown_value(self):
+        dim = CategoricalDimension("region", ["west"])
+        with pytest.raises(SchemaError):
+            dim.index_of("north")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDimension("region", ["west", "west"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDimension("region", [])
+
+
+class TestBinnedDimension:
+    def test_binning(self):
+        dim = BinnedDimension("longitude", origin=-180.0, width=1.0, bins=360)
+        assert dim.size == 360
+        assert dim.index_of(-180.0) == 0
+        assert dim.index_of(-179.5) == 0
+        assert dim.index_of(0.0) == 180
+        assert dim.index_of(180.0) == 359  # inclusive upper edge
+
+    def test_outside_domain(self):
+        dim = BinnedDimension("x", origin=0.0, width=1.0, bins=10)
+        with pytest.raises(SchemaError):
+            dim.index_of(-0.1)
+        with pytest.raises(SchemaError):
+            dim.index_of(10.5)
+
+    def test_midpoint_representative(self):
+        dim = BinnedDimension("x", origin=0.0, width=2.0, bins=5)
+        assert dim.value_of(0) == 1.0
+        assert dim.value_of(4) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(SchemaError):
+            BinnedDimension("x", 0.0, 0.0, 4)
+        with pytest.raises(SchemaError):
+            BinnedDimension("x", 0.0, 1.0, 0)
+
+
+class TestCubeSchema:
+    def test_shape(self, sales_schema):
+        assert sales_schema.shape == (63, 31)
+        assert sales_schema.names == ["age", "day"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([IntegerDimension("a", 0, 1), IntegerDimension("a", 0, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([])
+
+    def test_cell_for(self, sales_schema):
+        assert sales_schema.cell_for({"age": 20, "day": 3}) == (2, 3)
+        with pytest.raises(SchemaError):
+            sales_schema.cell_for({"age": 20})
+        with pytest.raises(SchemaError):
+            sales_schema.cell_for({"age": 20, "day": 3, "region": "x"})
+
+    def test_ranges_for_defaults_to_full(self, sales_schema):
+        low, high = sales_schema.ranges_for({})
+        assert low == (0, 0)
+        assert high == (62, 30)
+
+    def test_ranges_for_mixed_conditions(self, sales_schema):
+        low, high = sales_schema.ranges_for({"age": (27, 45), "day": 7})
+        assert low == (9, 7)
+        assert high == (27, 7)
+
+    def test_axis_of(self, sales_schema):
+        assert sales_schema.axis_of("day") == 1
+        with pytest.raises(SchemaError):
+            sales_schema.axis_of("region")
+
+
+class TestDataCube:
+    @pytest.fixture(params=["ddc", "ps", "naive"])
+    def cube(self, request, sales_schema) -> DataCube:
+        return DataCube(sales_schema, method=request.param)
+
+    def test_insert_and_sum(self, cube):
+        cube.insert({"age": 27, "day": 7}, 100.0)
+        cube.insert({"age": 45, "day": 31 - 1}, 50.0)
+        cube.insert({"age": 70, "day": 0}, 999.0)
+        assert cube.sum(age=(27, 45)) == 150.0
+        assert cube.sum() == 1149.0
+
+    def test_paper_motivating_query(self, cube):
+        """Average daily sales to 27-45 year olds over a date range."""
+        cube.insert({"age": 30, "day": 7}, 120.0)
+        cube.insert({"age": 40, "day": 8}, 80.0)
+        cube.insert({"age": 60, "day": 9}, 500.0)  # outside the age range
+        result = cube.aggregate(age=(27, 45), day=(7, 30))
+        assert result.total == 200.0
+        assert result.count == 2
+        assert result.average == 100.0
+
+    def test_average_of_empty_region_is_none(self, cube):
+        assert cube.average(age=(27, 45)) is None
+
+    def test_remove_retracts(self, cube):
+        cube.insert({"age": 27, "day": 7}, 100.0)
+        cube.remove({"age": 27, "day": 7}, 100.0)
+        assert cube.sum() == 0.0
+        assert cube.count() == 0
+
+    def test_cell_lookup(self, cube):
+        cube.insert({"age": 27, "day": 7}, 100.0)
+        cube.insert({"age": 27, "day": 7}, 20.0)
+        assert cube.cell({"age": 27, "day": 7}) == 120.0
+
+    def test_set_cell(self, cube):
+        cube.set_cell({"age": 27, "day": 7}, 77.0, count=3)
+        assert cube.sum(age=27, day=7) == 77.0
+        assert cube.count(age=27) == 3
+
+    def test_count_disabled(self, sales_schema):
+        cube = DataCube(sales_schema, method="naive", track_count=False)
+        cube.insert({"age": 27, "day": 7}, 1.0)
+        with pytest.raises(RuntimeError):
+            cube.count()
+
+    def test_rolling_sum(self, cube):
+        for day in range(5):
+            cube.insert({"age": 30, "day": day}, float(day))
+        series = cube.rolling_sum("day", 2, day=(0, 4))
+        assert [total for _, total in series] == [1.0, 3.0, 5.0, 7.0]
+        assert [start for start, _ in series] == [0, 1, 2, 3]
+
+    def test_rolling_average(self, cube):
+        for day in range(4):
+            cube.insert({"age": 30, "day": day}, 10.0 * (day + 1))
+        series = cube.rolling_average("day", 2, day=(0, 3))
+        assert series[0] == (0, pytest.approx(15.0))
+        assert series[-1] == (2, pytest.approx(35.0))
+
+    def test_rolling_requires_tuple_condition(self, cube):
+        with pytest.raises(ValueError):
+            cube.rolling_sum("day", 2, day=5)
+
+    def test_memory_cells_reported(self, cube):
+        cube.insert({"age": 27, "day": 7}, 1.0)
+        assert cube.memory_cells() > 0
+
+
+class TestMethodsAgreeThroughOlap:
+    def test_same_answers_across_methods(self, sales_schema, rng):
+        cubes = [
+            DataCube(sales_schema, method=name)
+            for name in ("naive", "ps", "rps", "fenwick", "basic-ddc", "ddc")
+        ]
+        for _ in range(60):
+            point = {
+                "age": int(rng.integers(18, 81)),
+                "day": int(rng.integers(0, 31)),
+            }
+            amount = float(rng.integers(1, 500))
+            for cube in cubes:
+                cube.insert(point, amount)
+        answers = {cube.method_name: cube.sum(age=(25, 60), day=(3, 20)) for cube in cubes}
+        assert len({round(a, 6) for a in answers.values()}) == 1, answers
+
+
+class TestAggregates:
+    def test_group_operator_fold(self):
+        assert SUM.fold([1, 2, 3]) == 6
+        assert XOR.fold([5, 3]) == 6
+        assert SUM.invert(SUM.combine(10, 4), 4) == 10
+
+    def test_aggregate_result(self):
+        assert AggregateResult(total=10, count=4).average == 2.5
+        assert AggregateResult(total=0, count=0).average is None
+
+    def test_rolling_windows(self):
+        assert rolling_windows(4, 2) == [(0, 1), (1, 2), (2, 3)]
+        assert rolling_windows(3, 3) == [(0, 2)]
+        with pytest.raises(ValueError):
+            rolling_windows(2, 3)
+        with pytest.raises(ValueError):
+            rolling_windows(2, 0)

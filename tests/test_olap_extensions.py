@@ -1,0 +1,210 @@
+"""Tests for the OLAP extensions: dates, variance, bulk ingest, series."""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.olap import (
+    CubeSchema,
+    DataCube,
+    DateDimension,
+    IntegerDimension,
+)
+
+JAN1 = datetime.date(2025, 1, 1)
+
+
+@pytest.fixture
+def date_dim() -> DateDimension:
+    return DateDimension("date", JAN1, 365)
+
+
+@pytest.fixture
+def cube(date_dim) -> DataCube:
+    schema = CubeSchema(
+        [IntegerDimension("age", 18, 90), date_dim], measure="sales"
+    )
+    return DataCube(schema, method="ddc", track_sum_squares=True)
+
+
+class TestDateDimension:
+    def test_index_round_trip(self, date_dim):
+        assert date_dim.index_of(JAN1) == 0
+        assert date_dim.index_of(datetime.date(2025, 12, 31)) == 364
+        assert date_dim.value_of(100) == JAN1 + datetime.timedelta(days=100)
+
+    def test_datetime_coerced_to_date(self, date_dim):
+        stamp = datetime.datetime(2025, 6, 15, 13, 45)
+        assert date_dim.index_of(stamp) == date_dim.index_of(stamp.date())
+
+    def test_out_of_domain(self, date_dim):
+        with pytest.raises(SchemaError):
+            date_dim.index_of(datetime.date(2024, 12, 31))
+        with pytest.raises(SchemaError):
+            date_dim.index_of(datetime.date(2026, 1, 1))
+
+    def test_non_date_rejected(self, date_dim):
+        with pytest.raises(SchemaError):
+            date_dim.index_of("2025-01-01")
+
+    def test_needs_positive_days(self):
+        with pytest.raises(SchemaError):
+            DateDimension("date", JAN1, 0)
+
+    def test_month_ranges(self, date_dim):
+        low, high = date_dim.month(2025, 2)
+        assert low == datetime.date(2025, 2, 1)
+        assert high == datetime.date(2025, 2, 28)
+        low, high = date_dim.month(2025, 12)
+        assert high == datetime.date(2025, 12, 31)
+
+    def test_quarter_ranges(self, date_dim):
+        assert date_dim.quarter(2025, 1) == (
+            datetime.date(2025, 1, 1),
+            datetime.date(2025, 3, 31),
+        )
+        assert date_dim.quarter(2025, 4) == (
+            datetime.date(2025, 10, 1),
+            datetime.date(2025, 12, 31),
+        )
+        with pytest.raises(SchemaError):
+            date_dim.quarter(2025, 5)
+
+    def test_year_range(self, date_dim):
+        assert date_dim.year(2025) == (JAN1, datetime.date(2025, 12, 31))
+
+    def test_ranges_clipped_to_domain(self):
+        partial = DateDimension("date", datetime.date(2025, 6, 15), 30)
+        low, high = partial.month(2025, 6)
+        assert low == datetime.date(2025, 6, 15)
+        assert high == datetime.date(2025, 6, 30)
+
+    def test_range_outside_domain_rejected(self):
+        partial = DateDimension("date", datetime.date(2025, 6, 15), 30)
+        with pytest.raises(SchemaError):
+            partial.month(2025, 1)
+
+
+class TestVariance:
+    def test_variance_and_stddev(self, cube):
+        for age, amount in [(30, 10.0), (31, 20.0), (32, 30.0)]:
+            cube.insert({"age": age, "date": JAN1}, amount)
+        # population variance of {10, 20, 30} = 200/3
+        assert cube.variance() == pytest.approx(200 / 3)
+        assert cube.stddev() == pytest.approx((200 / 3) ** 0.5)
+
+    def test_variance_of_constant_is_zero(self, cube):
+        for age in (30, 40, 50):
+            cube.insert({"age": age, "date": JAN1}, 7.0)
+        assert cube.variance() == pytest.approx(0.0)
+
+    def test_variance_empty_region_is_none(self, cube):
+        assert cube.variance() is None
+        assert cube.stddev() is None
+
+    def test_variance_respects_range(self, cube, date_dim):
+        cube.insert({"age": 30, "date": datetime.date(2025, 1, 5)}, 10.0)
+        cube.insert({"age": 30, "date": datetime.date(2025, 2, 5)}, 1000.0)
+        january = date_dim.month(2025, 1)
+        assert cube.variance(date=january) == pytest.approx(0.0)
+        assert cube.variance() > 0
+
+    def test_variance_after_remove(self, cube):
+        cube.insert({"age": 30, "date": JAN1}, 10.0)
+        cube.insert({"age": 31, "date": JAN1}, 50.0)
+        cube.remove({"age": 31, "date": JAN1}, 50.0)
+        assert cube.variance() == pytest.approx(0.0)
+        assert cube.count() == 1
+
+    def test_variance_requires_tracking(self, date_dim):
+        schema = CubeSchema([date_dim], measure="sales")
+        plain = DataCube(schema, method="naive")
+        with pytest.raises(RuntimeError):
+            plain.variance()
+
+    def test_variance_matches_numpy(self, cube, rng):
+        amounts = rng.uniform(0, 100, size=40)
+        for index, amount in enumerate(amounts):
+            cube.insert(
+                {"age": 18 + index % 70, "date": JAN1 + datetime.timedelta(int(index))},
+                float(amount),
+            )
+        assert cube.variance() == pytest.approx(float(np.var(amounts)), rel=1e-9)
+
+
+class TestLoadRecords:
+    def test_bulk_ingest(self, cube):
+        records = [
+            {"age": 30, "date": JAN1, "sales": 10.0},
+            {"age": 30, "date": JAN1, "sales": 5.0},
+            {"age": 45, "date": datetime.date(2025, 7, 1), "sales": 20.0},
+        ]
+        assert cube.load_records(records) == 3
+        assert cube.sum() == 35.0
+        assert cube.count() == 3
+        assert cube.cell({"age": 30, "date": JAN1}) == 15.0
+
+    def test_custom_amount_key(self, cube):
+        cube.load_records([{"age": 20, "date": JAN1, "revenue": 9.0}], "revenue")
+        assert cube.sum() == 9.0
+
+    def test_missing_dimension_rejected(self, cube):
+        with pytest.raises(SchemaError):
+            cube.load_records([{"age": 20, "sales": 1.0}])
+
+    def test_matches_sequential_inserts(self, date_dim, rng):
+        schema = CubeSchema(
+            [IntegerDimension("age", 18, 90), date_dim], measure="sales"
+        )
+        bulk = DataCube(schema, method="ps", track_sum_squares=True)
+        sequential = DataCube(schema, method="ps", track_sum_squares=True)
+        records = [
+            {
+                "age": int(rng.integers(18, 91)),
+                "date": JAN1 + datetime.timedelta(int(rng.integers(0, 365))),
+                "sales": float(rng.integers(1, 100)),
+            }
+            for _ in range(50)
+        ]
+        bulk.load_records(records)
+        for record in records:
+            record = dict(record)
+            amount = record.pop("sales")
+            sequential.insert(record, amount)
+        assert bulk.sum() == sequential.sum()
+        assert bulk.count() == sequential.count()
+        assert bulk.variance() == pytest.approx(sequential.variance())
+
+
+class TestSeries:
+    def test_series_over_subrange(self, cube):
+        for day, amount in [(0, 10.0), (1, 20.0), (3, 5.0)]:
+            cube.insert(
+                {"age": 30, "date": JAN1 + datetime.timedelta(day)}, amount
+            )
+        window = (JAN1, JAN1 + datetime.timedelta(3))
+        series = cube.series("date", date=window)
+        assert [total for _, total in series] == [10.0, 20.0, 0.0, 5.0]
+        assert series[0][0] == JAN1
+
+    def test_series_respects_other_conditions(self, cube):
+        cube.insert({"age": 20, "date": JAN1}, 1.0)
+        cube.insert({"age": 80, "date": JAN1}, 100.0)
+        series = cube.series("date", date=(JAN1, JAN1), age=(18, 30))
+        assert series == [(JAN1, 1.0)]
+
+    def test_series_single_value_condition(self, cube):
+        cube.insert({"age": 20, "date": JAN1}, 3.0)
+        series = cube.series("date", date=JAN1)
+        assert series == [(JAN1, 3.0)]
+
+    def test_memory_includes_companions(self, cube):
+        cube.insert({"age": 20, "date": JAN1}, 3.0)
+        with_squares = cube.memory_cells()
+        plain = DataCube(cube.schema, method="ddc")
+        plain.insert({"age": 20, "date": JAN1}, 3.0)
+        assert with_squares > plain.memory_cells()

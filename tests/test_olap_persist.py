@@ -1,0 +1,140 @@
+"""Tests for whole-DataCube persistence (schema + companions)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.olap import (
+    BinnedDimension,
+    CategoricalDimension,
+    CubeSchema,
+    DataCube,
+    DateDimension,
+    HierarchyDimension,
+    IntegerDimension,
+)
+from repro.olap_persist import load_datacube, save_datacube
+from repro.persist import PersistError
+
+JAN1 = datetime.date(2025, 1, 1)
+
+
+@pytest.fixture
+def cube_path(tmp_path):
+    return tmp_path / "datacube.npz"
+
+
+def full_schema() -> CubeSchema:
+    return CubeSchema(
+        [
+            IntegerDimension("age", 18, 60),
+            DateDimension("date", JAN1, 90),
+        ],
+        measure="sales",
+    )
+
+
+class TestRoundTrips:
+    def test_basic_round_trip(self, cube_path):
+        cube = DataCube(full_schema(), method="ddc", track_sum_squares=True)
+        cube.insert({"age": 30, "date": JAN1}, 10.0)
+        cube.insert({"age": 40, "date": datetime.date(2025, 2, 2)}, 20.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        assert restored.method_name == "ddc"
+        assert restored.schema.measure == "sales"
+        assert restored.sum() == 30.0
+        assert restored.count() == 2
+        assert restored.variance() == pytest.approx(25.0)
+
+    def test_restored_cube_stays_updatable(self, cube_path):
+        cube = DataCube(full_schema(), method="ps")
+        cube.insert({"age": 25, "date": JAN1}, 5.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        restored.insert({"age": 26, "date": JAN1}, 7.0)
+        assert restored.sum() == 12.0
+        assert restored.count() == 2
+
+    def test_date_conditions_survive(self, cube_path):
+        cube = DataCube(full_schema())
+        cube.insert({"age": 30, "date": datetime.date(2025, 2, 14)}, 99.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        date_dim = restored.schema.dimension("date")
+        assert restored.sum(date=date_dim.month(2025, 2)) == 99.0
+
+    def test_every_dimension_type(self, cube_path):
+        schema = CubeSchema(
+            [
+                IntegerDimension("age", 0, 9),
+                CategoricalDimension("color", ["red", "green"]),
+                BinnedDimension("weight", 0.0, 2.5, 4),
+            ],
+            measure="m",
+        )
+        cube = DataCube(schema, method="naive")
+        cube.insert({"age": 3, "color": "green", "weight": 5.1}, 2.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        assert restored.sum(color="green") == 2.0
+        assert restored.sum(weight=(5.0, 7.4)) == 2.0
+        assert restored.sum(color="red") == 0.0
+
+    def test_hierarchy_dimension(self, cube_path):
+        geo = HierarchyDimension(
+            "geo", {"emea": {"de": ["berlin"], "fr": ["paris"]}, "amer": {"us": ["nyc"]}}
+        )
+        schema = CubeSchema([geo, IntegerDimension("day", 0, 4)], measure="m")
+        cube = DataCube(schema)
+        cube.insert({"geo": "berlin", "day": 0}, 3.0)
+        cube.insert({"geo": "nyc", "day": 1}, 4.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        restored_geo = restored.schema.dimension("geo")
+        assert restored.sum(geo=restored_geo.member("emea")) == 3.0
+        assert restored_geo.members_at(1) == ["emea", "amer"]
+
+    def test_without_optional_companions(self, cube_path):
+        cube = DataCube(full_schema(), method="fenwick", track_count=False)
+        cube.insert({"age": 20, "date": JAN1}, 1.0)
+        save_datacube(cube, cube_path)
+        restored = load_datacube(cube_path)
+        assert restored.sum() == 1.0
+        with pytest.raises(RuntimeError):
+            restored.count()
+
+
+class TestErrors:
+    def test_wrong_kind_rejected(self, cube_path, tmp_path):
+        from repro import DynamicDataCube
+        from repro.persist import save_cube
+
+        save_cube(DynamicDataCube((4, 4)), cube_path)
+        with pytest.raises(PersistError):
+            load_datacube(cube_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistError):
+            load_datacube(tmp_path / "absent.npz")
+
+    def test_custom_dimension_rejected(self, cube_path):
+        from repro.olap.schema import Dimension
+
+        class WeirdDimension(Dimension):
+            @property
+            def size(self):
+                return 2
+
+            def index_of(self, value):
+                return 0
+
+            def value_of(self, index):
+                return "x"
+
+        schema = CubeSchema([WeirdDimension("w"), IntegerDimension("a", 0, 1)])
+        cube = DataCube(schema, method="naive")
+        with pytest.raises(PersistError):
+            save_datacube(cube, cube_path)

@@ -1,0 +1,202 @@
+"""Tests for rollup / pivot / top-k and GrowableCube.compact."""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+import pytest
+
+from repro import GrowableCube
+from repro.exceptions import SchemaError
+from repro.olap import (
+    CategoricalDimension,
+    CubeSchema,
+    DataCube,
+    DateDimension,
+    IntegerDimension,
+)
+
+JAN1 = datetime.date(2025, 1, 1)
+
+
+@pytest.fixture
+def date_dim():
+    return DateDimension("date", JAN1, 365)
+
+
+@pytest.fixture
+def cube(date_dim):
+    schema = CubeSchema(
+        [
+            IntegerDimension("age", 18, 90),
+            date_dim,
+            CategoricalDimension("region", ["west", "east"]),
+        ],
+        measure="sales",
+    )
+    cube = DataCube(schema, method="ddc")
+    samples = [
+        (30, datetime.date(2025, 1, 10), "west", 10.0),
+        (30, datetime.date(2025, 2, 10), "west", 20.0),
+        (55, datetime.date(2025, 5, 10), "east", 40.0),
+        (70, datetime.date(2025, 11, 10), "east", 80.0),
+    ]
+    for age, date, region, amount in samples:
+        cube.insert({"age": age, "date": date, "region": region}, amount)
+    return cube
+
+
+class TestBucketGenerators:
+    def test_months_cover_year(self, date_dim):
+        buckets = date_dim.months()
+        assert len(buckets) == 12
+        assert buckets[0][0] == "2025-01"
+        assert buckets[-1][0] == "2025-12"
+        assert buckets[0][1] == (JAN1, datetime.date(2025, 1, 31))
+
+    def test_quarters_cover_year(self, date_dim):
+        buckets = date_dim.quarters()
+        assert [label for label, _ in buckets] == [
+            "2025-Q1",
+            "2025-Q2",
+            "2025-Q3",
+            "2025-Q4",
+        ]
+
+    def test_partial_domain_clipped(self):
+        partial = DateDimension("date", datetime.date(2025, 11, 15), 60)
+        months = partial.months()
+        assert months[0][0] == "2025-11"
+        assert months[0][1][0] == datetime.date(2025, 11, 15)
+        assert months[-1][0] == "2026-01"
+
+    def test_quarters_span_year_boundary(self):
+        spanning = DateDimension("date", datetime.date(2025, 12, 1), 90)
+        labels = [label for label, _ in spanning.quarters()]
+        assert labels == ["2025-Q4", "2026-Q1"]
+
+
+class TestRollup:
+    def test_quarterly_rollup(self, cube, date_dim):
+        rolled = cube.rollup("date", date_dim.quarters())
+        assert [(label, float(total)) for label, total in rolled] == [
+            ("2025-Q1", 30.0),
+            ("2025-Q2", 40.0),
+            ("2025-Q3", 0.0),
+            ("2025-Q4", 80.0),
+        ]
+
+    def test_rollup_with_restriction(self, cube, date_dim):
+        rolled = cube.rollup("date", date_dim.quarters(), region="east")
+        assert sum(total for _, total in rolled) == 120.0
+
+    def test_rollup_custom_buckets(self, cube):
+        bands = [("young", (18, 40)), ("older", (41, 90))]
+        rolled = cube.rollup("age", bands)
+        assert rolled[0] == ("young", 30.0)
+        assert rolled[1] == ("older", 120.0)
+
+    def test_rollup_single_value_buckets(self, cube):
+        rolled = cube.rollup("region", [("w", "west"), ("e", "east")])
+        assert rolled == [("w", 30.0), ("e", 120.0)]
+
+    def test_rollup_unknown_dimension(self, cube):
+        with pytest.raises(SchemaError):
+            cube.rollup("flavour", [("x", 1)])
+
+    def test_rollup_totals_match_grand_total(self, cube, date_dim):
+        rolled = cube.rollup("date", date_dim.months())
+        assert sum(total for _, total in rolled) == cube.sum()
+
+
+class TestPivot:
+    def test_cross_tab(self, cube, date_dim):
+        bands = [("young", (18, 40)), ("older", (41, 90))]
+        halves = [("H1", (JAN1, datetime.date(2025, 6, 30))),
+                  ("H2", (datetime.date(2025, 7, 1), datetime.date(2025, 12, 31)))]
+        table = cube.pivot("age", bands, "date", halves)
+        assert table[0] == ["young", 30.0, 0.0]
+        assert table[1] == ["older", 40.0, 80.0]
+
+    def test_pivot_needs_distinct_dimensions(self, cube):
+        with pytest.raises(SchemaError):
+            cube.pivot("age", [("a", (18, 90))], "age", [("b", (18, 90))])
+
+    def test_pivot_grand_total(self, cube, date_dim):
+        bands = [("all", (18, 90))]
+        table = cube.pivot("age", bands, "date", date_dim.quarters())
+        assert sum(table[0][1:]) == cube.sum()
+
+
+class TestTopK:
+    def test_top_k_ages(self, cube):
+        top = cube.top_k("age", 2)
+        assert top[0] == (70, 80.0)
+        assert top[1] == (55, 40.0)
+
+    def test_top_k_with_restriction(self, cube):
+        top = cube.top_k("region", 1, age=(18, 40))
+        assert top == [("west", 30.0)]
+
+    def test_top_k_validation(self, cube):
+        with pytest.raises(ValueError):
+            cube.top_k("age", 0)
+
+    def test_top_k_larger_than_dimension(self, cube):
+        top = cube.top_k("region", 10)
+        assert len(top) == 2
+
+
+class TestCompact:
+    def test_compact_shrinks_domain(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        cube.add((0, 0), 1)
+        cube.add((1_000_000, 0), 5)
+        cube.add((1_000_000, 0), -5)  # the outlier disappears
+        big = cube.side
+        cube.compact()
+        assert cube.side < big / 1000
+        assert cube.get((0, 0)) == 1
+        assert cube.total() == 1
+
+    def test_compact_preserves_contents(self, rng):
+        cube = GrowableCube(dims=2, initial_side=4)
+        reference = {}
+        for _ in range(60):
+            point = (int(rng.integers(-2000, 2000)), int(rng.integers(-2000, 2000)))
+            value = int(rng.integers(1, 9))
+            cube.add(point, value)
+            reference[point] = reference.get(point, 0) + value
+        cube.compact()
+        for point, value in reference.items():
+            assert cube.get(point) == value
+        assert cube.total() == sum(reference.values())
+        cube._cube.validate()
+
+    def test_compact_empty_cube_resets(self):
+        cube = GrowableCube(dims=3)
+        cube.add((9, 9, 9), 5)
+        cube.add((9, 9, 9), -5)
+        cube.compact()
+        assert cube.bounds is None
+        cube.add((-100, 0, 100), 2)  # re-anchors cleanly
+        assert cube.get((-100, 0, 100)) == 2
+
+    def test_compact_updates_bounds(self):
+        cube = GrowableCube(dims=1, initial_side=4)
+        cube.add(100, 1)
+        cube.add(5000, 1)
+        cube.add(5000, -1)
+        cube.compact()
+        assert cube.bounds == ((100,), (100,))
+
+    def test_memory_shrinks(self):
+        cube = GrowableCube(dims=2, initial_side=4)
+        for index in range(8):
+            cube.add((index, index), 1)
+        cube.add((500_000, 500_000), 1)
+        cube.add((500_000, 500_000), -1)
+        before = cube.memory_cells()
+        cube.compact()
+        assert cube.memory_cells() < before

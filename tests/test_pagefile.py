@@ -1,0 +1,205 @@
+"""Tests for the page file and the disk-resident B^c tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import StructureError
+from repro.storage import DiskBcTree, PageFile, PageFileError
+
+
+@pytest.fixture
+def page_path(tmp_path):
+    return tmp_path / "data.pf"
+
+
+class TestPageFile:
+    def test_create_and_reopen(self, page_path):
+        with PageFile(page_path, page_size=128) as pages:
+            page = pages.allocate()
+            pages.write(page, b"hello")
+        with PageFile(page_path, page_size=128) as pages:
+            assert pages.read(page) == b"hello"
+            assert pages.page_size == 128
+
+    def test_page_size_validated_on_reopen(self, page_path):
+        PageFile(page_path, page_size=128).close()
+        with pytest.raises(PageFileError):
+            PageFile(page_path, page_size=256)
+
+    def test_minimum_page_size(self, page_path):
+        with pytest.raises(PageFileError):
+            PageFile(page_path, page_size=16)
+
+    def test_not_a_page_file(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"x" * 200)
+        with pytest.raises(PageFileError):
+            PageFile(path, page_size=128)
+
+    def test_payload_too_large(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            page = pages.allocate()
+            with pytest.raises(PageFileError):
+                pages.write(page, b"y" * 64)
+
+    def test_out_of_range_page(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            with pytest.raises(PageFileError):
+                pages.read(3)
+
+    def test_free_list_recycling(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            first = pages.allocate()
+            second = pages.allocate()
+            pages.free(first)
+            recycled = pages.allocate()
+            assert recycled == first
+            assert pages.page_count == 2
+            assert second != recycled
+
+    def test_stats_track_traffic(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            page = pages.allocate()
+            pages.write(page, b"a")
+            pages.read(page)
+            pages.read(page)
+            assert pages.stats.writes == 1
+            assert pages.stats.reads == 2
+            assert pages.stats.allocations == 1
+
+    def test_many_pages_round_trip(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            payloads = {}
+            for index in range(50):
+                page = pages.allocate()
+                payload = bytes([index]) * (index % 40)
+                pages.write(page, payload)
+                payloads[page] = payload
+            for page, payload in payloads.items():
+                assert pages.read(page) == payload
+
+
+class TestDiskBcTree:
+    def test_empty_tree(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages)
+            assert len(tree) == 0
+            assert tree.total() == 0
+            assert tree.prefix_sum(10**9) == 0
+            assert tree.get(5) == 0
+
+    def test_matches_dict_reference(self, page_path):
+        rng = random.Random(1)
+        reference: dict[int, int] = {}
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, cache_pages=4)
+            for _ in range(400):
+                key = rng.randrange(-300, 300)
+                delta = rng.randrange(-9, 10) or 1
+                tree.add(key, delta)
+                reference[key] = reference.get(key, 0) + delta
+            tree.validate()
+            assert tree.total() == sum(reference.values())
+            for probe in range(-330, 331, 41):
+                expected = sum(v for k, v in reference.items() if k <= probe)
+                assert tree.prefix_sum(probe) == expected
+            for key in list(reference)[:10]:
+                assert tree.get(key) == reference[key]
+
+    def test_persistence_across_reopen(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, cache_pages=2)
+            for key in range(100):
+                tree.add(key * 3, key)
+            meta = tree.meta_page
+            tree.flush()
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, meta_page=meta)
+            assert len(tree) == 99  # key 0 had delta 0: skipped
+            assert tree.total() == sum(range(100))
+            assert tree.prefix_sum(3 * 50) == sum(range(51))
+            tree.validate()
+
+    def test_float_values(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, value_format="d")
+            tree.add(1, 0.5)
+            tree.add(2, 0.25)
+            assert tree.prefix_sum(2) == pytest.approx(0.75)
+
+    def test_bad_value_format(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            with pytest.raises(ValueError):
+                DiskBcTree(pages, value_format="x")
+
+    def test_tiny_page_rejected(self, page_path):
+        with PageFile(page_path, page_size=64) as pages:
+            with pytest.raises(PageFileError):
+                DiskBcTree(pages)
+
+    def test_cache_size_one_still_correct(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, cache_pages=1)
+            for key in range(200):
+                tree.add(key, 1)
+            assert tree.prefix_sum(99) == 100
+            tree.validate()
+
+    def test_bigger_cache_means_fewer_physical_reads(self, page_path):
+        rng = random.Random(2)
+        keys = [rng.randrange(0, 5000) for _ in range(800)]
+        reads = {}
+        for cache_pages in (1, 64):
+            path = page_path.parent / f"cache{cache_pages}.pf"
+            with PageFile(path, page_size=256) as pages:
+                tree = DiskBcTree(pages, cache_pages=cache_pages)
+                for key in keys:
+                    tree.add(key, 1)
+                pages.stats.reset()
+                for probe in range(0, 5000, 37):
+                    tree.prefix_sum(probe)
+                reads[cache_pages] = pages.stats.reads
+        assert reads[64] < reads[1] / 2
+
+    def test_set_semantics(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages)
+            tree.set(7, 10)
+            tree.set(7, 4)
+            assert tree.get(7) == 4
+            assert tree.total() == 4
+
+    def test_items_in_order(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages)
+            for key in (30, 10, 20, -5):
+                tree.add(key, key)
+            assert [k for k, _ in tree.items()] == [-5, 10, 20, 30]
+
+    def test_validate_detects_corruption(self, page_path):
+        with PageFile(page_path, page_size=256) as pages:
+            tree = DiskBcTree(pages, cache_pages=4)
+            for key in range(300):
+                tree.add(key, 1)
+            tree.flush()
+            # Corrupt the root's first subtree sum on disk.
+            root = tree._load(tree._root_page)
+            assert not root.leaf
+            root.sums[0] += 1
+            tree._mark_dirty(root)
+            with pytest.raises(StructureError):
+                tree.validate()
+
+
+class TestDefaultPageSize:
+    def test_none_accepts_any_stored_size(self, page_path):
+        PageFile(page_path, page_size=128).close()
+        with PageFile(page_path) as pages:  # no size requested
+            assert pages.page_size == 128
+
+    def test_default_creation_size(self, tmp_path):
+        with PageFile(tmp_path / "d.pf") as pages:
+            assert pages.page_size == PageFile.DEFAULT_PAGE_SIZE

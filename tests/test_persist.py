@@ -1,0 +1,151 @@
+"""Tests for cube persistence (save_cube / load_cube)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DynamicDataCube, GrowableCube
+from repro.methods import build_method, method_class
+from repro.persist import PersistError, load_cube, save_cube
+from repro.workloads import clustered, dense_uniform
+
+
+@pytest.fixture
+def cube_path(tmp_path):
+    return tmp_path / "cube.npz"
+
+
+class TestMethodRoundTrips:
+    def test_round_trip_every_method(self, method_name, cube_path, rng):
+        data = rng.integers(-9, 10, size=(17, 11))
+        method = method_class(method_name).from_array(data)
+        save_cube(method, cube_path)
+        restored = load_cube(cube_path)
+        assert restored.name == method_name
+        assert restored.shape == method.shape
+        assert np.array_equal(restored.to_dense(), data)
+        # The restored structure keeps working.
+        restored.add((3, 4), 5)
+        assert restored.get((3, 4)) == data[3, 4] + 5
+
+    def test_round_trip_preserves_dtype(self, cube_path):
+        method = build_method("ddc", np.ones((4, 4), dtype=np.float64) * 0.5)
+        save_cube(method, cube_path)
+        restored = load_cube(cube_path)
+        assert restored.dtype == np.float64
+        assert restored.total() == pytest.approx(8.0)
+
+    def test_round_trip_empty_cube(self, cube_path):
+        method = DynamicDataCube((32, 32))
+        save_cube(method, cube_path)
+        restored = load_cube(cube_path)
+        assert restored.total() == 0
+        assert restored.memory_cells() == 0
+
+    def test_round_trip_three_dims(self, cube_path, rng):
+        data = rng.integers(0, 9, size=(6, 7, 8))
+        method = DynamicDataCube.from_array(data)
+        save_cube(method, cube_path)
+        assert np.array_equal(load_cube(cube_path).to_dense(), data)
+
+    def test_ddc_options_preserved(self, cube_path):
+        method = DynamicDataCube.from_array(
+            dense_uniform((16, 16), seed=1),
+            leaf_side=8,
+            secondary_kind="fenwick",
+            bc_fanout=4,
+        )
+        save_cube(method, cube_path)
+        restored = load_cube(cube_path)
+        assert restored.leaf_side == 8
+        assert restored.secondary_kind == "fenwick"
+        assert restored.bc_fanout == 4
+
+    def test_rps_block_side_preserved(self, cube_path):
+        method = build_method("rps", dense_uniform((32, 32), seed=2), block_side=4)
+        save_cube(method, cube_path)
+        assert load_cube(cube_path).block_side == (4, 4)
+
+
+class TestSparsityOnDisk:
+    def test_sparse_cube_file_is_small(self, tmp_path):
+        domain = (1024, 1024)
+        data = clustered(domain, clusters=2, points_per_cluster=50, seed=3)
+        sparse_path = tmp_path / "sparse.npz"
+        dense_path = tmp_path / "dense.npz"
+        save_cube(DynamicDataCube.from_array(data), sparse_path)
+        save_cube(build_method("ps", data), dense_path)
+        # The DDC file stores populated blocks only.
+        assert sparse_path.stat().st_size < dense_path.stat().st_size / 5
+
+    def test_sparse_round_trip_exact(self, tmp_path):
+        data = clustered((256, 256), clusters=3, points_per_cluster=40, seed=4)
+        path = tmp_path / "c.npz"
+        save_cube(DynamicDataCube.from_array(data), path)
+        restored = load_cube(path)
+        assert np.array_equal(restored.to_dense(), data)
+        restored.validate()
+
+
+class TestGrowableRoundTrip:
+    def test_round_trip(self, cube_path):
+        grown = GrowableCube(dims=2, initial_side=4)
+        grown.add((-500, 300), 7)
+        grown.add((1200, -80), 3)
+        save_cube(grown, cube_path)
+        restored = load_cube(cube_path)
+        assert isinstance(restored, GrowableCube)
+        assert restored.get((-500, 300)) == 7
+        assert restored.get((1200, -80)) == 3
+        assert restored.bounds == grown.bounds
+        assert restored.origin == grown.origin
+        assert restored.total() == 10
+        # Growth continues to work after restore.
+        restored.add((-9999, 9999), 1)
+        assert restored.total() == 11
+
+    def test_empty_growable(self, cube_path):
+        grown = GrowableCube(dims=3)
+        save_cube(grown, cube_path)
+        restored = load_cube(cube_path)
+        assert restored.total() == 0
+        assert restored.bounds is None
+
+
+class TestErrorHandling:
+    def test_unknown_object_rejected(self, cube_path):
+        with pytest.raises(PersistError):
+            save_cube({"not": "a cube"}, cube_path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistError):
+            load_cube(tmp_path / "missing.npz")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a cube")
+        with pytest.raises(PersistError):
+            load_cube(path)
+
+    def test_npz_without_metadata(self, tmp_path):
+        path = tmp_path / "plain.npz"
+        np.savez(path, values=np.arange(4))
+        with pytest.raises(PersistError, match="no metadata"):
+            load_cube(path)
+
+    def test_future_format_version_rejected(self, tmp_path, cube_path):
+        import json
+
+        save_cube(DynamicDataCube((4, 4)), cube_path)
+        with np.load(cube_path) as data:
+            meta = json.loads(bytes(data["__meta__"]).decode())
+            arrays = {key: data[key] for key in data.files if key != "__meta__"}
+        meta["format_version"] = 999
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        future = tmp_path / "future.npz"
+        np.savez(future, **arrays)
+        with pytest.raises(PersistError, match="version"):
+            load_cube(future)

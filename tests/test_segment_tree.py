@@ -1,0 +1,87 @@
+"""Tests specific to the segment-tree baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.methods.segment_tree import SegmentTreeCube, _cover_nodes, _update_path
+from repro.workloads import dense_uniform
+
+
+class TestInternals:
+    def test_update_path_reaches_root(self):
+        path = _update_path(5, 8)
+        assert path[0] == 13  # leaf position
+        assert path[-1] == 1  # root
+        assert len(path) == 4  # log2(8) + 1
+
+    def test_cover_nodes_full_range(self):
+        assert _cover_nodes(0, 7, 8) == [1]
+
+    def test_cover_nodes_single_leaf(self):
+        assert _cover_nodes(3, 3, 8) == [11]
+
+    @pytest.mark.parametrize("low,high", [(0, 3), (2, 5), (1, 6), (4, 7)])
+    def test_cover_nodes_partition_exactly(self, low, high):
+        """Canonical nodes cover each leaf in range exactly once."""
+        size = 8
+        covered = []
+        for node in _cover_nodes(low, high, size):
+            # leaves under `node`
+            left = node
+            right = node
+            while left < size:
+                left *= 2
+                right = right * 2 + 1
+            covered.extend(range(left - size, right - size + 1))
+        assert sorted(covered) == list(range(low, high + 1))
+
+    def test_cover_count_is_logarithmic(self):
+        nodes = _cover_nodes(1, 1022, 1024)
+        assert len(nodes) <= 2 * 10
+
+
+class TestBehaviour:
+    def test_storage_is_two_to_the_d_times_cube(self):
+        cube = SegmentTreeCube((64, 64))
+        assert cube.memory_cells() == (2 * 64) ** 2
+
+    def test_update_cost_logarithmic(self):
+        cube = SegmentTreeCube((1024, 1024))
+        cube.stats.reset()
+        cube.add((0, 0), 1)
+        assert cube.stats.cell_writes == 11 * 11  # (log2 n + 1)^2
+
+    def test_query_cost_logarithmic(self):
+        cube = SegmentTreeCube.from_array(dense_uniform((256, 256), seed=1))
+        cube.stats.reset()
+        cube.range_sum((1, 1), (254, 254))
+        assert cube.stats.cell_reads <= (2 * 8) ** 2
+
+    def test_range_query_no_inclusion_exclusion(self):
+        """Unlike prefix methods, negative-free direct decomposition."""
+        array = dense_uniform((32, 32), seed=2)
+        cube = SegmentTreeCube.from_array(array)
+        assert cube.range_sum((5, 7), (20, 30)) == array[5:21, 7:31].sum()
+
+    def test_non_power_of_two_shapes(self):
+        rng = np.random.default_rng(3)
+        array = rng.integers(0, 9, size=(13, 27))
+        cube = SegmentTreeCube.from_array(array)
+        assert cube.prefix_sum((12, 26)) == array.sum()
+        assert np.array_equal(cube.to_dense(), array)
+
+    def test_bulk_equals_incremental(self, rng):
+        array = rng.integers(0, 9, size=(10, 10))
+        bulk = SegmentTreeCube.from_array(array)
+        incremental = SegmentTreeCube(array.shape)
+        for cell in np.ndindex(*array.shape):
+            if array[cell]:
+                incremental.add(cell, int(array[cell]))
+        assert np.array_equal(bulk._tree, incremental._tree)
+
+    def test_three_dimensional(self, rng):
+        array = rng.integers(0, 5, size=(5, 6, 7))
+        cube = SegmentTreeCube.from_array(array)
+        assert cube.range_sum((1, 2, 3), (4, 5, 6)) == array[1:5, 2:6, 3:7].sum()

@@ -1,0 +1,120 @@
+"""Tests for bivariate range statistics (covariance / correlation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.olap import CubeSchema, IntegerDimension
+from repro.olap.statistics import BivariateCube, BivariateSummary
+
+
+@pytest.fixture
+def schema() -> CubeSchema:
+    return CubeSchema(
+        [IntegerDimension("day", 0, 29), IntegerDimension("store", 0, 4)],
+        measure="ignored",
+    )
+
+
+@pytest.fixture
+def cube(schema) -> BivariateCube:
+    return BivariateCube(schema, x="ad_spend", y="sales", method="ddc")
+
+
+class TestSummary:
+    def test_empty_region(self, cube):
+        summary = cube.summary()
+        assert summary.count == 0
+        assert summary.covariance is None
+        assert summary.correlation is None
+        assert summary.mean_x is None
+
+    def test_single_point(self, cube):
+        cube.insert({"day": 3, "store": 1}, 10.0, 100.0)
+        summary = cube.summary()
+        assert summary.count == 1
+        assert summary.mean_x == 10.0
+        assert summary.mean_y == 100.0
+        assert summary.covariance == pytest.approx(0.0)
+        assert summary.correlation is None  # zero variance
+
+    def test_perfect_positive_correlation(self, cube):
+        for day in range(10):
+            cube.insert({"day": day, "store": 0}, float(day), 2.0 * day + 5)
+        assert cube.correlation() == pytest.approx(1.0)
+        assert cube.covariance() > 0
+
+    def test_perfect_negative_correlation(self, cube):
+        for day in range(10):
+            cube.insert({"day": day, "store": 0}, float(day), -3.0 * day)
+        assert cube.correlation() == pytest.approx(-1.0)
+
+    def test_matches_numpy(self, cube, rng):
+        xs = rng.uniform(0, 50, size=60)
+        ys = 0.5 * xs + rng.normal(0, 5, size=60)
+        for index, (x, y) in enumerate(zip(xs, ys)):
+            cube.insert(
+                {"day": index % 30, "store": index % 5}, float(x), float(y)
+            )
+        expected_cov = float(np.cov(xs, ys, bias=True)[0, 1])
+        expected_corr = float(np.corrcoef(xs, ys)[0, 1])
+        assert cube.covariance() == pytest.approx(expected_cov, rel=1e-9)
+        assert cube.correlation() == pytest.approx(expected_corr, rel=1e-9)
+
+    def test_regional_restriction(self, cube):
+        # Correlated in week 1, anti-correlated in week 2.
+        for day in range(7):
+            cube.insert({"day": day, "store": 0}, float(day), float(day))
+        for day in range(7, 14):
+            cube.insert({"day": day, "store": 0}, float(day), float(-day))
+        assert cube.correlation(day=(0, 6)) == pytest.approx(1.0)
+        assert cube.correlation(day=(7, 13)) == pytest.approx(-1.0)
+
+    def test_remove_retracts(self, cube):
+        cube.insert({"day": 0, "store": 0}, 1.0, 1.0)
+        cube.insert({"day": 1, "store": 0}, 2.0, 2.0)
+        cube.insert({"day": 2, "store": 0}, 100.0, -100.0)  # the outlier
+        cube.remove({"day": 2, "store": 0}, 100.0, -100.0)
+        assert cube.correlation() == pytest.approx(1.0)
+        assert cube.summary().count == 2
+
+
+class TestConstruction:
+    def test_distinct_measure_names_required(self, schema):
+        with pytest.raises(ValueError):
+            BivariateCube(schema, x="same", y="same")
+
+    def test_methods_interchangeable(self, schema, rng):
+        answers = []
+        for method in ("naive", "ps", "ddc"):
+            cube = BivariateCube(schema, method=method)
+            local_rng = np.random.default_rng(5)
+            for index in range(40):
+                cube.insert(
+                    {"day": index % 30, "store": index % 5},
+                    float(local_rng.uniform(0, 10)),
+                    float(local_rng.uniform(0, 10)),
+                )
+            answers.append(round(cube.correlation(), 12))
+        assert len(set(answers)) == 1
+
+    def test_memory_cells(self, cube):
+        cube.insert({"day": 0, "store": 0}, 1.0, 2.0)
+        assert cube.memory_cells() > 0
+
+
+class TestSummaryDataclass:
+    def test_clamps_correlation(self):
+        # Construct a summary whose raw ratio drifts past 1 numerically.
+        summary = BivariateSummary(
+            count=2, sum_x=2.0, sum_y=2.0, sum_xx=2.0, sum_yy=2.0, sum_xy=2.0 + 1e-15
+        )
+        correlation = summary.correlation
+        assert correlation is None or -1.0 <= correlation <= 1.0
+
+    def test_variance_non_negative(self):
+        summary = BivariateSummary(
+            count=3, sum_x=3.0, sum_y=0.0, sum_xx=3.0 - 1e-12, sum_yy=0.0, sum_xy=0.0
+        )
+        assert summary.variance_x >= 0.0

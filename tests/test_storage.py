@@ -1,0 +1,146 @@
+"""Tests for the simulated buffer pool / page-access substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DynamicDataCube
+from repro.core.bc_tree import BcTree
+from repro.storage import BufferPool, BufferStats, attach_pool, detach_pool
+from repro.workloads import dense_uniform
+
+
+class TestBufferStats:
+    def test_hit_rate_idle(self):
+        assert BufferStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = BufferStats(accesses=10, hits=7, misses=3)
+        assert stats.hit_rate == 0.7
+
+    def test_reset(self):
+        stats = BufferStats(accesses=5, hits=2, misses=3, evictions=1)
+        stats.reset()
+        assert stats.accesses == stats.hits == stats.misses == stats.evictions == 0
+
+
+class TestBufferPool:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity=0)
+        with pytest.raises(ValueError):
+            BufferPool(capacity=4, objects_per_page=0)
+
+    def test_first_touch_misses_then_hits(self):
+        pool = BufferPool(capacity=4)
+        marker = object()
+        assert pool.access(marker) is False
+        assert pool.access(marker) is True
+        assert pool.stats.accesses == 2
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity=2)
+        first, second, third = object(), object(), object()
+        pool.access(first)
+        pool.access(second)
+        pool.access(first)  # first becomes most recent
+        pool.access(third)  # evicts second
+        assert pool.stats.evictions == 1
+        assert pool.access(first) is True
+        assert pool.access(second) is False  # had been evicted
+
+    def test_objects_share_pages(self):
+        pool = BufferPool(capacity=8, objects_per_page=2)
+        a, b = object(), object()
+        pool.access(a)
+        # The next new object lands on the same page -> a buffer hit.
+        assert pool.access(b) is True
+
+    def test_resident_bounded_by_capacity(self):
+        pool = BufferPool(capacity=3)
+        objects = [object() for _ in range(10)]
+        for obj in objects:
+            pool.access(obj)
+        assert pool.resident_pages == 3
+
+    def test_clear_empties_pool(self):
+        pool = BufferPool(capacity=4)
+        marker = object()
+        pool.access(marker)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert pool.access(marker) is False  # cold again
+
+
+class TestAttachment:
+    def test_attach_and_detach(self):
+        cube = DynamicDataCube.from_array(dense_uniform((32, 32), seed=1))
+        pool = attach_pool(cube, BufferPool(capacity=128))
+        cube.prefix_sum((31, 31))
+        seen = pool.stats.accesses
+        assert seen > 0
+        detach_pool(cube)
+        cube.prefix_sum((31, 31))
+        assert pool.stats.accesses == seen  # no longer tracking
+
+    def test_counters_unaffected_by_tracking(self):
+        cube = DynamicDataCube.from_array(dense_uniform((32, 32), seed=2))
+        cube.stats.reset()
+        cube.prefix_sum((31, 31))
+        baseline = cube.stats.total_cell_ops
+        attach_pool(cube, BufferPool(capacity=16))
+        cube.stats.reset()
+        cube.prefix_sum((31, 31))
+        assert cube.stats.total_cell_ops == baseline
+
+    def test_secondary_structures_report_through_shared_counter(self):
+        cube = DynamicDataCube.from_array(dense_uniform((64, 64), seed=3))
+        pool = attach_pool(cube, BufferPool(capacity=10_000))
+        cube.prefix_sum((63, 62))
+        # A 2-d DDC query touches primary nodes, overlays, and B^c nodes:
+        # strictly more objects than the primary path alone.
+        primary_levels = cube.height()
+        assert pool.stats.accesses > primary_levels
+
+    def test_bc_tree_standalone_tracking(self):
+        tree = BcTree.from_values(list(range(1024)), fanout=4)
+        pool = BufferPool(capacity=64)
+        tree.stats.tracker = pool
+        tree.prefix_sum(777)
+        assert pool.stats.accesses == tree.height()
+
+
+class TestIoBehaviour:
+    def test_repeated_query_is_fully_cached(self):
+        cube = DynamicDataCube.from_array(dense_uniform((64, 64), seed=4))
+        pool = attach_pool(cube, BufferPool(capacity=10_000))
+        cube.prefix_sum((50, 50))
+        pool.stats.reset()
+        cube.prefix_sum((50, 50))
+        assert pool.stats.misses == 0
+        assert pool.stats.hit_rate == 1.0
+
+    def test_tiny_pool_thrashes(self):
+        cube = DynamicDataCube.from_array(dense_uniform((64, 64), seed=5))
+        big = attach_pool(cube, BufferPool(capacity=100_000))
+        for index in range(50):
+            cube.prefix_sum((index % 64, (index * 13) % 64))
+        big_rate = big.stats.hit_rate
+        tiny = attach_pool(cube, BufferPool(capacity=2))
+        for index in range(50):
+            cube.prefix_sum((index % 64, (index * 13) % 64))
+        assert tiny.stats.hit_rate < big_rate
+
+    def test_shallower_trees_touch_fewer_pages(self):
+        """Section 4.4's I/O claim: fewer levels, fewer accesses."""
+        data = dense_uniform((128, 128), seed=6)
+        accesses = {}
+        for leaf_side in (2, 16):
+            cube = DynamicDataCube.from_array(data, leaf_side=leaf_side)
+            pool = attach_pool(cube, BufferPool(capacity=1))  # every touch ~ an I/O
+            for index in range(30):
+                cube.prefix_sum(((index * 11) % 128, (index * 29) % 128))
+            accesses[leaf_side] = pool.stats.accesses
+        assert accesses[16] < accesses[2]

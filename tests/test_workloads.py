@@ -1,0 +1,118 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    PointUpdate,
+    RangeQuery,
+    clustered,
+    dense_uniform,
+    growth_stream,
+    hot_region_updates,
+    interleaved,
+    occupancy,
+    prefix_cells,
+    random_ranges,
+    random_updates,
+    sparse_uniform,
+    worst_case_update,
+    zipf_skewed,
+)
+
+
+class TestDataGenerators:
+    def test_dense_uniform_shape_and_range(self):
+        cube = dense_uniform((10, 12), low=5, high=8, seed=1)
+        assert cube.shape == (10, 12)
+        assert cube.min() >= 5 and cube.max() < 8
+
+    def test_determinism(self):
+        assert np.array_equal(dense_uniform((8, 8), seed=3), dense_uniform((8, 8), seed=3))
+        assert not np.array_equal(
+            dense_uniform((8, 8), seed=3), dense_uniform((8, 8), seed=4)
+        )
+
+    def test_sparse_density_respected(self):
+        cube = sparse_uniform((100, 100), density=0.05, seed=2)
+        assert 0.02 < occupancy(cube) < 0.08
+
+    def test_sparse_density_validation(self):
+        with pytest.raises(ValueError):
+            sparse_uniform((4, 4), density=1.5)
+
+    def test_clustered_is_clustered(self):
+        """Most mass must sit inside a small fraction of the domain."""
+        cube = clustered((128, 128), clusters=3, points_per_cluster=300, seed=5)
+        assert 0 < occupancy(cube) < 0.25
+        # mass concentration: top 5% of cells carry > 60% of the total
+        flat = np.sort(cube.ravel())[::-1]
+        top = flat[: max(1, flat.size // 20)].sum()
+        assert top / max(cube.sum(), 1) > 0.6
+
+    def test_zipf_concentrates_near_origin(self):
+        cube = zipf_skewed((64, 64), exponent=1.5, records=2000, seed=6)
+        origin_mass = cube[:16, :16].sum()
+        assert origin_mass > cube.sum() * 0.5
+
+    def test_occupancy_bounds(self):
+        assert occupancy(np.zeros((4, 4))) == 0.0
+        assert occupancy(np.ones((4, 4))) == 1.0
+
+
+class TestGrowthStream:
+    def test_length_and_determinism(self):
+        first = list(growth_stream(2, points=100, seed=7))
+        second = list(growth_stream(2, points=100, seed=7))
+        assert len(first) == 100
+        assert first == second
+
+    def test_reaches_negative_coordinates(self):
+        coordinates = [d.coordinate for d in growth_stream(2, points=2000, seed=8)]
+        xs = [c[0] for c in coordinates]
+        ys = [c[1] for c in coordinates]
+        assert min(xs) < 0 or min(ys) < 0
+
+    def test_values_positive(self):
+        assert all(d.value > 0 for d in growth_stream(3, points=50, seed=9))
+
+
+class TestQueryWorkloads:
+    def test_random_ranges_valid(self):
+        for query in random_ranges((20, 30), 50, seed=10):
+            assert all(0 <= lo <= hi < s for lo, hi, s in zip(query.low, query.high, (20, 30)))
+
+    def test_selectivity_controls_extent(self):
+        queries = random_ranges((100, 100), 20, selectivity=0.25, seed=11)
+        for query in queries:
+            for lo, hi in zip(query.low, query.high):
+                assert hi - lo + 1 == 25
+
+    def test_prefix_cells_in_bounds(self):
+        for cell in prefix_cells((5, 6, 7), 30, seed=12):
+            assert all(0 <= c < s for c, s in zip(cell, (5, 6, 7)))
+
+    def test_random_updates_nonzero(self):
+        updates = random_updates((8, 8), 40, seed=13)
+        assert len(updates) == 40
+        assert all(u.delta != 0 for u in updates)
+
+    def test_worst_case_update_is_origin(self):
+        update = worst_case_update((9, 9, 9))
+        assert update.cell == (0, 0, 0)
+        assert update.delta == 1
+
+    def test_hot_region_skew(self):
+        updates = hot_region_updates((100, 100), 500, hot_fraction=0.1, seed=14)
+        hot = sum(1 for u in updates if all(c < 10 for c in u.cell))
+        assert hot > 350  # ~90% expected
+
+    def test_interleaved_preserves_all_operations(self):
+        queries = random_ranges((8, 8), 10, seed=15)
+        updates = random_updates((8, 8), 15, seed=16)
+        stream = list(interleaved(queries, updates, seed=17))
+        assert len(stream) == 25
+        assert sum(isinstance(op, RangeQuery) for op in stream) == 10
+        assert sum(isinstance(op, PointUpdate) for op in stream) == 15
