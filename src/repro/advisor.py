@@ -12,7 +12,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .exceptions import ConfigurationError
 from .model import costs
+
+__all__ = [
+    "WorkloadProfile",
+    "Recommendation",
+    "expected_operation_cost",
+    "recommend",
+]
 
 
 @dataclass(frozen=True)
@@ -40,13 +48,13 @@ class WorkloadProfile:
 
     def __post_init__(self) -> None:
         if self.n < 2 or self.d < 1:
-            raise ValueError("need n >= 2 and d >= 1")
+            raise ConfigurationError("need n >= 2 and d >= 1")
         if not 0.0 <= self.query_fraction <= 1.0:
-            raise ValueError("query_fraction must be in [0, 1]")
+            raise ConfigurationError("query_fraction must be in [0, 1]")
         if self.updates_per_batch < 1:
-            raise ValueError("updates_per_batch must be >= 1")
+            raise ConfigurationError("updates_per_batch must be >= 1")
         if not 0.0 < self.density <= 1.0:
-            raise ValueError("density must be in (0, 1]")
+            raise ConfigurationError("density must be in (0, 1]")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,721 @@
+"""Structural sanitizer: deep invariant audits with node paths.
+
+Every structure in the library already knows *some* of its invariants
+(``validate()`` methods); this module is the uniform, exhaustive entry
+point.  :func:`audit` dispatches on the structure's type, re-derives
+every cached quantity from first principles — subtree sums from leaf
+values, overlay box values from a dense mirror of the covered region,
+page free-lists from the bytes on disk — and reports each violation as
+a :class:`Finding` carrying a path to the offending node (for example
+``root/child[2]/sums[1]`` or ``free[3]``).
+
+Audits materialise dense mirrors of cube contents, so they are meant
+for tests, fuzzing, and operator debugging of test-sized cubes — not
+for the hot path of a terabyte deployment.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import StructureError
+
+__all__ = ["AuditError", "Finding", "AuditReport", "audit"]
+
+_NO_PAGE = 0xFFFFFFFFFFFFFFFF
+
+
+class AuditError(StructureError):
+    """An audit found at least one violated invariant.
+
+    Subclasses :class:`~repro.exceptions.StructureError` so existing
+    ``except StructureError`` handlers catch audit failures too.
+    """
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant at one location inside a structure."""
+
+    path: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.path}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one :func:`audit` pass over one structure."""
+
+    subject: str
+    checks: int = 0
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every evaluated invariant held."""
+        return not self.findings
+
+    def fail(self, path: str, message: str) -> None:
+        """Record one violated invariant."""
+        self.findings.append(Finding(path, message))
+
+    def check(self, condition: bool, path: str, message: str) -> bool:
+        """Evaluate one invariant; record a finding when it fails."""
+        self.checks += 1
+        if not condition:
+            self.fail(path, message)
+        return bool(condition)
+
+    def merge(self, other: "AuditReport", prefix: str) -> None:
+        """Fold a sub-structure's report in under ``prefix``."""
+        self.checks += other.checks
+        for finding in other.findings:
+            self.findings.append(
+                Finding(f"{prefix}/{finding.path}", finding.message)
+            )
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AuditError` describing every finding."""
+        if self.findings:
+            detail = "; ".join(str(f) for f in self.findings[:10])
+            more = len(self.findings) - 10
+            if more > 0:
+                detail += f"; ... and {more} more"
+            raise AuditError(
+                f"{self.subject} failed {len(self.findings)} of "
+                f"{self.checks} checks: {detail}"
+            )
+
+    def render(self) -> str:
+        """Human-readable summary (used by the ``repro audit`` CLI)."""
+        lines = [f"audit of {self.subject}: {self.checks} checks"]
+        if self.ok:
+            lines.append("all invariants hold")
+        for finding in self.findings:
+            lines.append(f"FAIL {finding}")
+        return "\n".join(lines)
+
+
+def audit(obj, *, raise_on_failure: bool = True) -> AuditReport:
+    """Deep-check every structural invariant of ``obj``.
+
+    Dispatches on the concrete type: B^c trees (rank- and key-addressed),
+    overlay boxes, Dynamic Data Cubes (basic, full, growable), the page
+    file, the buffer pool, and the disk-resident structures all get a
+    dedicated walker; anything else falls back to its ``validate()``
+    method.
+
+    Args:
+        obj: the structure to audit.
+        raise_on_failure: raise :class:`AuditError` (a
+            :class:`StructureError`) when any invariant fails; pass
+            ``False`` to inspect the report instead.
+
+    Returns:
+        The full :class:`AuditReport` (when nothing failed, or when
+        ``raise_on_failure`` is false).
+    """
+    report = AuditReport(subject=type(obj).__name__)
+    auditor = _resolve_auditor(obj)
+    auditor(obj, report)
+    if raise_on_failure:
+        report.raise_if_failed()
+    return report
+
+
+def _resolve_auditor(obj):
+    # Imports are local so that auditing in-memory structures never pays
+    # for (or requires) the disk layer and vice versa.
+    from ..core.bc_tree import BcTree
+    from ..core.ddc import DynamicDataCube
+    from ..core.growth import GrowableCube
+    from ..core.keyed_bc_tree import KeyedBcTree
+    from ..core.overlay import ArrayOverlay, TreeOverlay
+    from ..storage.buffer import BufferPool
+    from ..storage.disk_bc_tree import DiskBcTree
+    from ..storage.disk_ddc import DiskDynamicDataCube
+    from ..storage.pagefile import PageFile
+
+    if isinstance(obj, BcTree):
+        return _audit_bc_tree
+    if isinstance(obj, KeyedBcTree):
+        return _audit_keyed_bc_tree
+    if isinstance(obj, GrowableCube):
+        return _audit_growable
+    if isinstance(obj, DynamicDataCube):
+        return _audit_ddc
+    if isinstance(obj, (ArrayOverlay, TreeOverlay)):
+        return lambda overlay, report: _audit_overlay(
+            overlay, report, mirror=None, path="root"
+        )
+    if isinstance(obj, PageFile):
+        return _audit_pagefile
+    if isinstance(obj, BufferPool):
+        return _audit_buffer_pool
+    if isinstance(obj, DiskBcTree):
+        return _audit_disk_bc_tree
+    if isinstance(obj, DiskDynamicDataCube):
+        return _audit_disk_ddc
+    return _audit_fallback
+
+
+def _audit_fallback(obj, report: AuditReport) -> None:
+    validate = getattr(obj, "validate", None)
+    if validate is None:
+        report.fail("root", f"no auditor and no validate() for {type(obj).__name__}")
+        return
+    report.checks += 1
+    try:
+        validate()
+    except StructureError as error:
+        report.fail("root", str(error))
+
+
+# ----------------------------------------------------------------------
+# Rank-addressed B^c tree
+# ----------------------------------------------------------------------
+
+
+def _audit_bc_tree(tree, report: AuditReport) -> None:
+    count, total, _ = _walk_bc(tree, tree._root, "root", True, report)
+    report.check(
+        count == tree._size, "root", f"size cache {tree._size} != actual {count}"
+    )
+    report.check(
+        total == tree._total, "root", f"total cache {tree._total} != actual {total}"
+    )
+
+
+def _walk_bc(tree, node, path: str, is_root: bool, report: AuditReport):
+    if not hasattr(node, "children"):  # leaf
+        if not is_root:
+            report.check(
+                len(node.values) >= tree._min_fill, path, "leaf underfull"
+            )
+        report.check(len(node.values) <= tree.fanout, path, "leaf overfull")
+        return len(node.values), sum(node.values), 1
+
+    if not is_root:
+        report.check(
+            len(node.children) >= tree._min_fill, path, "internal node underfull"
+        )
+    else:
+        report.check(
+            len(node.children) >= 2, path, "internal root must have >= 2 children"
+        )
+    report.check(len(node.children) <= tree.fanout, path, "internal node overfull")
+    report.check(
+        len(node.children) == len(node.counts) == len(node.sums),
+        path,
+        "children / counts / sums arrays out of sync",
+    )
+    total_count = 0
+    total_sum = 0
+    depths = set()
+    for index, child in enumerate(node.children):
+        child_path = f"{path}/child[{index}]"
+        count, child_sum, depth = _walk_bc(tree, child, child_path, False, report)
+        if index < len(node.counts):
+            report.check(
+                node.counts[index] == count,
+                f"{path}/counts[{index}]",
+                f"count cache {node.counts[index]} != actual {count}",
+            )
+        if index < len(node.sums):
+            report.check(
+                node.sums[index] == child_sum,
+                f"{path}/sums[{index}]",
+                f"STS cache {node.sums[index]} != actual {child_sum}",
+            )
+        total_count += count
+        total_sum += child_sum
+        depths.add(depth)
+    report.check(len(depths) == 1, path, "leaves at differing depths")
+    return total_count, total_sum, (depths.pop() if depths else 0) + 1
+
+
+# ----------------------------------------------------------------------
+# Key-addressed B^c tree
+# ----------------------------------------------------------------------
+
+
+def _audit_keyed_bc_tree(tree, report: AuditReport) -> None:
+    size, total, _, _ = _walk_keyed(tree, tree._root, "root", True, report)
+    report.check(
+        size == tree._size, "root", f"size cache {tree._size} != actual {size}"
+    )
+    report.check(
+        total == tree._total, "root", f"total cache {tree._total} != actual {total}"
+    )
+    keys = [key for key, _ in tree.items()]
+    report.check(
+        all(a < b for a, b in zip(keys, keys[1:])),
+        "root",
+        "keys not strictly increasing in traversal order",
+    )
+
+
+def _walk_keyed(tree, node, path: str, is_root: bool, report: AuditReport):
+    minimum = (tree.fanout + 1) // 2
+    if not hasattr(node, "children"):  # leaf
+        if not is_root:
+            report.check(len(node.keys) >= minimum, path, "leaf underfull")
+        report.check(len(node.keys) <= tree.fanout, path, "leaf overfull")
+        report.check(
+            sorted(set(node.keys)) == node.keys,
+            path,
+            "leaf keys unsorted or duplicated",
+        )
+        max_key = node.keys[-1] if node.keys else None
+        return len(node.keys), sum(node.values), 1, max_key
+
+    if not is_root:
+        report.check(len(node.children) >= minimum, path, "internal node underfull")
+    else:
+        report.check(
+            len(node.children) >= 2, path, "internal root must have >= 2 children"
+        )
+    report.check(len(node.children) <= tree.fanout, path, "internal node overfull")
+    report.check(
+        len(node.children) == len(node.max_keys) == len(node.sums),
+        path,
+        "children / max_keys / sums arrays out of sync",
+    )
+    total_size = 0
+    total_sum = 0
+    depths = set()
+    for index, child in enumerate(node.children):
+        child_path = f"{path}/child[{index}]"
+        size, child_sum, depth, child_max = _walk_keyed(
+            tree, child, child_path, False, report
+        )
+        if index < len(node.sums):
+            report.check(
+                node.sums[index] == child_sum,
+                f"{path}/sums[{index}]",
+                f"STS cache {node.sums[index]} != actual {child_sum}",
+            )
+        if index < len(node.max_keys):
+            report.check(
+                node.max_keys[index] == child_max,
+                f"{path}/max_keys[{index}]",
+                f"max-key cache {node.max_keys[index]} != actual {child_max}",
+            )
+        total_size += size
+        total_sum += child_sum
+        depths.add(depth)
+    report.check(len(depths) == 1, path, "leaves at differing depths")
+    max_key = node.max_keys[-1] if node.max_keys else None
+    return total_size, total_sum, (depths.pop() if depths else 0) + 1, max_key
+
+
+# ----------------------------------------------------------------------
+# Overlay boxes
+# ----------------------------------------------------------------------
+
+
+def _audit_overlay(overlay, report: AuditReport, mirror, path: str) -> None:
+    """Check one overlay box, optionally against a dense mirror region.
+
+    ``mirror`` is the dense contents of the region the box covers; when
+    given, every row-sum value the box can serve is recomputed from it.
+    Without a mirror only the box's internal consistency is checked
+    (group totals must equal the subtotal, secondaries must be sound).
+    """
+    from ..core.overlay import ArrayOverlay
+
+    subtotal = overlay._subtotal
+    if mirror is not None:
+        report.check(
+            subtotal == mirror.sum().item(),
+            path,
+            f"overlay subtotal {subtotal} != covered cells {mirror.sum().item()}",
+        )
+    if overlay.dims == 1:
+        return
+
+    if isinstance(overlay, ArrayOverlay):
+        for axis, group in enumerate(overlay._groups):
+            group_path = f"{path}/group[{axis}]"
+            top = (-1,) * (overlay.dims - 1)
+            report.check(
+                group[top].item() == subtotal,
+                group_path,
+                f"cumulative corner {group[top].item()} != subtotal {subtotal}",
+            )
+            if mirror is not None:
+                expected = mirror.sum(axis=axis)
+                for cross_axis in range(expected.ndim):
+                    expected = np.cumsum(expected, axis=cross_axis)
+                report.check(
+                    np.array_equal(group, expected),
+                    group_path,
+                    "cumulative row-sum array disagrees with covered cells",
+                )
+        return
+
+    # TreeOverlay: every group summarises *all* covered cells along one
+    # axis, so each populated group's total must equal the subtotal.
+    for axis, secondary in enumerate(overlay._groups):
+        group_path = f"{path}/group[{axis}]"
+        if secondary is None:
+            # A group may legitimately stay unbuilt when every row sum
+            # along its axis is zero — even over non-zero cells that
+            # cancel within each row.
+            report.check(
+                subtotal == 0
+                if mirror is None
+                else not np.any(mirror.sum(axis=axis)),
+                group_path,
+                "group missing though its row sums are non-zero",
+            )
+            continue
+        report.check(
+            secondary.total() == subtotal,
+            group_path,
+            f"group total {secondary.total()} != subtotal {subtotal}",
+        )
+        report.merge(audit(secondary, raise_on_failure=False), group_path)
+        if mirror is not None:
+            _check_group_rows(overlay, secondary, axis, mirror, group_path, report)
+
+
+def _check_group_rows(
+    overlay, secondary, axis: int, mirror, path: str, report: AuditReport
+) -> None:
+    """Recompute a group's row sums from the mirror and compare."""
+    from ..core.bc_tree import BcTree
+    from ..core.ddc import DynamicDataCube
+    from ..core.keyed_bc_tree import KeyedBcTree
+
+    rows = mirror.sum(axis=axis)
+    if isinstance(secondary, (BcTree, KeyedBcTree)):
+        cumulative = 0
+        for index, row in enumerate(rows.tolist()):
+            cumulative += row
+            actual = secondary.prefix_sum(index)
+            report.check(
+                actual == cumulative,
+                f"{path}/row[{index}]",
+                f"row-sum value {actual} != recomputed {cumulative}",
+            )
+        return
+    if isinstance(secondary, DynamicDataCube):
+        # Recursive (d-1)-dimensional sub-cube: must agree cell-for-cell
+        # with the rows it summarises.
+        report.check(
+            np.array_equal(secondary.to_dense(), rows),
+            path,
+            "recursive sub-cube disagrees with the row sums it summarises",
+        )
+        return
+    # Fenwick (or any other RangeSumMethod) secondary.
+    report.check(
+        np.array_equal(np.asarray(secondary.to_dense()), rows),
+        path,
+        "group secondary disagrees with the row sums it summarises",
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic Data Cube (in memory)
+# ----------------------------------------------------------------------
+
+
+def _audit_ddc(cube, report: AuditReport) -> None:
+    padded = np.zeros((cube._capacity,) * cube.dims, dtype=cube.dtype)
+    cube._fill_dense(cube._root, (0,) * cube.dims, cube._capacity, padded)
+    report.check(
+        padded.sum().item() == cube._total,
+        "root",
+        f"total cache {cube._total} != cell sum {padded.sum().item()}",
+    )
+    _walk_ddc(cube, cube._root, (0,) * cube.dims, cube._capacity, "root", padded, report)
+
+
+def _walk_ddc(cube, node, anchor, side, path, padded, report: AuditReport) -> None:
+    if node is None:
+        return
+    if not _is_ddc_node(node):
+        report.check(
+            node.shape == (side,) * cube.dims,
+            path,
+            f"leaf block shape {node.shape} != expected {(side,) * cube.dims}",
+        )
+        return
+    half = side // 2
+    for mask in range(cube._fan):
+        box_path = f"{path}/box[{mask}]"
+        child_anchor = cube._child_anchor(anchor, mask, half)
+        region = tuple(slice(a, a + half) for a in child_anchor)
+        dense = padded[region]
+        overlay = node.overlays[mask]
+        if overlay is None:
+            report.check(
+                not np.any(dense),
+                box_path,
+                "overlay missing for a non-zero box",
+            )
+        else:
+            _audit_overlay(overlay, report, mirror=dense, path=box_path)
+        child = node.children[mask]
+        if child is None:
+            report.check(
+                not np.any(dense), box_path, "child missing for a non-zero box"
+            )
+            continue
+        _walk_ddc(cube, child, child_anchor, half, box_path, padded, report)
+
+
+def _is_ddc_node(node) -> bool:
+    return hasattr(node, "overlays")
+
+
+def _audit_growable(cube, report: AuditReport) -> None:
+    bounds = cube.bounds
+    if bounds is not None:
+        low, high = bounds
+        report.check(cube._anchored, "root", "bounds tracked but cube not anchored")
+        for axis in range(cube.dims):
+            report.check(
+                low[axis] <= high[axis],
+                f"root/bounds[{axis}]",
+                f"low bound {low[axis]} above high bound {high[axis]}",
+            )
+            report.check(
+                cube._origin[axis] <= low[axis]
+                and high[axis] < cube._origin[axis] + cube.side,
+                f"root/bounds[{axis}]",
+                f"bounds [{low[axis]}, {high[axis]}] escape the domain "
+                f"[{cube._origin[axis]}, {cube._origin[axis] + cube.side})",
+            )
+    report.merge(audit(cube._cube, raise_on_failure=False), "root/cube")
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+
+
+def _audit_pagefile(pages, report: AuditReport) -> None:
+    if pages._handle.closed:
+        report.fail("root", "backing file handle is closed")
+        return
+    pages.flush()
+    size = os.path.getsize(pages.path)
+    report.check(
+        size >= (pages.page_count + 1) * pages.page_size,
+        "root",
+        f"file size {size} below {(pages.page_count + 1)} pages of "
+        f"{pages.page_size} bytes",
+    )
+    # Re-read the header from disk and compare with the live state.
+    pages._handle.seek(0)
+    raw = pages._handle.read(pages.page_size)
+    header = struct.Struct("<8sIQQ")
+    if not report.check(len(raw) >= header.size, "root", "truncated header"):
+        return
+    magic, page_size, page_count, free_head = header.unpack(raw[: header.size])
+    report.check(magic == b"DDCPGF01", "root", f"bad magic {magic!r}")
+    report.check(
+        page_size == pages.page_size,
+        "root",
+        f"header page size {page_size} != live {pages.page_size}",
+    )
+    report.check(
+        page_count == pages.page_count,
+        "root",
+        f"header page count {page_count} != live {pages.page_count}",
+    )
+    report.check(
+        free_head == pages._free_head,
+        "root",
+        f"header free head {free_head} != live {pages._free_head}",
+    )
+    # Walk the free list: every entry in range, no cycles.
+    seen: set[int] = set()
+    current = pages._free_head
+    position = 0
+    while current != _NO_PAGE:
+        link_path = f"free[{position}]"
+        if not report.check(
+            0 <= current < pages.page_count,
+            link_path,
+            f"free-list entry {current} out of range "
+            f"(page count {pages.page_count})",
+        ):
+            return
+        if not report.check(
+            current not in seen, link_path, f"free-list cycle at page {current}"
+        ):
+            return
+        seen.add(current)
+        raw = pages._read_raw(current)
+        (current,) = struct.unpack_from("<Q", raw, 0)
+        position += 1
+
+
+def _audit_buffer_pool(pool, report: AuditReport) -> None:
+    stats = pool.stats
+    report.check(
+        pool.resident_pages <= pool.capacity,
+        "root",
+        f"{pool.resident_pages} resident pages exceed capacity {pool.capacity}",
+    )
+    report.check(
+        stats.hits + stats.misses == stats.accesses,
+        "root/stats",
+        f"hits {stats.hits} + misses {stats.misses} != accesses {stats.accesses}",
+    )
+    report.check(
+        stats.evictions <= stats.misses,
+        "root/stats",
+        f"evictions {stats.evictions} exceed misses {stats.misses}",
+    )
+    assigned = set(pool._page_of_object.values())
+    report.check(
+        set(pool._pages).issubset(assigned),
+        "root",
+        "resident pages not drawn from the assigned page ids",
+    )
+    if pool._page_of_object:
+        highest = (pool._next_page - 1) // pool.objects_per_page
+        report.check(
+            max(assigned) <= highest,
+            "root",
+            f"assigned page id {max(assigned)} beyond allocation cursor {highest}",
+        )
+
+
+def _audit_disk_bc_tree(tree, report: AuditReport) -> None:
+    tree.flush()
+    size, total, _, _ = _walk_disk_bc(tree, tree._root_page, "root", True, report)
+    report.check(
+        size == tree._size, "root", f"size cache {tree._size} != actual {size}"
+    )
+    report.check(
+        abs(total - tree._total) <= 1e-9,
+        "root",
+        f"total cache {tree._total} != actual {total}",
+    )
+
+
+def _walk_disk_bc(tree, page_id: int, path: str, is_root: bool, report: AuditReport):
+    payload = tree._pages.read(page_id)
+    node = tree._decode(page_id, payload)
+    report.check(
+        tree._encode(node) == payload,
+        path,
+        f"page {page_id} does not round-trip through the node codec",
+    )
+    minimum = (tree.fanout + 1) // 2
+    if node.leaf:
+        if not is_root:
+            report.check(len(node.keys) >= minimum, path, "leaf underfull")
+        report.check(
+            sorted(set(node.keys)) == node.keys,
+            path,
+            "leaf keys unsorted or duplicated",
+        )
+        max_key = node.keys[-1] if node.keys else None
+        return len(node.keys), sum(node.values), 1, max_key
+    if not is_root:
+        report.check(len(node.children) >= minimum, path, "internal node underfull")
+    total_size = 0
+    total_sum = 0
+    depths = set()
+    for index, child in enumerate(node.children):
+        child_path = f"{path}/child[{index}]"
+        size, child_sum, depth, child_max = _walk_disk_bc(
+            tree, child, child_path, False, report
+        )
+        report.check(
+            child_max == node.keys[index],
+            f"{path}/keys[{index}]",
+            f"max-key cache {node.keys[index]} != actual {child_max}",
+        )
+        report.check(
+            abs(child_sum - node.sums[index]) <= 1e-9,
+            f"{path}/sums[{index}]",
+            f"STS cache {node.sums[index]} != actual {child_sum}",
+        )
+        total_size += size
+        total_sum += child_sum
+        depths.add(depth)
+    report.check(len(depths) == 1, path, "leaves at differing depths")
+    max_key = node.keys[-1] if node.keys else None
+    return total_size, total_sum, (depths.pop() if depths else 0) + 1, max_key
+
+
+def _audit_disk_ddc(cube, report: AuditReport) -> None:
+    cube.flush()
+    if cube._root_page == _NO_PAGE:
+        report.check(cube._total == 0, "root", "total non-zero with no root page")
+        return
+    total = _walk_disk_ddc(cube, cube._root_page, cube._capacity, "root", report)
+    report.check(
+        abs(total - cube._total) <= 1e-9,
+        "root",
+        f"total cache {cube._total} != recomputed {total}",
+    )
+
+
+def _walk_disk_ddc(cube, page_id: int, side: int, path: str, report: AuditReport):
+    payload = cube._pages.read(page_id)
+    item = cube._decode(page_id, payload)
+    report.check(
+        cube._write_back_bytes(item) == payload,
+        path,
+        f"page {page_id} does not round-trip through the node codec",
+    )
+    if not hasattr(item, "children"):  # leaf block
+        report.check(
+            len(item.values) == cube.leaf_side**cube.dims,
+            path,
+            f"leaf block holds {len(item.values)} values, expected "
+            f"{cube.leaf_side ** cube.dims}",
+        )
+        return sum(item.values)
+
+    half = side // 2
+    total = 0.0 if cube._format == "d" else 0
+    for mask in range(cube._fan):
+        box_path = f"{path}/box[{mask}]"
+        child_page = item.children[mask]
+        subtotal = item.subtotals[mask]
+        if child_page == _NO_PAGE:
+            report.check(
+                subtotal == 0,
+                box_path,
+                f"subtotal {subtotal} cached for a missing child",
+            )
+            continue
+        child_sum = _walk_disk_ddc(cube, child_page, half, box_path, report)
+        report.check(
+            abs(child_sum - subtotal) <= 1e-9,
+            box_path,
+            f"overlay subtotal {subtotal} != child subtree sum {child_sum}",
+        )
+        for axis in range(cube.dims if cube.dims > 1 else 0):
+            group_page = item.groups[mask][axis]
+            group_path = f"{box_path}/group[{axis}]"
+            if group_page == _NO_PAGE:
+                report.check(
+                    subtotal == 0, group_path, "group missing for a non-empty box"
+                )
+                continue
+            tree = cube._open_group(group_page)
+            report.check(
+                abs(tree.total() - subtotal) <= 1e-9,
+                group_path,
+                f"group total {tree.total()} != subtotal {subtotal}",
+            )
+            report.merge(audit(tree, raise_on_failure=False), group_path)
+        total += child_sum
+    return total

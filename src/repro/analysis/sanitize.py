@@ -1,0 +1,91 @@
+"""Sanitized wrappers: re-audit a structure after every mutating op.
+
+``sanitize(tree)`` returns a transparent proxy that forwards every
+attribute to the wrapped structure but runs a full :func:`audit` after
+each mutating call, raising :class:`~repro.analysis.audit.AuditError`
+the instant an invariant breaks.  This is the fuzzing harness's fault
+detector: instead of discovering corruption queries later (or never),
+the failing *operation* is identified directly.
+
+Audits are deep and materialise dense mirrors, so sanitized structures
+belong in tests and fuzz runs, not production traffic.
+"""
+
+from __future__ import annotations
+
+from functools import wraps
+
+from .audit import AuditReport, audit
+
+__all__ = ["MUTATORS", "Sanitized", "sanitize"]
+
+#: Method names treated as mutations (audited after each call).
+MUTATORS = frozenset(
+    {
+        "add",
+        "set",
+        "insert",
+        "delete",
+        "append",
+        "add_many",
+        "expand",
+        "compact",
+        "allocate",
+        "free",
+        "write",
+        "access",
+        "clear",
+    }
+)
+
+
+class Sanitized:
+    """Proxy that audits the wrapped structure after every mutation."""
+
+    def __init__(self, target, mutators: frozenset[str] = MUTATORS) -> None:
+        object.__setattr__(self, "_target", target)
+        object.__setattr__(self, "_mutators", mutators)
+        object.__setattr__(self, "audits", 0)
+
+    @property
+    def wrapped(self):
+        """The underlying structure (escape hatch for read-heavy loops)."""
+        return self._target
+
+    def audit(self) -> AuditReport:
+        """Run one audit immediately (raises on any violated invariant)."""
+        object.__setattr__(self, "audits", self.audits + 1)
+        return audit(self._target)
+
+    def __getattr__(self, name: str):
+        value = getattr(self._target, name)
+        if name in self._mutators and callable(value):
+
+            @wraps(value)
+            def checked(*args, **kwargs):
+                result = value(*args, **kwargs)
+                self.audit()
+                return result
+
+            return checked
+        return value
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(self._target, name, value)
+
+    def __len__(self) -> int:
+        return len(self._target)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Sanitized({self._target!r}, audits={self.audits})"
+
+
+def sanitize(structure, mutators: frozenset[str] = MUTATORS) -> Sanitized:
+    """Wrap ``structure`` so every mutating call is followed by an audit.
+
+    The structure is audited once up front, so a wrapper over an
+    already-corrupt structure fails immediately rather than blaming the
+    first operation.
+    """
+    audit(structure)
+    return Sanitized(structure, mutators)

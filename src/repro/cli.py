@@ -14,6 +14,9 @@ Examples::
     # structure, storage, and cost statistics
     python -m repro info cube.npz
 
+    # deep-check every structural invariant (non-zero exit on failure)
+    python -m repro audit cube.npz
+
     # regenerate the paper's analytic artifacts
     python -m repro table1
     python -m repro table2
@@ -39,6 +42,8 @@ from .model import (
     table2,
 )
 from .persist import load_cube, save_cube
+
+__all__ = ["build_parser", "main"]
 
 
 def _read_records(path: Path, dims: int) -> list[tuple[tuple[int, ...], float]]:
@@ -145,6 +150,15 @@ def _command_info(args) -> int:
     return 0
 
 
+def _command_audit(args) -> int:
+    from .analysis import audit
+
+    cube = load_cube(args.cube)
+    report = audit(cube, raise_on_failure=False)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _command_table1(args) -> int:
     print(render_table1(table1(d=args.dims), d=args.dims))
     return 0
@@ -190,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("info", help="describe a cube file")
     info.add_argument("cube")
     info.set_defaults(handler=_command_info)
+
+    audit = commands.add_parser(
+        "audit", help="deep-check every structural invariant of a cube file"
+    )
+    audit.add_argument("cube")
+    audit.set_defaults(handler=_command_audit)
 
     for name, handler in (
         ("table1", _command_table1),

@@ -18,6 +18,8 @@ from .core.ddc import DynamicDataCube
 from .methods.base import RangeSumMethod
 from .methods.registry import method_class
 
+__all__ = ["convert", "rebuild"]
+
 
 def convert(method: RangeSumMethod, target: str, **target_options) -> RangeSumMethod:
     """Rebuild ``method``'s logical array under the ``target`` method.

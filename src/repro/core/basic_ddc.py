@@ -19,6 +19,8 @@ from __future__ import annotations
 from .ddc import DynamicDataCube
 from .overlay import ArrayOverlay
 
+__all__ = ["BasicDynamicDataCube"]
+
 
 class BasicDynamicDataCube(DynamicDataCube):
     """Section 3 tree: O(log n) queries, O(n^(d-1)) worst-case updates."""

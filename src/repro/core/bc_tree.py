@@ -37,7 +37,9 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from ..counters import OpCounter
-from ..exceptions import OutOfBoundsError, StructureError
+from ..exceptions import ConfigurationError, OutOfBoundsError, StructureError
+
+__all__ = ["DEFAULT_FANOUT", "BcTree"]
 
 DEFAULT_FANOUT = 16
 _MIN_FANOUT = 3
@@ -77,7 +79,7 @@ class BcTree:
 
     def __init__(self, fanout: int = DEFAULT_FANOUT, counter: OpCounter | None = None):
         if fanout < _MIN_FANOUT:
-            raise ValueError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
+            raise ConfigurationError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
         self.fanout = fanout
         self.stats = counter if counter is not None else OpCounter()
         self._root: _Leaf | _Internal = _Leaf([])

@@ -30,9 +30,16 @@ import numpy as np
 
 from .. import geometry
 from ..counters import OpCounter
-from ..exceptions import StructureError
+from ..exceptions import (
+    ConfigurationError,
+    InvalidRangeError,
+    InvalidShapeError,
+    StructureError,
+)
 from ..methods.base import RangeSumMethod
 from .overlay import ArrayOverlay, TreeOverlay
+
+__all__ = ["DynamicDataCube"]
 
 
 class _Node:
@@ -76,9 +83,9 @@ class DynamicDataCube(RangeSumMethod):
     ) -> None:
         super().__init__(shape, dtype)
         if not geometry.is_power_of_two(leaf_side):
-            raise ValueError(f"leaf_side must be a power of two, got {leaf_side}")
+            raise InvalidShapeError(f"leaf_side must be a power of two, got {leaf_side}")
         if secondary_kind not in ("ddc", "fenwick"):
-            raise ValueError(f"unknown secondary_kind {secondary_kind!r}")
+            raise ConfigurationError(f"unknown secondary_kind {secondary_kind!r}")
         if counter is not None:
             self.stats = counter
         self.leaf_side = leaf_side
@@ -316,7 +323,7 @@ class DynamicDataCube(RangeSumMethod):
         proportional to the data actually present.
         """
         if not 0 <= corner_mask < self._fan:
-            raise ValueError(f"corner_mask {corner_mask} out of range for {self.dims} dims")
+            raise InvalidRangeError(f"corner_mask {corner_mask} out of range for {self.dims} dims")
         old_capacity = self._capacity
         self._capacity = old_capacity * 2
         self.shape = (self._capacity,) * self.dims

@@ -25,8 +25,10 @@ from typing import Sequence
 import numpy as np
 
 from .. import geometry
-from ..exceptions import DimensionMismatchError, InvalidRangeError
+from ..exceptions import DimensionMismatchError, InvalidRangeError, InvalidShapeError
 from .ddc import DynamicDataCube
+
+__all__ = ["Coordinate", "GrowableCube"]
 
 Coordinate = tuple[int, ...]
 
@@ -55,7 +57,7 @@ class GrowableCube:
         if dims < 1:
             raise DimensionMismatchError("dims must be >= 1")
         if not geometry.is_power_of_two(initial_side):
-            raise ValueError(f"initial_side must be a power of two, got {initial_side}")
+            raise InvalidShapeError(f"initial_side must be a power of two, got {initial_side}")
         self.dims = dims
         self.dtype = np.dtype(dtype)
         self._initial_side = initial_side
@@ -256,6 +258,16 @@ class GrowableCube:
     def memory_cells(self) -> int:
         """Allocated value cells — proportional to populated regions only."""
         return self._cube.memory_cells()
+
+    def validate(self) -> None:
+        """Check growth invariants; raise :class:`StructureError` on failure.
+
+        Verifies that the tracked bounds stay inside the anchored domain
+        and deep-checks the underlying :class:`DynamicDataCube`.
+        """
+        from ..analysis.audit import audit
+
+        audit(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -27,7 +27,9 @@ from bisect import bisect_left, bisect_right
 from typing import Iterator, Sequence
 
 from ..counters import OpCounter
-from ..exceptions import StructureError
+from ..exceptions import ConfigurationError, StructureError
+
+__all__ = ["DEFAULT_FANOUT", "KeyedBcTree"]
 
 DEFAULT_FANOUT = 16
 _MIN_FANOUT = 3
@@ -65,7 +67,7 @@ class KeyedBcTree:
 
     def __init__(self, fanout: int = DEFAULT_FANOUT, counter: OpCounter | None = None):
         if fanout < _MIN_FANOUT:
-            raise ValueError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
+            raise ConfigurationError(f"fanout must be >= {_MIN_FANOUT}, got {fanout}")
         self.fanout = fanout
         self.stats = counter if counter is not None else OpCounter()
         self._root: _Leaf | _Internal = _Leaf([], [])
@@ -90,7 +92,7 @@ class KeyedBcTree:
             return tree
         keys = [key for key, _ in items]
         if any(a >= b for a, b in zip(keys, keys[1:])):
-            raise ValueError("items must be sorted by strictly increasing key")
+            raise ConfigurationError("items must be sorted by strictly increasing key")
         tree._size = len(items)
         tree._total = sum(value for _, value in items)
 

@@ -35,6 +35,14 @@ from ..counters import OpCounter
 from .bc_tree import BcTree
 from .keyed_bc_tree import KeyedBcTree
 
+__all__ = [
+    "Cross",
+    "OverlayBox",
+    "ArrayOverlay",
+    "TreeOverlay",
+    "OVERLAY_KINDS",
+]
+
 _ONE_DIM_SECONDARIES = (BcTree, KeyedBcTree)
 
 Cross = tuple[int, ...]
@@ -127,6 +135,17 @@ class ArrayOverlay:
 
     def memory_cells(self) -> int:
         return 1 + sum(group.size for group in self._groups)
+
+    def validate(self) -> None:
+        """Check box invariants; raise :class:`StructureError` on failure.
+
+        Verifies that every group's cumulative corner equals the cached
+        subtotal.  :func:`repro.analysis.audit` performs the deeper check
+        against the covered cells when a mirror region is available.
+        """
+        from ..analysis.audit import audit
+
+        audit(self)
 
 
 class TreeOverlay:
@@ -283,6 +302,17 @@ class TreeOverlay:
             if secondary is not None:
                 cells += secondary.memory_cells()
         return cells
+
+    def validate(self) -> None:
+        """Check box invariants; raise :class:`StructureError` on failure.
+
+        Verifies that every populated group's total equals the cached
+        subtotal and deep-checks each secondary structure (key-addressed
+        B^c trees, recursive sub-cubes, or Fenwick ablations).
+        """
+        from ..analysis.audit import audit
+
+        audit(self)
 
 
 OVERLAY_KINDS = {

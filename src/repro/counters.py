@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+__all__ = ["OpCounter", "CostSample", "MeasurementSession"]
+
 
 @dataclass
 class OpCounter:

@@ -7,6 +7,18 @@ errors.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "InvalidShapeError",
+    "ConfigurationError",
+    "OutOfBoundsError",
+    "InvalidRangeError",
+    "DimensionMismatchError",
+    "UnknownMethodError",
+    "SchemaError",
+    "StructureError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -14,6 +26,14 @@ class ReproError(Exception):
 
 class InvalidShapeError(ReproError, ValueError):
     """A cube shape is empty, non-positive, or otherwise malformed."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A constructor or function argument has an invalid value.
+
+    Subclasses :class:`ValueError` so callers that predate the hierarchy
+    (``except ValueError``) keep working.
+    """
 
 
 class OutOfBoundsError(ReproError, IndexError):

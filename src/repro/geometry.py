@@ -24,6 +24,21 @@ from .exceptions import (
     OutOfBoundsError,
 )
 
+__all__ = [
+    "Cell",
+    "Shape",
+    "normalize_shape",
+    "normalize_cell",
+    "normalize_range",
+    "range_cell_count",
+    "iter_cells",
+    "inclusion_exclusion_corners",
+    "next_power_of_two",
+    "is_power_of_two",
+    "padded_side",
+    "clamp_cell",
+]
+
 Cell = tuple[int, ...]
 Shape = tuple[int, ...]
 

@@ -27,6 +27,8 @@ from .. import geometry
 from ..counters import OpCounter
 from ..geometry import Cell, Shape
 
+__all__ = ["RangeSumMethod"]
+
 
 class RangeSumMethod(ABC):
     """Abstract base for range-sum structures over a logical array ``A``.

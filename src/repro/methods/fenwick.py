@@ -18,6 +18,8 @@ import numpy as np
 from .. import geometry
 from .base import RangeSumMethod
 
+__all__ = ["FenwickCube"]
+
 
 def _update_path(index: int, size: int) -> Iterator[int]:
     """0-based cells whose partial sums cover ``index`` (ascending walk)."""

@@ -15,6 +15,8 @@ import numpy as np
 from .. import geometry
 from .base import RangeSumMethod
 
+__all__ = ["NaiveArray"]
+
 
 class NaiveArray(RangeSumMethod):
     """Dense array ``A`` with O(1) updates and O(n^d) range queries."""

@@ -17,6 +17,8 @@ import numpy as np
 from .. import geometry
 from .base import RangeSumMethod
 
+__all__ = ["PrefixSumCube"]
+
 
 class PrefixSumCube(RangeSumMethod):
     """HAMS97 prefix-sum array: O(1) queries, O(n^d) updates."""

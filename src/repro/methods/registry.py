@@ -17,6 +17,16 @@ from .prefix_sum import PrefixSumCube
 from .relative_prefix_sum import RelativePrefixSumCube
 from .segment_tree import SegmentTreeCube
 
+__all__ = [
+    "METHODS",
+    "method_class",
+    "create_method",
+    "build_method",
+    "register_method",
+    "method_names",
+    "make_factory",
+]
+
 METHODS: dict[str, type[RangeSumMethod]] = {
     NaiveArray.name: NaiveArray,
     PrefixSumCube.name: PrefixSumCube,

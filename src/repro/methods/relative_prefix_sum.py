@@ -39,7 +39,10 @@ from typing import Sequence
 import numpy as np
 
 from .. import geometry
+from ..exceptions import DimensionMismatchError, InvalidShapeError
 from .base import RangeSumMethod
+
+__all__ = ["RelativePrefixSumCube"]
 
 
 class RelativePrefixSumCube(RangeSumMethod):
@@ -86,11 +89,11 @@ class RelativePrefixSumCube(RangeSumMethod):
             block_side = (block_side,) * self.dims
         block_side = tuple(int(k) for k in block_side)
         if len(block_side) != self.dims:
-            raise ValueError(
+            raise DimensionMismatchError(
                 f"block_side has {len(block_side)} entries for {self.dims} dimensions"
             )
         if any(k < 1 for k in block_side):
-            raise ValueError(f"block sides must be positive, got {block_side}")
+            raise InvalidShapeError(f"block sides must be positive, got {block_side}")
         return block_side
 
     # ------------------------------------------------------------------

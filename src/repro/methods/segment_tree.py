@@ -22,6 +22,8 @@ import numpy as np
 from .. import geometry
 from .base import RangeSumMethod
 
+__all__ = ["SegmentTreeCube"]
+
 
 def _update_path(index: int, size: int) -> list[int]:
     """Tree cells covering leaf ``index`` (leaf-to-root), 0-based array."""

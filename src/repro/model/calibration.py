@@ -24,6 +24,18 @@ from typing import Sequence
 import numpy as np
 from scipy import optimize
 
+from ..exceptions import ConfigurationError, DimensionMismatchError
+
+__all__ = [
+    "PowerLawFit",
+    "PolylogFit",
+    "fit_power_law",
+    "fit_polylog",
+    "GrowthClassification",
+    "classify_growth",
+    "constant_factor",
+]
+
 
 @dataclass(frozen=True)
 class PowerLawFit:
@@ -53,11 +65,11 @@ def _validate_series(ns: Sequence[float], costs: Sequence[float]) -> tuple:
     ns = np.asarray(ns, dtype=np.float64)
     costs = np.asarray(costs, dtype=np.float64)
     if ns.shape != costs.shape:
-        raise ValueError("ns and costs must have the same length")
+        raise DimensionMismatchError("ns and costs must have the same length")
     if len(ns) < 3:
-        raise ValueError("need at least 3 points to fit a growth curve")
+        raise ConfigurationError("need at least 3 points to fit a growth curve")
     if np.any(ns <= 1) or np.any(costs <= 0):
-        raise ValueError("ns must be > 1 and costs > 0 for log-space fits")
+        raise ConfigurationError("ns must be > 1 and costs > 0 for log-space fits")
     return ns, costs
 
 
@@ -145,9 +157,9 @@ def constant_factor(
     measured = np.asarray(measured, dtype=np.float64)
     modelled = np.asarray(modelled, dtype=np.float64)
     if measured.shape != modelled.shape or len(measured) == 0:
-        raise ValueError("series must be equal-length and non-empty")
+        raise DimensionMismatchError("series must be equal-length and non-empty")
     if np.any(measured <= 0) or np.any(modelled <= 0):
-        raise ValueError("series must be positive")
+        raise ConfigurationError("series must be positive")
     log_ratio = np.log(measured / modelled)
     factor = float(np.exp(np.mean(log_ratio)))
     spread = float(np.sqrt(np.mean((log_ratio - np.mean(log_ratio)) ** 2)))

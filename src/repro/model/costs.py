@@ -18,6 +18,33 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+__all__ = [
+    "TABLE1_METHODS",
+    "full_cube_size",
+    "naive_update_cost",
+    "naive_query_cost",
+    "ps_update_cost",
+    "ps_query_cost",
+    "rps_update_cost",
+    "rps_query_cost",
+    "basic_ddc_update_cost",
+    "basic_ddc_query_cost",
+    "ddc_update_cost",
+    "ddc_query_cost",
+    "bc_tree_op_cost",
+    "UPDATE_COSTS",
+    "QUERY_COSTS",
+    "update_cost",
+    "query_cost",
+    "mips_seconds",
+    "round_to_power_of_ten",
+    "Table1Row",
+    "table1",
+    "render_table1",
+    "figure1_series",
+    "render_figure1",
+]
+
 #: Methods appearing in Table 1, in the paper's column order.
 TABLE1_METHODS = ("ps", "rps", "ddc")
 

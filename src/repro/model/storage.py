@@ -15,6 +15,20 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+__all__ = [
+    "overlay_cells",
+    "overlay_region",
+    "overlay_fraction",
+    "Table2Row",
+    "table2",
+    "render_table2",
+    "level_overlay_cells",
+    "tree_storage_cells",
+    "elision_storage_series",
+    "elision_query_leaf_cost",
+    "elision_levels",
+]
+
 
 def overlay_cells(k: int, d: int) -> int:
     """Values stored by one overlay box of side ``k``: ``k^d - (k-1)^d``."""

@@ -16,6 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..exceptions import ConfigurationError, InvalidRangeError
+
+__all__ = [
+    "GroupOperator",
+    "SUM",
+    "XOR",
+    "AggregateResult",
+    "rolling_windows",
+]
+
 
 @dataclass(frozen=True)
 class GroupOperator:
@@ -75,7 +85,7 @@ def rolling_windows(length: int, window: int) -> list[tuple[int, int]]:
     Raises :class:`ValueError` for a window longer than the dimension.
     """
     if window < 1:
-        raise ValueError(f"window must be >= 1, got {window}")
+        raise ConfigurationError(f"window must be >= 1, got {window}")
     if window > length:
-        raise ValueError(f"window {window} exceeds dimension length {length}")
+        raise InvalidRangeError(f"window {window} exceeds dimension length {length}")
     return [(start, start + window - 1) for start in range(length - window + 1)]

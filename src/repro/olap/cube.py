@@ -19,10 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import SchemaError
+from ..exceptions import ConfigurationError, InvalidRangeError, SchemaError
 from ..methods.registry import create_method
 from .aggregates import AggregateResult, rolling_windows
 from .schema import CubeSchema
+
+__all__ = ["DataCube"]
 
 
 class DataCube:
@@ -269,7 +271,7 @@ class DataCube:
         the dimension.
         """
         if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
+            raise ConfigurationError(f"k must be >= 1, got {k}")
         series = self.series(dimension, **conditions)
         ranked = sorted(series, key=lambda pair: -pair[1])
         return ranked[:k]
@@ -289,7 +291,7 @@ class DataCube:
         if dimension in conditions:
             condition = conditions.pop(dimension)
             if not (isinstance(condition, tuple) and len(condition) == 2):
-                raise ValueError("rolling dimension condition must be a (low, high) tuple")
+                raise InvalidRangeError("rolling dimension condition must be a (low, high) tuple")
             base_low, base_high = target.index_range(*condition)
         else:
             base_low, base_high = target.full_range()

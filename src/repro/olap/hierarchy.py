@@ -24,6 +24,8 @@ from __future__ import annotations
 from ..exceptions import SchemaError
 from .schema import Dimension
 
+__all__ = ["HierarchyDimension"]
+
 
 class _Node:
     __slots__ = ("label", "depth", "low", "high", "children")

@@ -22,6 +22,14 @@ from typing import Sequence
 
 from ..exceptions import SchemaError
 
+__all__ = [
+    "Dimension",
+    "IntegerDimension",
+    "CategoricalDimension",
+    "BinnedDimension",
+    "CubeSchema",
+]
+
 
 class Dimension(ABC):
     """A functional attribute of the cube."""

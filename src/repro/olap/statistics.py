@@ -21,8 +21,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..exceptions import SchemaError
 from ..methods.registry import create_method
 from .schema import CubeSchema
+
+__all__ = ["BivariateSummary", "BivariateCube"]
 
 
 @dataclass(frozen=True)
@@ -100,7 +103,7 @@ class BivariateCube:
         **method_options,
     ) -> None:
         if x == y:
-            raise ValueError("the two measures need distinct names")
+            raise SchemaError("the two measures need distinct names")
         self.schema = schema
         self.x_name = x
         self.y_name = y

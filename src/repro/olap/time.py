@@ -16,6 +16,8 @@ import datetime
 from ..exceptions import SchemaError
 from .schema import Dimension
 
+__all__ = ["DateDimension"]
+
 _QUARTER_FIRST_MONTH = {1: 1, 2: 4, 3: 7, 4: 10}
 
 

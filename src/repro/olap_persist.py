@@ -29,6 +29,8 @@ from .olap.schema import (
 from .olap.time import DateDimension
 from .persist import PersistError, _FORMAT_VERSION, _load_method, _method_payload
 
+__all__ = ["save_datacube", "load_datacube"]
+
 
 def _hierarchy_spec(node: _Node):
     """Reconstruct the nested-dict hierarchy spec from the node tree."""

@@ -27,6 +27,8 @@ from .exceptions import ReproError
 from .methods.base import RangeSumMethod
 from .methods.registry import method_class
 
+__all__ = ["PersistError", "save_cube", "load_cube"]
+
 _FORMAT_VERSION = 1
 
 

@@ -20,6 +20,15 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "BufferStats",
+    "BufferPool",
+    "attach_pool",
+    "detach_pool",
+]
+
 
 @dataclass
 class BufferStats:
@@ -57,9 +66,9 @@ class BufferPool:
 
     def __init__(self, capacity: int, objects_per_page: int = 1) -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         if objects_per_page < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"objects_per_page must be >= 1, got {objects_per_page}"
             )
         self.capacity = capacity
@@ -102,6 +111,17 @@ class BufferPool:
     def clear(self) -> None:
         """Empty the pool (a cold restart) without clearing page ids."""
         self._pages.clear()
+
+    def validate(self) -> None:
+        """Check pool invariants; raise :class:`StructureError` on failure.
+
+        Verifies the pin accounting: resident pages within capacity,
+        hits + misses == accesses, and every resident page drawn from
+        the assigned page ids.
+        """
+        from ..analysis.audit import audit
+
+        audit(self)
 
 
 def attach_pool(structure, pool: BufferPool) -> BufferPool:

@@ -22,8 +22,10 @@ import struct
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 
-from ..exceptions import StructureError
+from ..exceptions import ConfigurationError, StructureError
 from .pagefile import PageFile, PageFileError
+
+__all__ = ["DiskBcTree"]
 
 _META = struct.Struct("<QQdIc")  # root_page, size, total, fanout, value_format
 _NODE_HEADER = struct.Struct("<BI")  # tag, entry count
@@ -70,14 +72,14 @@ class DiskBcTree:
         meta_page: int | None = None,
     ) -> None:
         if cache_pages < 1:
-            raise ValueError("cache_pages must be >= 1")
+            raise ConfigurationError("cache_pages must be >= 1")
         self._pages = pages
         self._cache_capacity = cache_pages
         self._cache: OrderedDict[int, tuple[_Node, bool]] = OrderedDict()
         usable = pages.page_size - 8  # length prefix + slack
         if meta_page is None:
             if value_format not in ("q", "d"):
-                raise ValueError(f"value_format must be 'q' or 'd', got {value_format}")
+                raise ConfigurationError(f"value_format must be 'q' or 'd', got {value_format}")
             self.value_format = value_format
             self.fanout = self._max_fanout(usable)
             if self.fanout < 3:

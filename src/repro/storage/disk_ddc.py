@@ -33,9 +33,12 @@ from typing import Sequence
 import numpy as np
 
 from .. import geometry
+from ..exceptions import ConfigurationError, InvalidShapeError
 from ..methods.base import RangeSumMethod
 from .disk_bc_tree import DiskBcTree
 from .pagefile import PageFile, PageFileError
+
+__all__ = ["DiskDynamicDataCube"]
 
 _NO_PAGE = 0xFFFFFFFFFFFFFFFF
 _META = struct.Struct("<QQQIIdc")  # root, capacity, size_hint, dims, leaf_side, total, fmt
@@ -100,9 +103,9 @@ class DiskDynamicDataCube(RangeSumMethod):
         elif self.dtype == np.dtype(np.float64):
             self._format = "d"
         else:
-            raise ValueError(f"unsupported dtype {self.dtype}; use int64 or float64")
+            raise ConfigurationError(f"unsupported dtype {self.dtype}; use int64 or float64")
         if not geometry.is_power_of_two(leaf_side):
-            raise ValueError(f"leaf_side must be a power of two, got {leaf_side}")
+            raise InvalidShapeError(f"leaf_side must be a power of two, got {leaf_side}")
         self._pages = pages
         self._fan = 1 << self.dims
         self._full_mask = self._fan - 1
@@ -216,11 +219,13 @@ class DiskDynamicDataCube(RangeSumMethod):
             if evicted_dirty:
                 self._write_back(evicted)
 
-    def _write_back(self, item) -> None:
+    def _write_back_bytes(self, item) -> bytes:
         if isinstance(item, _DiskNode):
-            self._pages.write(item.page_id, self._encode_node(item))
-        else:
-            self._pages.write(item.page_id, self._encode_block(item))
+            return self._encode_node(item)
+        return self._encode_block(item)
+
+    def _write_back(self, item) -> None:
+        self._pages.write(item.page_id, self._write_back_bytes(item))
 
     def _load(self, page_id: int):
         entry = self._node_cache.get(page_id)
@@ -455,3 +460,15 @@ class DiskDynamicDataCube(RangeSumMethod):
             tree.flush()
         self._write_meta()
         self._pages.flush()
+
+    def validate(self) -> None:
+        """Check disk invariants; raise :class:`StructureError` on failure.
+
+        Flushes, then walks every page from the root: each node and leaf
+        block must round-trip through the codec, every cached subtotal
+        must equal its child's recomputed subtree sum, and every group
+        tree's total must match its box subtotal.
+        """
+        from ..analysis.audit import audit
+
+        audit(self)

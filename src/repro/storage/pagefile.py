@@ -24,6 +24,13 @@ from dataclasses import dataclass
 
 from ..exceptions import ReproError
 
+__all__ = [
+    "MIN_PAGE_SIZE",
+    "PageFileError",
+    "PageStats",
+    "PageFile",
+]
+
 _MAGIC = b"DDCPGF01"
 _HEADER = struct.Struct("<8sIQQ")  # magic, page_size, page_count, free_head
 _LENGTH = struct.Struct("<I")
@@ -180,6 +187,17 @@ class PageFile:
     def flush(self) -> None:
         """Push buffered writes to the operating system."""
         self._handle.flush()
+
+    def validate(self) -> None:
+        """Check file invariants; raise :class:`StructureError` on failure.
+
+        Re-reads the header from disk, compares it with the live state,
+        and walks the free list checking for out-of-range entries and
+        cycles.
+        """
+        from ..analysis.audit import audit
+
+        audit(self)
 
     def close(self) -> None:
         """Flush and close the backing file."""

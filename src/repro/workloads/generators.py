@@ -23,7 +23,18 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
 from ..geometry import normalize_shape
+
+__all__ = [
+    "dense_uniform",
+    "sparse_uniform",
+    "clustered",
+    "zipf_skewed",
+    "Discovery",
+    "growth_stream",
+    "occupancy",
+]
 
 
 def dense_uniform(
@@ -45,7 +56,7 @@ def sparse_uniform(
     """Cube where each cell is populated independently with ``density``."""
     shape = normalize_shape(shape)
     if not 0 <= density <= 1:
-        raise ValueError(f"density must be in [0, 1], got {density}")
+        raise ConfigurationError(f"density must be in [0, 1], got {density}")
     rng = np.random.default_rng(seed)
     mask = rng.random(shape) < density
     values = rng.integers(low, high, size=shape, dtype=np.int64)

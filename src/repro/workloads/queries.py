@@ -15,6 +15,17 @@ import numpy as np
 
 from ..geometry import Cell, normalize_shape
 
+__all__ = [
+    "RangeQuery",
+    "PointUpdate",
+    "random_ranges",
+    "prefix_cells",
+    "random_updates",
+    "worst_case_update",
+    "hot_region_updates",
+    "interleaved",
+]
+
 
 @dataclass(frozen=True)
 class RangeQuery:

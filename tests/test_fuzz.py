@@ -14,10 +14,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import sanitize
 from repro.convert import convert
 from repro.core.basic_ddc import BasicDynamicDataCube
+from repro.core.bc_tree import BcTree
 from repro.core.ddc import DynamicDataCube
 from repro.core.growth import GrowableCube
+from repro.core.keyed_bc_tree import KeyedBcTree
 from repro.persist import load_cube, save_cube
 
 
@@ -129,6 +132,112 @@ class TestDdcFuzz:
             oracle[cell] += delta
         restored.validate()
         assert np.array_equal(restored.to_dense(), oracle)
+
+
+class TestSanitizerFuzz:
+    """Random interleavings with a full audit after *every* mutation.
+
+    :func:`repro.analysis.sanitize` wraps each structure so the audit
+    runs inside the operation sequence, pinning a corruption to the
+    exact operation that introduced it instead of a later query.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31), fanout=st.sampled_from([4, 8]))
+    def test_bc_tree_every_mutation_audited(self, seed, fanout):
+        rng = np.random.default_rng(seed)
+        tree = sanitize(BcTree(fanout=fanout))
+        mirror: list[int] = []
+        for _ in range(30):
+            op = rng.choice(["append", "insert", "add", "set", "delete"])
+            if op == "append" or not mirror:
+                value = int(rng.integers(-9, 10))
+                tree.append(value)
+                mirror.append(value)
+            elif op == "insert":
+                rank = int(rng.integers(0, len(mirror) + 1))
+                value = int(rng.integers(-9, 10))
+                tree.insert(rank, value)
+                mirror.insert(rank, value)
+            elif op == "add":
+                rank = int(rng.integers(0, len(mirror)))
+                delta = int(rng.integers(-5, 6))
+                tree.add(rank, delta)
+                mirror[rank] += delta
+            elif op == "set":
+                rank = int(rng.integers(0, len(mirror)))
+                value = int(rng.integers(-9, 10))
+                tree.set(rank, value)
+                mirror[rank] = value
+            else:
+                rank = int(rng.integers(0, len(mirror)))
+                tree.delete(rank)
+                del mirror[rank]
+        assert tree.to_list() == mirror
+        assert tree.audits >= 30
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31), fanout=st.sampled_from([4, 8]))
+    def test_keyed_bc_tree_every_mutation_audited(self, seed, fanout):
+        rng = np.random.default_rng(seed)
+        tree = sanitize(KeyedBcTree(fanout=fanout))
+        mirror: dict[int, int] = {}
+        for _ in range(30):
+            key = int(rng.integers(-50, 50))
+            if rng.random() < 0.5:
+                delta = int(rng.integers(-5, 6))
+                tree.add(key, delta)
+                mirror[key] = mirror.get(key, 0) + delta
+            else:
+                value = int(rng.integers(-9, 10))
+                tree.set(key, value)
+                mirror[key] = value
+        assert tree.total() == sum(mirror.values())
+        for key in list(mirror)[:5]:
+            assert tree.get(key) == mirror[key]
+        assert tree.audits >= 30
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_ddc_every_mutation_audited(self, seed):
+        rng = np.random.default_rng(seed)
+        cube = sanitize(DynamicDataCube((8, 8)))
+        oracle = np.zeros((8, 8), dtype=np.int64)
+        mutations = 0
+        for _ in range(20):
+            side = cube.shape[0]
+            op = rng.choice(["add", "set", "batch", "expand"])
+            if op == "add":
+                cell = tuple(int(rng.integers(0, side)) for _ in range(2))
+                delta = int(rng.integers(-5, 6))
+                cube.add(cell, delta)
+                oracle[cell] += delta
+            elif op == "set":
+                cell = tuple(int(rng.integers(0, side)) for _ in range(2))
+                value = int(rng.integers(-9, 10))
+                cube.set(cell, value)
+                oracle[cell] = value
+            elif op == "batch":
+                batch = []
+                for _ in range(int(rng.integers(1, 4))):
+                    cell = tuple(int(rng.integers(0, side)) for _ in range(2))
+                    delta = int(rng.integers(-5, 6))
+                    batch.append((cell, delta))
+                    oracle[cell] += delta
+                cube.add_many(batch)
+            elif op == "expand":
+                if side >= 16:  # keep the per-mutation audits affordable
+                    continue
+                corner = int(rng.integers(0, 4))
+                cube.expand(corner)
+                grown = np.zeros((side * 2,) * 2, dtype=oracle.dtype)
+                row = side if corner & 1 else 0
+                column = side if corner & 2 else 0
+                grown[row : row + side, column : column + side] = oracle
+                oracle = grown
+            mutations += 1
+        assert np.array_equal(cube.to_dense(), oracle)
+        assert cube.audits == mutations
 
 
 class TestGrowableFuzz:
