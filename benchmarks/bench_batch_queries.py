@@ -1,0 +1,118 @@
+"""Batch-query throughput: path sharing and vectorized gathers.
+
+A production OLAP front end issues prefix queries in batches (a
+dashboard refresh probes many cells of the same few hot regions at
+once).  This bench sweeps batch size x query locality for every
+registered method and measures, per configuration:
+
+* wall time for one ``prefix_sum_many`` call vs the equivalent scalar
+  loop, and
+* the logical cost counters — for the tree methods, ``node_visits``
+  shows the path-sharing traversal descending each distinct root-to-leaf
+  path once, which is where the clustered (zipf) workload wins big.
+
+Results are emitted both as the usual text table and as machine-readable
+JSON: ``benchmarks/results/batch_query_throughput.json`` plus the
+headline artifact ``BENCH_batch_queries.json`` at the repository root.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a tiny configuration (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.methods import build_method, method_names
+from repro.workloads import clustered, query_stream
+
+from conftest import report, write_root_artifact
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 32 if SMOKE else 256
+SHAPE = (N, N)
+BATCH_SIZES = [4, 16] if SMOKE else [16, 64, 256]
+LOCALITIES = ["uniform", "zipf"]
+
+
+def test_batch_query_throughput(benchmark):
+    import time
+
+    data = clustered(SHAPE, seed=50)
+    methods = method_names()
+
+    def measure():
+        rows = []
+        for name in methods:
+            method = build_method(name, data)
+            for locality in LOCALITIES:
+                for batch in BATCH_SIZES:
+                    cells = query_stream(
+                        SHAPE, batch, locality=locality, seed=51 + batch
+                    )
+                    method.stats.reset()
+                    start = time.perf_counter()
+                    batch_results = method.prefix_sum_many(cells)
+                    batch_seconds = time.perf_counter() - start
+                    batch_stats = method.stats.snapshot()
+                    method.stats.reset()
+                    start = time.perf_counter()
+                    scalar_results = [method.prefix_sum(cell) for cell in cells]
+                    scalar_seconds = time.perf_counter() - start
+                    scalar_stats = method.stats.snapshot()
+                    assert [int(v) for v in batch_results] == [
+                        int(v) for v in scalar_results
+                    ], f"batch/scalar mismatch for {name}"
+                    rows.append(
+                        {
+                            "method": name,
+                            "shape": list(SHAPE),
+                            "locality": locality,
+                            "batch": batch,
+                            "batch_seconds": batch_seconds,
+                            "scalar_seconds": scalar_seconds,
+                            "queries_per_second": (
+                                batch / batch_seconds if batch_seconds else None
+                            ),
+                            "speedup": (
+                                scalar_seconds / batch_seconds
+                                if batch_seconds
+                                else None
+                            ),
+                            "node_visits_batch": batch_stats.node_visits,
+                            "node_visits_scalar": scalar_stats.node_visits,
+                            "cell_reads_batch": batch_stats.cell_reads,
+                            "cell_reads_scalar": scalar_stats.cell_reads,
+                        }
+                    )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"batch vs scalar prefix queries, {N}x{N} clustered cube",
+        f"{'method':<10} {'locality':<8} {'batch':>6} {'batch s':>10} "
+        f"{'scalar s':>10} {'speedup':>8} {'visits(b)':>10} {'visits(s)':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['method']:<10} {row['locality']:<8} {row['batch']:>6} "
+            f"{row['batch_seconds']:>10.5f} {row['scalar_seconds']:>10.5f} "
+            f"{row['speedup']:>8.2f} "
+            f"{row['node_visits_batch']:>10,} {row['node_visits_scalar']:>10,}"
+        )
+    document = {"experiment": "batch_queries", "rows": rows}
+    report("batch_query_throughput", "\n".join(lines), data=document)
+    write_root_artifact("BENCH_batch_queries.json", document)
+
+    by_key = {(r["method"], r["locality"], r["batch"]): r for r in rows}
+    largest = BATCH_SIZES[-1]
+    # Path sharing: on a clustered batch the DDC visits strictly fewer
+    # nodes than the scalar loop (the acceptance criterion).
+    ddc_zipf = by_key[("ddc", "zipf", largest)]
+    assert ddc_zipf["node_visits_batch"] < ddc_zipf["node_visits_scalar"]
+    # The Basic DDC shares the same traversal.
+    basic_zipf = by_key[("basic-ddc", "zipf", largest)]
+    assert basic_zipf["node_visits_batch"] < basic_zipf["node_visits_scalar"]
+    # Flat methods answer batches without touching any tree nodes.
+    for flat in ("ps", "rps"):
+        assert by_key[(flat, "zipf", largest)]["node_visits_batch"] == 0

@@ -25,6 +25,14 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   error (user input) instead.
 * **REP005 missing-all** — every public module must define ``__all__``
   so the public surface is explicit.
+* **REP006 scalar-loop-batch** — a ``*_many`` batch method inside
+  ``src/repro/core/`` or ``src/repro/methods/`` must not loop over its
+  own scalar counterpart (``prefix_sum_many`` calling ``prefix_sum`` in
+  a ``for``): the batch engine's whole point is shared work, and a
+  hidden scalar loop silently forfeits it while looking batched.  The
+  base-class defaults in ``methods/base.py`` are the sanctioned
+  fallback and are exempt; adaptive crossovers that deliberately take
+  the scalar path for small batches carry an explanatory ``noqa``.
 """
 
 from __future__ import annotations
@@ -60,9 +68,13 @@ _CHARGED_METHODS = frozenset(
         "delete",
         "append",
         "prefix_sum",
+        "prefix_sum_many",
         "range_sum",
+        "range_sum_many",
         "apply_delta",
+        "apply_delta_many",
         "row_value",
+        "row_value_many",
         "subtotal",
     }
 )
@@ -73,6 +85,7 @@ RULES = {
     "REP003": "mutable default argument",
     "REP004": "assert statement in library code",
     "REP005": "public module does not define __all__",
+    "REP006": "*_many batch method loops over its own scalar operation",
 }
 
 
@@ -290,6 +303,59 @@ def _check_opcounter(tree: ast.Module) -> Iterable[tuple[int, str, str]]:
                 )
 
 
+# -- REP006: batch methods must not hide scalar loops -------------------
+
+#: Loop-like AST nodes a scalar call may hide inside.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.GeneratorExp,
+    ast.DictComp,
+)
+
+
+def _check_batch_loops(
+    tree: ast.Module, module_path: Path
+) -> Iterable[tuple[int, str, str]]:
+    parts = module_path.parts
+    if "core" not in parts and "methods" not in parts:
+        return
+    if module_path.name == "base.py" and "methods" in parts:
+        return  # the sanctioned scalar-loop defaults live here
+    for class_node in ast.walk(tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        for method in class_node.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if not method.name.endswith("_many"):
+                continue
+            scalar = method.name[: -len("_many")]
+            for loop in ast.walk(method):
+                if not isinstance(loop, _LOOP_NODES):
+                    continue
+                flagged = False
+                for node in ast.walk(loop):
+                    if (
+                        isinstance(node, ast.Call)
+                        and _self_attr(node.func) == scalar
+                    ):
+                        yield (
+                            node.lineno,
+                            "REP006",
+                            f"{class_node.name}.{method.name}() loops over "
+                            f"self.{scalar}() — batch methods must share "
+                            f"work, not hide a scalar loop",
+                        )
+                        flagged = True
+                        break
+                if flagged:
+                    break
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -317,6 +383,7 @@ def lint_source(source: str, path: str | Path) -> list[LintFinding]:
         _check_asserts(tree),
         _check_module_all(tree, module_path),
         _check_opcounter(tree),
+        _check_batch_loops(tree, module_path),
     ]
     for check in checks:
         for line, rule, message in check:

@@ -21,6 +21,9 @@ Examples::
     python -m repro table1
     python -m repro table2
     python -m repro figure1
+
+    # batch-query throughput for one method, with a JSON artifact
+    python -m repro bench-batch --method ddc --shape 256 256 --batch 256
 """
 
 from __future__ import annotations
@@ -159,6 +162,92 @@ def _command_audit(args) -> int:
     return 0 if report.ok else 1
 
 
+def _command_bench_batch(args) -> int:
+    import json
+    import time
+
+    from .methods.registry import build_method
+    from .workloads import clustered, query_stream
+
+    shape = tuple(args.shape)
+    data = clustered(shape, seed=args.seed)
+    method = build_method(args.method, data)
+    cells = query_stream(
+        shape, args.batch, locality=args.locality, seed=args.seed + 1
+    )
+
+    method.stats.reset()
+    start = time.perf_counter()
+    batch_results = method.prefix_sum_many(cells)
+    batch_seconds = time.perf_counter() - start
+    batch_stats = method.stats.snapshot()
+
+    method.stats.reset()
+    start = time.perf_counter()
+    scalar_results = [method.prefix_sum(cell) for cell in cells]
+    scalar_seconds = time.perf_counter() - start
+    scalar_stats = method.stats.snapshot()
+
+    if [int(v) for v in batch_results] != [int(v) for v in scalar_results]:
+        raise SystemExit(
+            f"batch/scalar mismatch for method {args.method!r} — "
+            "prefix_sum_many disagrees with prefix_sum"
+        )
+
+    row = {
+        "method": args.method,
+        "shape": list(shape),
+        "locality": args.locality,
+        "batch": args.batch,
+        "batch_seconds": batch_seconds,
+        "scalar_seconds": scalar_seconds,
+        "queries_per_second": args.batch / batch_seconds if batch_seconds else None,
+        "speedup": scalar_seconds / batch_seconds if batch_seconds else None,
+        "node_visits_batch": batch_stats.node_visits,
+        "node_visits_scalar": scalar_stats.node_visits,
+        "cell_reads_batch": batch_stats.cell_reads,
+        "cell_reads_scalar": scalar_stats.cell_reads,
+    }
+
+    print(
+        f"{'method':<10} {'shape':<12} {'locality':<8} {'batch':>6} "
+        f"{'batch s':>10} {'scalar s':>10} {'speedup':>8} "
+        f"{'visits(b)':>10} {'visits(s)':>10}"
+    )
+    print(
+        f"{row['method']:<10} {'x'.join(map(str, shape)):<12} "
+        f"{row['locality']:<8} {row['batch']:>6} "
+        f"{row['batch_seconds']:>10.4f} {row['scalar_seconds']:>10.4f} "
+        f"{row['speedup']:>8.2f} "
+        f"{row['node_visits_batch']:>10} {row['node_visits_scalar']:>10}"
+    )
+
+    artifact = Path(args.json)
+    document = {"experiment": "batch_queries", "rows": []}
+    if artifact.exists():
+        try:
+            loaded = json.loads(artifact.read_text())
+            if isinstance(loaded.get("rows"), list):
+                document = loaded
+        except (ValueError, OSError):
+            pass
+    key = (row["method"], row["shape"], row["locality"], row["batch"])
+    document["rows"] = [
+        existing
+        for existing in document["rows"]
+        if (
+            existing.get("method"),
+            existing.get("shape"),
+            existing.get("locality"),
+            existing.get("batch"),
+        )
+        != key
+    ] + [row]
+    artifact.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {artifact}")
+    return 0
+
+
 def _command_table1(args) -> int:
     print(render_table1(table1(d=args.dims), d=args.dims))
     return 0
@@ -210,6 +299,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     audit.add_argument("cube")
     audit.set_defaults(handler=_command_audit)
+
+    bench_batch = commands.add_parser(
+        "bench-batch",
+        help="measure batch vs scalar prefix-query throughput for one method",
+    )
+    bench_batch.add_argument("--method", default="ddc", choices=method_names())
+    bench_batch.add_argument(
+        "--shape", type=int, nargs="+", default=[128, 128], help="cube shape"
+    )
+    bench_batch.add_argument(
+        "--batch", type=int, default=256, help="queries per batch"
+    )
+    bench_batch.add_argument(
+        "--locality", default="zipf", choices=("uniform", "zipf")
+    )
+    bench_batch.add_argument("--seed", type=int, default=0)
+    bench_batch.add_argument(
+        "--json",
+        default="BENCH_batch_queries.json",
+        help="JSON artifact path (rows are merged per method/shape/locality/batch)",
+    )
+    bench_batch.set_defaults(handler=_command_bench_batch)
 
     for name, handler in (
         ("table1", _command_table1),

@@ -12,6 +12,14 @@ at every level — the geometric series the paper evaluates in Section 3.3:
 
 The paper presents this structure as the motivation for Section 4; we
 keep it as a first-class method so the improvement is measurable.
+
+The batch query engine is inherited unchanged: ``prefix_sum_many`` runs
+the same path-sharing traversal as the full cube, with
+:meth:`ArrayOverlay.row_value_many` answering each node's distinct
+row-sum reads as one fancy-index gather, and ``add_many`` routes a
+grouped descent through :meth:`ArrayOverlay.apply_delta_many`'s
+adaptive cascade (per-update slice adds below the crossover, one
+cumulative pass per group above it).
 """
 
 from __future__ import annotations

@@ -170,6 +170,67 @@ class BcTree:
             self.stats.cell_reads += 1
         return acc
 
+    def prefix_sum_many(self, indices: Sequence[int]) -> list:
+        """Batch cumulative row sums via one shared root-to-leaf descent.
+
+        Duplicate indices are answered once; the distinct indices are
+        sorted and routed down the tree together, so every tree node on
+        any query's path is visited exactly once for the whole batch and
+        each STS cell is read at most once — the shared logical cost the
+        path-sharing DDC traversal is built on.
+        """
+        results: list = [None] * len(indices)
+        order: dict[int, list[int]] = {}
+        for position, index in enumerate(indices):
+            self._check_index(index)
+            order.setdefault(index, []).append(position)
+        if not order:
+            return []
+        distinct = sorted(order)
+        values = self._prefix_many(self._root, distinct)
+        for index, value in zip(distinct, values):
+            for position in order[index]:
+                results[position] = value
+        return results
+
+    def _prefix_many(self, node, ranks: list[int]) -> list:
+        """Answer sorted distinct ``ranks`` under ``node`` (results in order)."""
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            limit = ranks[-1] + 1
+            self.stats.cell_reads += limit
+            prefix = []
+            acc = 0
+            for value in node.values[:limit]:
+                acc += value
+                prefix.append(acc)
+            return [prefix[rank] for rank in ranks]
+        # Sorted ranks route monotonically, so one left-to-right sweep
+        # buckets them by child while accumulating the preceding STSs.
+        buckets: list[tuple[int, object, list[int]]] = []
+        child_index = 0
+        consumed = 0
+        base = 0
+        current: tuple[int, object, list[int]] | None = None
+        for rank in ranks:
+            while rank - consumed >= node.counts[child_index]:
+                consumed += node.counts[child_index]
+                base += node.sums[child_index]
+                child_index += 1
+            if current is None or current[0] != child_index:
+                current = (child_index, base, [])
+                buckets.append(current)
+            current[2].append(rank - consumed)
+        # Each preceding STS is read once for the whole batch: the
+        # rightmost query's descent covers every STS the others need.
+        self.stats.cell_reads += buckets[-1][0]
+        results: list = []
+        for child_index, base, local_ranks in buckets:
+            sub = self._prefix_many(node.children[child_index], local_ranks)
+            results.extend(base + value for value in sub)
+        return results
+
     def get(self, index: int):
         """Individual row sum at ``index``."""
         self._check_index(index)
@@ -233,6 +294,53 @@ class BcTree:
         node.values[rank] += delta
         self.stats.cell_writes += 1
         self._total += delta
+
+    def add_many(self, updates: Sequence[tuple[int, object]]) -> None:
+        """Apply a batch of ``(index, delta)`` row updates in one descent.
+
+        Deltas hitting the same row are combined and zero deltas dropped;
+        the survivors are routed down the tree together so each visited
+        node updates one STS per *touched child* instead of one per
+        update.  No structural change occurs (``add`` never splits), so
+        the grouped descent is exact.
+        """
+        combined: dict[int, object] = {}
+        for index, delta in updates:
+            self._check_index(index)
+            combined[index] = combined.get(index, 0) + delta
+        items = sorted(
+            (index, delta) for index, delta in combined.items() if delta != 0
+        )
+        if not items:
+            return
+        self._add_many(self._root, items)
+        self._total += sum(delta for _, delta in items)
+
+    def _add_many(self, node, items: list[tuple[int, object]]) -> None:
+        """Apply sorted distinct ``(rank, delta)`` items under ``node``."""
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            for rank, delta in items:
+                node.values[rank] += delta
+            self.stats.cell_writes += len(items)
+            return
+        buckets: list[tuple[int, list[tuple[int, object]]]] = []
+        child_index = 0
+        consumed = 0
+        current: tuple[int, list[tuple[int, object]]] | None = None
+        for rank, delta in items:
+            while rank - consumed >= node.counts[child_index]:
+                consumed += node.counts[child_index]
+                child_index += 1
+            if current is None or current[0] != child_index:
+                current = (child_index, [])
+                buckets.append(current)
+            current[1].append((rank - consumed, delta))
+        for child_index, local_items in buckets:
+            node.sums[child_index] += sum(delta for _, delta in local_items)
+            self.stats.cell_writes += 1
+            self._add_many(node.children[child_index], local_items)
 
     def set(self, index: int, value) -> None:
         """Replace the row at ``index``; returns nothing.

@@ -308,6 +308,196 @@ class DynamicDataCube(RangeSumMethod):
         return overlay.row_value(group, cross)
 
     # ------------------------------------------------------------------
+    # Batch queries (path-sharing traversal)
+    # ------------------------------------------------------------------
+
+    def prefix_sum_many(self, cells: Sequence) -> list:
+        """Batch Figure 10 queries with one shared traversal.
+
+        Two queries follow the same root-to-leaf descent exactly when
+        their covering masks agree at every level, so the batch is
+        bucketed by covering mask at each node and every distinct child
+        path is descended once.  Within a node, overlay contributions
+        are keyed by ``(box, group, cross)`` — queries in the same
+        bucket needing the same subtotal or row-sum value read it once,
+        and the distinct row-sum reads of a box are batched into a
+        single ``row_value_many`` call (a shared descent of the
+        secondary structure).  ``node_visits`` therefore counts each
+        visited tree node once per batch: the true logical cost.
+        """
+        normalized = [geometry.normalize_cell(cell, self.shape) for cell in cells]
+        if self._root is None:
+            return [self._zero() for _ in normalized]
+        order: dict[tuple, list[int]] = {}
+        for position, cell in enumerate(normalized):
+            order.setdefault(cell, []).append(position)
+        if not order:
+            return []
+        distinct = list(order)
+        values = self._prefix_many(
+            self._root, self._capacity, (0,) * self.dims, distinct
+        )
+        results: list = [None] * len(normalized)
+        for cell, value in zip(distinct, values):
+            typed = self.dtype.type(value)
+            for position in order[cell]:
+                results[position] = typed
+        return results
+
+    def _prefix_many(self, node, side: int, anchor: tuple, cells: list) -> list:
+        """Answer distinct prefix cells under ``node`` (results in order)."""
+        if node is None:
+            return [0] * len(cells)
+        if not isinstance(node, _Node):
+            self.stats.touch(node)
+            out = []
+            for cell in cells:
+                offsets = tuple(c - a for c, a in zip(cell, anchor))
+                region = tuple(slice(0, o + 1) for o in offsets)
+                out.append(node[region].sum().item())
+                self.stats.cell_reads += geometry.range_cell_count(
+                    (0,) * self.dims, offsets
+                )
+            return out
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        half = side // 2
+        by_cover: dict[int, list[int]] = {}
+        for position, cell in enumerate(cells):
+            cover = self._covering_mask(cell, anchor, half)
+            by_cover.setdefault(cover, []).append(position)
+        out = [0] * len(cells)
+        # Contributions already read at this node, shared across covers:
+        # ``(mask, None)`` for a subtotal, ``(mask, group, cross)`` for a
+        # row-sum value.
+        cache: dict = {}
+        for cover, positions in by_cover.items():
+            group_cells = [cells[position] for position in positions]
+            if cover:
+                submask = (cover - 1) & cover
+                while True:
+                    self._batch_box(
+                        node, submask, cover, group_cells, positions,
+                        anchor, half, cache, out,
+                    )
+                    if submask == 0:
+                        break
+                    submask = (submask - 1) & cover
+            child_anchor = self._child_anchor(anchor, cover, half)
+            sub = self._prefix_many(
+                node.children[cover], half, child_anchor, group_cells
+            )
+            for position, value in zip(positions, sub):
+                out[position] += value
+        return out
+
+    def _batch_box(
+        self,
+        node: _Node,
+        mask: int,
+        cover: int,
+        group_cells: list,
+        positions: list[int],
+        anchor: tuple,
+        half: int,
+        cache: dict,
+        out: list,
+    ) -> None:
+        """Add overlay box ``mask``'s contribution for one cover bucket."""
+        overlay = node.overlays[mask]
+        if overlay is None:
+            return
+        complete = cover & ~mask
+        if complete == self._full_mask:
+            key = (mask, None)
+            if key not in cache:
+                cache[key] = overlay.subtotal()
+            value = cache[key]
+            for position in positions:
+                out[position] += value
+            return
+        box_anchor = self._child_anchor(anchor, mask, half)
+        group = (complete & -complete).bit_length() - 1
+        per_query_keys = []
+        missing: list[tuple] = []
+        seen: set = set()
+        for cell in group_cells:
+            offsets = tuple(
+                min(cell[axis] - box_anchor[axis], half - 1)
+                for axis in range(self.dims)
+            )
+            cross = offsets[:group] + offsets[group + 1 :]
+            key = (mask, group, cross)
+            per_query_keys.append(key)
+            if key not in cache and key not in seen:
+                seen.add(key)
+                missing.append(key)
+        if missing:
+            values = overlay.row_value_many(group, [key[2] for key in missing])
+            for key, value in zip(missing, values):
+                cache[key] = value
+        for position, key in zip(positions, per_query_keys):
+            out[position] += cache[key]
+
+    # ------------------------------------------------------------------
+    # Batch updates (grouped descent)
+    # ------------------------------------------------------------------
+
+    def add_many(self, updates: Sequence[tuple]) -> None:
+        """Batch point updates with one grouped descent.
+
+        Deltas are combined per cell and zeros dropped (the base-class
+        contract), then routed down the tree together: each visited
+        node forwards every update covered by the same child through a
+        single ``apply_delta_many`` call on that child's overlay box —
+        one shared subtotal write and one batched secondary update per
+        group — before descending once into the child.
+        """
+        combined = []
+        for cell, delta in self._combined_updates(updates):
+            delta = self.dtype.type(delta).item()
+            if delta != 0:
+                combined.append((cell, delta))
+        if not combined:
+            return
+        if self._root is None:
+            self._root = self._new_root()
+        self._add_many_node(self._root, self._capacity, (0,) * self.dims, combined)
+        self._total += sum(delta for _, delta in combined)
+
+    def _add_many_node(self, node, side: int, anchor: tuple, items: list) -> None:
+        """Apply ``(cell, delta)`` items to the subtree rooted at ``node``."""
+        if not isinstance(node, _Node):
+            self.stats.touch(node)
+            for cell, delta in items:
+                offsets = tuple(c - a for c, a in zip(cell, anchor))
+                node[offsets] += delta
+            self.stats.cell_writes += len(items)
+            return
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        half = side // 2
+        by_mask: dict[int, list] = {}
+        for cell, delta in items:
+            mask = self._covering_mask(cell, anchor, half)
+            by_mask.setdefault(mask, []).append((cell, delta))
+        for mask, group_items in by_mask.items():
+            child_anchor = self._child_anchor(anchor, mask, half)
+            overlay = node.overlays[mask]
+            if overlay is None:
+                overlay = node.overlays[mask] = self._new_overlay(half)
+            overlay.apply_delta_many(
+                [
+                    (tuple(c - a for c, a in zip(cell, child_anchor)), delta)
+                    for cell, delta in group_items
+                ]
+            )
+            child = node.children[mask]
+            if child is None:
+                child = node.children[mask] = self._new_child(half)
+            self._add_many_node(child, half, child_anchor, group_items)
+
+    # ------------------------------------------------------------------
     # Dynamic growth (Section 5)
     # ------------------------------------------------------------------
 

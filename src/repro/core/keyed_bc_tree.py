@@ -154,6 +154,74 @@ class KeyedBcTree:
             self.stats.cell_reads += 1
         return acc
 
+    def prefix_sum_many(self, keys: Sequence[int]) -> list:
+        """Batch cumulative sums via one shared root-to-leaf descent.
+
+        Duplicate keys are answered once; the distinct keys are sorted
+        and routed down the tree together so every node on any query's
+        path is visited once for the whole batch, and at each node the
+        preceding STSs are read once (the rightmost query's descent
+        covers every STS the others need).
+        """
+        results: list = [None] * len(keys)
+        order: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            order.setdefault(key, []).append(position)
+        if not order:
+            return []
+        distinct = sorted(order)
+        values = self._prefix_many(self._root, distinct)
+        for key, value in zip(distinct, values):
+            for position in order[key]:
+                results[position] = value
+        return results
+
+    def _prefix_many(self, node, keys: list[int]) -> list:
+        """Answer sorted distinct ``keys`` under ``node`` (results in order)."""
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            stops = [bisect_right(node.keys, key) for key in keys]
+            limit = stops[-1]
+            self.stats.cell_reads += limit
+            prefix = [0]
+            acc = 0
+            for value in node.values[:limit]:
+                acc += value
+                prefix.append(acc)
+            return [prefix[stop] for stop in stops]
+        # Sorted keys route monotonically: sweep children left to right,
+        # folding in every passed STS; a key larger than all max keys
+        # resolves here (its answer is the node's whole subtree sum).
+        buckets: list[tuple[int | None, object, list[int]]] = []
+        child_index = 0
+        base = 0
+        sts_reads = 0
+        current: tuple[int | None, object, list[int]] | None = None
+        for key in keys:
+            while child_index < len(node.max_keys) and node.max_keys[child_index] <= key:
+                base += node.sums[child_index]
+                child_index += 1
+            if child_index < len(node.children):
+                target: int | None = child_index
+                sts_reads = max(sts_reads, child_index)
+            else:
+                target = None
+                sts_reads = len(node.sums)
+            if current is None or current[0] != target:
+                current = (target, base, [])
+                buckets.append(current)
+            current[2].append(key)
+        self.stats.cell_reads += sts_reads
+        results: list = []
+        for target, bucket_base, local_keys in buckets:
+            if target is None:
+                results.extend(bucket_base for _ in local_keys)
+            else:
+                sub = self._prefix_many(node.children[target], local_keys)
+                results.extend(bucket_base + value for value in sub)
+        return results
+
     def get(self, key: int):
         """Value of the row at ``key`` (0 when the row is unpopulated)."""
         node = self._root
@@ -208,6 +276,129 @@ class KeyedBcTree:
     def set(self, key: int, value) -> None:
         """Make the row at ``key`` hold exactly ``value``."""
         self.add(key, value - self.get(key))
+
+    def add_many(self, items: Sequence[tuple[int, object]]) -> None:
+        """Bulk upsert: one shared descent for the whole batch.
+
+        Deltas on the same key are combined and zeros dropped; the
+        survivors are routed down together, each visited node updating
+        one STS per *touched child*.  Unlike the rank tree, an upsert
+        can create rows, so a node may burst into several pieces at
+        once; ``_add_many`` returns the multi-way split and the root
+        regrows as many levels as the batch demands.
+        """
+        combined: dict[int, object] = {}
+        for key, delta in items:
+            combined[key] = combined.get(key, 0) + delta
+        pending = sorted((key, delta) for key, delta in combined.items() if delta != 0)
+        if not pending:
+            return
+        pieces = self._add_many(self._root, pending)
+        while len(pieces) > 1:
+            grown: list[tuple[object, int, object]] = []
+            for group in _chunks(pieces, self.fanout):
+                children = [child for child, _, _ in group]
+                max_keys = [max_key for _, max_key, _ in group]
+                sums = [piece_sum for _, _, piece_sum in group]
+                grown.append(
+                    (_Internal(children, max_keys, sums), max_keys[-1], sum(sums))
+                )
+            pieces = grown
+        self._root = pieces[0][0]
+        self._total += sum(delta for _, delta in pending)
+
+    def _add_many(self, node, items: list[tuple[int, object]]) -> list:
+        """Upsert sorted distinct ``items`` under ``node``.
+
+        Returns the node's replacement as a list of
+        ``(node, max_key, subtree_sum)`` pieces — one piece when the node
+        absorbed the batch in place, several after a multi-way split.
+        All pieces satisfy the B-tree fill bounds (via :func:`_chunks`).
+        """
+        self.stats.node_visits += 1
+        self.stats.touch(node)
+        if isinstance(node, _Leaf):
+            for key, delta in items:
+                position = bisect_left(node.keys, key)
+                if position < len(node.keys) and node.keys[position] == key:
+                    node.values[position] += delta
+                else:
+                    node.keys.insert(position, key)
+                    node.values.insert(position, delta)
+                    self._size += 1
+            self.stats.cell_writes += len(items)
+            if len(node.keys) <= self.fanout:
+                return [(node, node.keys[-1], sum(node.values))]
+            pairs = list(zip(node.keys, node.values))
+            chunks = _chunks(pairs, self.fanout)
+            node.keys = [key for key, _ in chunks[0]]
+            node.values = [value for _, value in chunks[0]]
+            pieces: list = [(node, node.keys[-1], sum(node.values))]
+            for chunk in chunks[1:]:
+                leaf = _Leaf([key for key, _ in chunk], [value for _, value in chunk])
+                pieces.append((leaf, leaf.keys[-1], sum(leaf.values)))
+            return pieces
+
+        # Route the sorted batch: first child whose max key fits, the
+        # last child collecting everything beyond the largest max key.
+        buckets: list[tuple[int, list[tuple[int, object]]]] = []
+        child_index = 0
+        current: tuple[int, list[tuple[int, object]]] | None = None
+        for key, delta in items:
+            while (
+                child_index < len(node.max_keys) - 1
+                and key > node.max_keys[child_index]
+            ):
+                child_index += 1
+            if current is None or current[0] != child_index:
+                current = (child_index, [])
+                buckets.append(current)
+            current[1].append((key, delta))
+
+        new_children: list = []
+        new_max_keys: list[int] = []
+        new_sums: list = []
+        position = 0
+        for child_index, local_items in buckets:
+            while position < child_index:
+                new_children.append(node.children[position])
+                new_max_keys.append(node.max_keys[position])
+                new_sums.append(node.sums[position])
+                position += 1
+            for piece, piece_max, piece_sum in self._add_many(
+                node.children[child_index], local_items
+            ):
+                new_children.append(piece)
+                new_max_keys.append(piece_max)
+                new_sums.append(piece_sum)
+            self.stats.cell_writes += 1
+            position = child_index + 1
+        while position < len(node.children):
+            new_children.append(node.children[position])
+            new_max_keys.append(node.max_keys[position])
+            new_sums.append(node.sums[position])
+            position += 1
+
+        if len(new_children) <= self.fanout:
+            node.children = new_children
+            node.max_keys = new_max_keys
+            node.sums = new_sums
+            return [(node, new_max_keys[-1], sum(new_sums))]
+        entries = list(zip(new_children, new_max_keys, new_sums))
+        pieces = []
+        for index, chunk in enumerate(_chunks(entries, self.fanout)):
+            children = [child for child, _, _ in chunk]
+            max_keys = [max_key for _, max_key, _ in chunk]
+            sums = [chunk_sum for _, _, chunk_sum in chunk]
+            if index == 0:
+                node.children = children
+                node.max_keys = max_keys
+                node.sums = sums
+                piece = node
+            else:
+                piece = _Internal(children, max_keys, sums)
+            pieces.append((piece, max_keys[-1], sum(sums)))
+        return pieces
 
     def _add(self, node, key: int, delta):
         """Recursive upsert; returns split info or ``None``.

@@ -62,8 +62,20 @@ class OverlayBox(Protocol):
         extent of that dimension is included.
         """
 
+    def row_value_many(self, group: int, crosses: Sequence[Cross]) -> list:
+        """Batch form of :meth:`row_value`: one value per cross-position.
+
+        The path-sharing batch traversal collects every distinct
+        row-sum read a node's queries need and issues them here as one
+        call, so tree-backed overlays can answer them with a single
+        shared descent of the secondary structure.
+        """
+
     def apply_delta(self, offsets: Cross, delta) -> None:
         """Propagate a cell update at within-box ``offsets`` (d coordinates)."""
+
+    def apply_delta_many(self, items: Sequence[tuple[Cross, object]]) -> None:
+        """Batch form of :meth:`apply_delta` for ``(offsets, delta)`` items."""
 
     def memory_cells(self) -> int:
         """Stored values, for the Table 2 storage accounting."""
@@ -114,6 +126,17 @@ class ArrayOverlay:
         self._counter.cell_reads += 1
         return self._groups[group][cross].item()
 
+    def row_value_many(self, group: int, crosses: Sequence[Cross]) -> list:
+        """Batch row-sum reads as one fancy-index gather."""
+        self._counter.touch(self)
+        self._counter.cell_reads += len(crosses)
+        array = self._groups[group]
+        index = tuple(
+            np.array([cross[axis] for cross in crosses], dtype=np.intp)
+            for axis in range(array.ndim)
+        )
+        return [value.item() for value in array[index]]
+
     def apply_delta(self, offsets: Cross, delta) -> None:
         """The cascading group update of Section 3.3.
 
@@ -132,6 +155,40 @@ class ArrayOverlay:
             for position in cross:
                 touched *= self.side - position
             self._counter.cell_writes += touched
+
+    def apply_delta_many(self, items: Sequence[tuple[Cross, object]]) -> None:
+        """Adaptive batch cascade.
+
+        The subtotal absorbs the whole batch in one write.  Each group
+        either replays the per-update slice cascades (cheap for small
+        batches) or, once their combined footprint exceeds the group
+        size, folds a point-mass delta array through one cumulative pass
+        — O(k^(d-1)) for the whole batch.
+        """
+        self._counter.touch(self)
+        self._subtotal += sum(delta for _, delta in items)
+        self._counter.cell_writes += 1
+        for axis, group in enumerate(self._groups):
+            updates = [(_drop_axis(offsets, axis), delta) for offsets, delta in items]
+            touched_total = 0
+            for cross, _ in updates:
+                touched = 1
+                for position in cross:
+                    touched *= self.side - position
+                touched_total += touched
+            if touched_total <= group.size:
+                for cross, delta in updates:
+                    region = tuple(slice(position, None) for position in cross)
+                    group[region] += delta
+                self._counter.cell_writes += touched_total
+            else:
+                deltas = np.zeros(group.shape, dtype=group.dtype)
+                for cross, delta in updates:
+                    deltas[cross] += delta
+                for cross_axis in range(deltas.ndim):
+                    np.cumsum(deltas, axis=cross_axis, out=deltas)
+                group += deltas
+                self._counter.cell_writes += group.size
 
     def memory_cells(self) -> int:
         return 1 + sum(group.size for group in self._groups)
@@ -281,6 +338,19 @@ class TreeOverlay:
         value = secondary.prefix_sum(cross)
         return value.item() if hasattr(value, "item") else value
 
+    def row_value_many(self, group: int, crosses: Sequence[Cross]) -> list:
+        """Batch row-sum reads as one shared descent of the secondary."""
+        self._counter.touch(self)
+        secondary = self._groups[group]
+        if secondary is None:
+            return [0] * len(crosses)
+        if isinstance(secondary, _ONE_DIM_SECONDARIES):
+            return secondary.prefix_sum_many([cross[0] for cross in crosses])
+        values = secondary.prefix_sum_many(list(crosses))
+        return [
+            value.item() if hasattr(value, "item") else value for value in values
+        ]
+
     def apply_delta(self, offsets: Cross, delta) -> None:
         """One point update per group — O(d * log^(d-1) k) total."""
         self._counter.touch(self)
@@ -295,6 +365,26 @@ class TreeOverlay:
                 secondary.add(cross[0], delta)
             else:
                 secondary.add(cross, delta)
+
+    def apply_delta_many(self, items: Sequence[tuple[Cross, object]]) -> None:
+        """Batch update: one shared subtotal write, one batch per group.
+
+        Each group forwards the whole batch to its secondary's
+        ``add_many`` — a single grouped descent for B^c trees and
+        recursive sub-cubes alike.
+        """
+        self._counter.touch(self)
+        self._subtotal += sum(delta for _, delta in items)
+        self._counter.cell_writes += 1
+        for axis in range(len(self._groups)):
+            secondary = self._groups[axis]
+            if secondary is None:
+                secondary = self._groups[axis] = self._new_secondary()
+            updates = [(_drop_axis(offsets, axis), delta) for offsets, delta in items]
+            if isinstance(secondary, _ONE_DIM_SECONDARIES):
+                secondary.add_many([(cross[0], delta) for cross, delta in updates])
+            else:
+                secondary.add_many(updates)
 
     def memory_cells(self) -> int:
         cells = 1

@@ -167,6 +167,30 @@ class RelativePrefixSumCube(RangeSumMethod):
             self.stats.cell_reads += 1
         return self.dtype.type(result)
 
+    def prefix_sum_many(self, cells: Sequence) -> list:
+        """Batch queries as ``2^d`` fancy-index gathers — O(1) per query.
+
+        Each component contributes one vectorised gather over the whole
+        batch: the local array indexed by the cells themselves, each
+        boundary family indexed by cell coordinates on its within-block
+        dimensions and block numbers elsewhere.
+        """
+        normalized = [geometry.normalize_cell(cell, self.shape) for cell in cells]
+        if not normalized:
+            return []
+        coords = np.array(normalized, dtype=np.intp)
+        blocks = coords // np.array(self.block_side, dtype=np.intp)
+        gathered = self._local[tuple(coords.T)].astype(self.dtype, copy=True)
+        self.stats.cell_reads += len(normalized)
+        for mask, family in self._families.items():
+            index = tuple(
+                coords[:, axis] if mask >> axis & 1 else blocks[:, axis]
+                for axis in range(self.dims)
+            )
+            gathered += family[index]
+            self.stats.cell_reads += len(normalized)
+        return [self.dtype.type(value) for value in gathered]
+
     # ------------------------------------------------------------------
     # Updates
     # ------------------------------------------------------------------
@@ -220,7 +244,7 @@ class RelativePrefixSumCube(RangeSumMethod):
         sequential_cost = len(combined) * max(int(side ** (self.dims / 2)), 1)
         if sequential_cost < self._local.size:
             for cell, delta in combined:
-                self.add(cell, delta)
+                self.add(cell, delta)  # noqa: REP006 — below the crossover, per-update slices beat the full-cube pass
             return
         deltas = self._delta_array(combined)
         other = type(self).from_array(

@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from .. import geometry
-from .base import RangeSumMethod
+from .base import RangeSumMethod, masked_path_gather
 
 __all__ = ["SegmentTreeCube"]
 
@@ -112,6 +112,43 @@ class SegmentTreeCube(RangeSumMethod):
     def prefix_sum(self, cell: Sequence[int] | int):
         cell = geometry.normalize_cell(cell, self.shape)
         return self.range_sum((0,) * self.dims, cell)
+
+    def range_sum_many(self, ranges: Sequence) -> list:
+        """Batch ranges via padded canonical-node gathers.
+
+        The per-query canonical covers along each axis are padded to the
+        batch-wide maximum width, so the whole batch is answered with one
+        vectorised gather per *level combination* instead of one scalar
+        read per (query, node cross product) pair.
+        """
+        queries = [self._query_bounds(item) for item in ranges]
+        if not queries:
+            return []
+        count = len(queries)
+        axis_paths: list[tuple[np.ndarray, np.ndarray]] = []
+        lengths = np.ones(count, dtype=np.int64)
+        for axis, size in enumerate(self._sizes):
+            covers = [
+                _cover_nodes(low[axis], high[axis], size) for low, high in queries
+            ]
+            width = max(len(nodes) for nodes in covers)
+            indices = np.zeros((count, width), dtype=np.intp)
+            mask = np.zeros((count, width), dtype=bool)
+            for row, nodes in enumerate(covers):
+                indices[row, : len(nodes)] = nodes
+                mask[row, : len(nodes)] = True
+            axis_paths.append((indices, mask))
+            lengths *= mask.sum(axis=1)
+        self.stats.cell_reads += int(lengths.sum())
+        result = masked_path_gather(self._tree, axis_paths, count, self.dtype)
+        return [self.dtype.type(value) for value in result]
+
+    def prefix_sum_many(self, cells: Sequence) -> list:
+        """Batch prefix queries as origin-anchored batch range queries."""
+        origin = (0,) * self.dims
+        return self.range_sum_many(
+            [(origin, geometry.normalize_cell(cell, self.shape)) for cell in cells]
+        )
 
     def memory_cells(self) -> int:
         return self._tree.size

@@ -15,6 +15,7 @@ from .queries import (
     hot_region_updates,
     interleaved,
     prefix_cells,
+    query_stream,
     random_ranges,
     random_updates,
     worst_case_update,
@@ -32,6 +33,7 @@ __all__ = [
     "PointUpdate",
     "random_ranges",
     "prefix_cells",
+    "query_stream",
     "random_updates",
     "worst_case_update",
     "hot_region_updates",

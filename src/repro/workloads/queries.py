@@ -13,6 +13,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
 from ..geometry import Cell, normalize_shape
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "PointUpdate",
     "random_ranges",
     "prefix_cells",
+    "query_stream",
     "random_updates",
     "worst_case_update",
     "hot_region_updates",
@@ -83,6 +85,55 @@ def prefix_cells(shape: Sequence[int], count: int, seed: int = 0) -> list[Cell]:
     return [
         tuple(int(rng.integers(0, size)) for size in shape) for _ in range(count)
     ]
+
+
+def query_stream(
+    shape: Sequence[int],
+    count: int,
+    locality: str = "uniform",
+    clusters: int = 4,
+    spread: float = 0.05,
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
+) -> list[Cell]:
+    """Prefix-query target cells with controllable locality.
+
+    The batch-query benchmark sweeps this knob: path-sharing traversal
+    gains little on scattered queries and a lot on clustered ones, so
+    the stream models both extremes.
+
+    * ``"uniform"`` — iid uniform cells (no locality; every descent
+      path is roughly equally likely).
+    * ``"zipf"`` — ``clusters`` random centres with Zipf-distributed
+      popularity (exponent ``zipf_exponent``); each query picks a
+      centre and lands normally around it with per-dimension standard
+      deviation ``spread * size``.  Models an OLAP dashboard refresh:
+      many queries probing the same few hot regions.
+    """
+    shape = normalize_shape(shape)
+    rng = np.random.default_rng(seed)
+    if locality == "uniform":
+        return [
+            tuple(int(rng.integers(0, size)) for size in shape)
+            for _ in range(count)
+        ]
+    if locality != "zipf":
+        raise ConfigurationError(f"unknown locality {locality!r}")
+    clusters = max(1, clusters)
+    centres = [
+        tuple(int(rng.integers(0, size)) for size in shape) for _ in range(clusters)
+    ]
+    weights = np.array([1.0 / (rank + 1) ** zipf_exponent for rank in range(clusters)])
+    weights /= weights.sum()
+    cells = []
+    for _ in range(count):
+        centre = centres[int(rng.choice(clusters, p=weights))]
+        cell = tuple(
+            int(np.clip(round(rng.normal(c, max(1.0, spread * size))), 0, size - 1))
+            for c, size in zip(centre, shape)
+        )
+        cells.append(cell)
+    return cells
 
 
 def random_updates(
