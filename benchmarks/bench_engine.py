@@ -1,0 +1,156 @@
+"""Sharded-engine serving throughput: shards x workers x mix x locality.
+
+The serving benchmark replays one :func:`~repro.workloads.read_write_stream`
+— a dashboard-style mixture of repeated hot range queries and point
+updates — against (a) an unsharded scalar structure answering each event
+directly, and (b) the :class:`~repro.engine.ShardedEngine` in several
+configurations.  Per row it records wall time, events/second, the
+speedup over the scalar baseline, and the cache hit rate, so the
+trade-off surface is visible in one artifact:
+
+* more shards → finer epoch invalidation (a write leaves other shards'
+  cached ranges warm) and smaller trees per miss, but more sub-queries
+  for ranges that straddle slab boundaries;
+* a higher read mix → fewer epoch bumps → higher hit rate;
+* zipf locality → the hot pool dominates → the cache carries the load;
+* worker threads pay dispatch overhead per sub-query and only help once
+  per-shard work is large enough to overlap.
+
+Results land in ``benchmarks/results/engine_throughput.json`` and the
+headline artifact ``BENCH_engine.json`` at the repository root.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a tiny configuration (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine import ShardedEngine
+from repro.methods import build_method
+from repro.workloads import RangeQuery, clustered, read_write_stream
+
+from conftest import report, write_root_artifact
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 32 if SMOKE else 256
+SHAPE = (N, N)
+EVENTS = 100 if SMOKE else 600
+METHOD = "ddc"
+SHARD_COUNTS = [1, 2] if SMOKE else [1, 4, 8]
+WORKER_COUNTS = [0] if SMOKE else [0, 4]
+MIXES = [0.9] if SMOKE else [0.5, 0.9, 0.95]
+LOCALITIES = ["zipf"] if SMOKE else ["uniform", "zipf"]
+CACHE_SIZE = 4096
+
+
+def _replay(target, events):
+    """Serve every event; returns (seconds, read results)."""
+    reads = []
+    start = time.perf_counter()
+    for event in events:
+        if isinstance(event, RangeQuery):
+            reads.append(target.range_sum(event.low, event.high))
+        else:
+            target.add(event.cell, event.delta)
+    return time.perf_counter() - start, reads
+
+
+def test_engine_serving_throughput(benchmark):
+    data = clustered(SHAPE, seed=70)
+
+    def measure():
+        rows = []
+        for locality in LOCALITIES:
+            for mix in MIXES:
+                events = read_write_stream(
+                    SHAPE, EVENTS, mix=mix, locality=locality, seed=71
+                )
+                baseline = build_method(METHOD, data)
+                baseline_seconds, baseline_reads = _replay(baseline, events)
+                expected = [int(value) for value in baseline_reads]
+                for shards in SHARD_COUNTS:
+                    for workers in WORKER_COUNTS:
+                        engine = ShardedEngine.from_array(
+                            data,
+                            shards=shards,
+                            method=METHOD,
+                            workers=workers or None,
+                            cache_size=CACHE_SIZE,
+                        )
+                        engine.reset_stats()
+                        engine_seconds, engine_reads = _replay(engine, events)
+                        info = engine.cache_info()
+                        engine.close()
+                        assert [int(v) for v in engine_reads] == expected, (
+                            f"engine (K={shards}) disagrees with the "
+                            f"unsharded baseline"
+                        )
+                        rows.append(
+                            {
+                                "shape": list(SHAPE),
+                                "method": METHOD,
+                                "shards": shards,
+                                "workers": workers,
+                                "mix": mix,
+                                "locality": locality,
+                                "events": len(events),
+                                "engine_seconds": engine_seconds,
+                                "baseline_seconds": baseline_seconds,
+                                "events_per_second": (
+                                    len(events) / engine_seconds
+                                    if engine_seconds
+                                    else None
+                                ),
+                                "baseline_events_per_second": (
+                                    len(events) / baseline_seconds
+                                    if baseline_seconds
+                                    else None
+                                ),
+                                "speedup_vs_scalar": (
+                                    baseline_seconds / engine_seconds
+                                    if engine_seconds
+                                    else None
+                                ),
+                                "cache_hits": info["hits"],
+                                "cache_misses": info["misses"],
+                                "cache_hit_rate": info["hit_rate"],
+                            }
+                        )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"sharded-engine serving vs unsharded scalar, {N}x{N} clustered cube, "
+        f"{EVENTS} events",
+        f"{'locality':<8} {'mix':>5} {'shards':>6} {'workers':>7} "
+        f"{'engine s':>10} {'scalar s':>10} {'speedup':>8} {'hit rate':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['locality']:<8} {row['mix']:>5.2f} {row['shards']:>6} "
+            f"{row['workers']:>7} {row['engine_seconds']:>10.5f} "
+            f"{row['baseline_seconds']:>10.5f} "
+            f"{row['speedup_vs_scalar']:>8.2f} {row['cache_hit_rate']:>9.2%}"
+        )
+    document = {"experiment": "engine_throughput", "rows": rows}
+    report("engine_throughput", "\n".join(lines), data=document)
+    write_root_artifact("BENCH_engine.json", document)
+
+    # Every row reports its cache hit rate.
+    assert all("cache_hit_rate" in row for row in rows)
+    if not SMOKE:
+        # Acceptance: on the read-heavy (>= 90% reads) zipf workload the
+        # cached sharded engine out-serves the unsharded scalar baseline.
+        read_heavy = [
+            row
+            for row in rows
+            if row["locality"] == "zipf" and row["mix"] >= 0.9
+        ]
+        assert read_heavy
+        best = max(row["speedup_vs_scalar"] for row in read_heavy)
+        assert best > 1.0, f"best read-heavy zipf speedup {best:.2f} <= 1"
+        # The hot pool actually hits the cache on read-heavy workloads.
+        assert any(row["cache_hit_rate"] > 0.3 for row in read_heavy)

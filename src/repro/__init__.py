@@ -13,6 +13,8 @@ Public API highlights:
   motivating examples (named dimensions, SUM/COUNT/AVERAGE).
 * :mod:`repro.model` — the paper's analytic cost and storage model
   (Tables 1-2, Figure 1).
+* :class:`~repro.engine.ShardedEngine` — the serving layer: K shards,
+  thread-pool query fan-out, epoch-invalidated result cache.
 """
 
 from .core.basic_ddc import BasicDynamicDataCube
@@ -20,6 +22,7 @@ from .core.bc_tree import BcTree
 from .core.ddc import DynamicDataCube
 from .core.growth import GrowableCube
 from .counters import OpCounter
+from .engine import ShardedEngine
 from .exceptions import ReproError
 from .methods import (
     FenwickCube,
@@ -42,6 +45,7 @@ __all__ = [
     "GrowableCube",
     "OpCounter",
     "ReproError",
+    "ShardedEngine",
     "RangeSumMethod",
     "NaiveArray",
     "PrefixSumCube",

@@ -33,6 +33,16 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   base-class defaults in ``methods/base.py`` are the sanctioned
   fallback and are exempt; adaptive crossovers that deliberately take
   the scalar path for small batches carry an explanatory ``noqa``.
+* **REP007 unguarded-engine-state** — inside ``src/repro/engine/``, the
+  shared mutable serving state (the ``_epochs`` list and the ``_cache``)
+  must only be mutated — assigned, aug-assigned, deleted, or driven
+  through a method call like ``.put()`` / ``.get()`` / ``.clear()`` —
+  lexically inside a ``with ..._lock:`` block, or inside a helper whose
+  name starts with ``_locked_`` (documented as called with the lock
+  held), or in ``__init__`` (construction precedes sharing).  An
+  unguarded mutation is a data race with the executor's reader threads
+  and can serve a stale cached sum; plain attribute reads
+  (``.capacity``, iteration) are not flagged.
 """
 
 from __future__ import annotations
@@ -86,6 +96,7 @@ RULES = {
     "REP004": "assert statement in library code",
     "REP005": "public module does not define __all__",
     "REP006": "*_many batch method loops over its own scalar operation",
+    "REP007": "shared engine state mutated outside the epoch/lock helpers",
 }
 
 
@@ -356,6 +367,94 @@ def _check_batch_loops(
                     break
 
 
+# -- REP007: engine shared state only mutates under the lock ------------
+
+#: Attributes holding the engine's shared mutable serving state.
+_GUARDED_ATTRS = frozenset({"_epochs", "_cache"})
+
+#: Function names allowed to touch guarded state without a lexical lock:
+#: construction (nothing is shared yet) and helpers whose naming contract
+#: says "caller holds the lock".
+_LOCK_EXEMPT_PREFIXES = ("_locked_",)
+
+
+def _guarded_attr(node: ast.AST) -> str | None:
+    """Attribute name when ``node`` is ``<expr>.<guarded attr>``."""
+    if isinstance(node, ast.Attribute) and node.attr in _GUARDED_ATTRS:
+        return node.attr
+    return None
+
+
+def _is_lock_with(node: ast.With) -> bool:
+    """True for ``with <expr>._lock:`` (or any ``*_lock`` attribute)."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if isinstance(expr, ast.Attribute) and expr.attr.endswith("_lock"):
+            return True
+        if isinstance(expr, ast.Name) and expr.id.endswith("_lock"):
+            return True
+    return False
+
+
+def _iter_state_mutations(node: ast.AST) -> Iterable[tuple[int, str]]:
+    """Yield ``(lineno, description)`` for guarded-state mutations in node.
+
+    A *mutation* is an assignment / aug-assignment / deletion whose
+    target involves a guarded attribute (``self._epochs[i] += 1``,
+    ``self._cache = ...``), or a method call driven through one
+    (``self._cache.put(...)`` — the LRU reorders on ``get`` too, so all
+    guarded-object method calls count).  Plain loads are not mutations.
+    """
+    targets: list[ast.AST] = []
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        for sub in ast.walk(target):
+            attr = _guarded_attr(sub)
+            if attr is not None:
+                yield (node.lineno, f"assignment to {attr}")
+                break
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        attr = _guarded_attr(node.func.value)
+        if attr is not None:
+            yield (node.lineno, f"{attr}.{node.func.attr}() call")
+
+
+def _check_engine_state(
+    tree: ast.Module, module_path: Path
+) -> Iterable[tuple[int, str, str]]:
+    if "engine" not in module_path.parts:
+        return
+    for function in ast.walk(tree):
+        if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if function.name == "__init__" or function.name.startswith(
+            _LOCK_EXEMPT_PREFIXES
+        ):
+            continue
+        locked_lines: set[int] = set()
+        for with_node in ast.walk(function):
+            if isinstance(with_node, ast.With) and _is_lock_with(with_node):
+                for inner in ast.walk(with_node):
+                    if hasattr(inner, "lineno"):
+                        locked_lines.add(id(inner))
+        for node in ast.walk(function):
+            if id(node) in locked_lines:
+                continue
+            for line, description in _iter_state_mutations(node):
+                yield (
+                    line,
+                    "REP007",
+                    f"{description} in {function.name}() outside "
+                    f"'with ..._lock:' — shared engine state must only "
+                    f"mutate under the lock or in a _locked_* helper",
+                )
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -384,6 +483,7 @@ def lint_source(source: str, path: str | Path) -> list[LintFinding]:
         _check_module_all(tree, module_path),
         _check_opcounter(tree),
         _check_batch_loops(tree, module_path),
+        _check_engine_state(tree, module_path),
     ]
     for check in checks:
         for line, rule, message in check:

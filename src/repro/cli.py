@@ -24,6 +24,12 @@ Examples::
 
     # batch-query throughput for one method, with a JSON artifact
     python -m repro bench-batch --method ddc --shape 256 256 --batch 256
+
+    # sharded-engine serving throughput vs the unsharded scalar baseline
+    python -m repro bench-engine --shape 256 256 --shards 4 --mix 0.9
+
+    # replay a serving workload and print per-shard/cache statistics
+    python -m repro serve-stats --shape 128 128 --shards 4 --events 500
 """
 
 from __future__ import annotations
@@ -162,8 +168,35 @@ def _command_audit(args) -> int:
     return 0 if report.ok else 1
 
 
-def _command_bench_batch(args) -> int:
+def _merge_artifact_row(
+    path: Path, experiment: str, row: dict, key_fields: tuple[str, ...]
+) -> None:
+    """Upsert ``row`` into a ``{"experiment", "rows"}`` JSON artifact.
+
+    Rows agreeing with ``row`` on every ``key_fields`` entry are
+    replaced, so repeated CLI runs refresh instead of duplicating.
+    """
     import json
+
+    document = {"experiment": experiment, "rows": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded.get("rows"), list):
+                document = loaded
+        except (ValueError, OSError):
+            pass
+    key = tuple(row[field] for field in key_fields)
+    document["rows"] = [
+        existing
+        for existing in document["rows"]
+        if tuple(existing.get(field) for field in key_fields) != key
+    ] + [row]
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def _command_bench_batch(args) -> int:
     import time
 
     from .methods.registry import build_method
@@ -181,6 +214,7 @@ def _command_bench_batch(args) -> int:
     batch_results = method.prefix_sum_many(cells)
     batch_seconds = time.perf_counter() - start
     batch_stats = method.stats.snapshot()
+    path = method.last_batch_path
 
     method.stats.reset()
     start = time.perf_counter()
@@ -194,15 +228,24 @@ def _command_bench_batch(args) -> int:
             "prefix_sum_many disagrees with prefix_sum"
         )
 
+    # Below the method's adaptive crossover the "batch" call *is* the
+    # scalar loop, so any measured difference is pure timing noise; the
+    # speedup is 1.0 by construction (raw timings are still recorded).
+    speedup = (
+        1.0
+        if path == "scalar"
+        else (scalar_seconds / batch_seconds if batch_seconds else None)
+    )
     row = {
         "method": args.method,
         "shape": list(shape),
         "locality": args.locality,
         "batch": args.batch,
+        "path": path,
         "batch_seconds": batch_seconds,
         "scalar_seconds": scalar_seconds,
         "queries_per_second": args.batch / batch_seconds if batch_seconds else None,
-        "speedup": scalar_seconds / batch_seconds if batch_seconds else None,
+        "speedup": speedup,
         "node_visits_batch": batch_stats.node_visits,
         "node_visits_scalar": scalar_stats.node_visits,
         "cell_reads_batch": batch_stats.cell_reads,
@@ -211,40 +254,176 @@ def _command_bench_batch(args) -> int:
 
     print(
         f"{'method':<10} {'shape':<12} {'locality':<8} {'batch':>6} "
-        f"{'batch s':>10} {'scalar s':>10} {'speedup':>8} "
+        f"{'path':<6} {'batch s':>10} {'scalar s':>10} {'speedup':>8} "
         f"{'visits(b)':>10} {'visits(s)':>10}"
     )
     print(
         f"{row['method']:<10} {'x'.join(map(str, shape)):<12} "
-        f"{row['locality']:<8} {row['batch']:>6} "
+        f"{row['locality']:<8} {row['batch']:>6} {row['path']:<6} "
         f"{row['batch_seconds']:>10.4f} {row['scalar_seconds']:>10.4f} "
         f"{row['speedup']:>8.2f} "
         f"{row['node_visits_batch']:>10} {row['node_visits_scalar']:>10}"
     )
 
-    artifact = Path(args.json)
-    document = {"experiment": "batch_queries", "rows": []}
-    if artifact.exists():
-        try:
-            loaded = json.loads(artifact.read_text())
-            if isinstance(loaded.get("rows"), list):
-                document = loaded
-        except (ValueError, OSError):
-            pass
-    key = (row["method"], row["shape"], row["locality"], row["batch"])
-    document["rows"] = [
-        existing
-        for existing in document["rows"]
-        if (
-            existing.get("method"),
-            existing.get("shape"),
-            existing.get("locality"),
-            existing.get("batch"),
+    _merge_artifact_row(
+        Path(args.json),
+        "batch_queries",
+        row,
+        ("method", "shape", "locality", "batch"),
+    )
+    return 0
+
+
+def _run_serving_stream(target, events) -> list:
+    """Replay a read/write event stream against one serving target.
+
+    ``target`` is anything with the RangeSumMethod contract (a bare
+    structure or a ShardedEngine); returns the read results so callers
+    can cross-check equivalence between targets.
+    """
+    from .workloads import RangeQuery
+
+    reads = []
+    for event in events:
+        if isinstance(event, RangeQuery):
+            reads.append(target.range_sum(event.low, event.high))
+        else:
+            target.add(event.cell, event.delta)
+    return reads
+
+
+def _command_bench_engine(args) -> int:
+    import time
+
+    from .engine import ShardedEngine
+    from .methods.registry import build_method
+    from .workloads import clustered, read_write_stream
+
+    shape = tuple(args.shape)
+    data = clustered(shape, seed=args.seed)
+    events = read_write_stream(
+        shape,
+        args.events,
+        mix=args.mix,
+        locality=args.locality,
+        pool=args.pool,
+        seed=args.seed + 1,
+    )
+
+    baseline = build_method(args.method, data)
+    start = time.perf_counter()
+    baseline_reads = _run_serving_stream(baseline, events)
+    baseline_seconds = time.perf_counter() - start
+
+    engine = ShardedEngine.from_array(
+        data,
+        shards=args.shards,
+        method=args.method,
+        workers=args.workers or None,
+        cache_size=args.cache,
+    )
+    engine.reset_stats()
+    start = time.perf_counter()
+    engine_reads = _run_serving_stream(engine, events)
+    engine_seconds = time.perf_counter() - start
+    info = engine.cache_info()
+    engine.close()
+
+    if [int(v) for v in engine_reads] != [int(v) for v in baseline_reads]:
+        raise SystemExit(
+            f"engine/baseline mismatch for method {args.method!r} — "
+            "sharded cached serving disagrees with the scalar structure"
         )
-        != key
-    ] + [row]
-    artifact.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"wrote {artifact}")
+
+    row = {
+        "shape": list(shape),
+        "method": args.method,
+        "shards": args.shards,
+        "workers": args.workers,
+        "mix": args.mix,
+        "locality": args.locality,
+        "events": len(events),
+        "engine_seconds": engine_seconds,
+        "baseline_seconds": baseline_seconds,
+        "events_per_second": (
+            len(events) / engine_seconds if engine_seconds else None
+        ),
+        "baseline_events_per_second": (
+            len(events) / baseline_seconds if baseline_seconds else None
+        ),
+        "speedup_vs_scalar": (
+            baseline_seconds / engine_seconds if engine_seconds else None
+        ),
+        "cache_hits": info["hits"],
+        "cache_misses": info["misses"],
+        "cache_hit_rate": info["hit_rate"],
+    }
+    print(
+        f"{'shards':>6} {'workers':>7} {'mix':>5} {'locality':<8} "
+        f"{'engine s':>10} {'scalar s':>10} {'speedup':>8} {'hit rate':>9}"
+    )
+    print(
+        f"{row['shards']:>6} {row['workers']:>7} {row['mix']:>5.2f} "
+        f"{row['locality']:<8} {row['engine_seconds']:>10.4f} "
+        f"{row['baseline_seconds']:>10.4f} {row['speedup_vs_scalar']:>8.2f} "
+        f"{row['cache_hit_rate']:>9.2%}"
+    )
+    _merge_artifact_row(
+        Path(args.json),
+        "engine_throughput",
+        row,
+        ("shape", "method", "shards", "workers", "mix", "locality", "events"),
+    )
+    return 0
+
+
+def _command_serve_stats(args) -> int:
+    from .engine import ShardedEngine
+    from .workloads import clustered, read_write_stream
+
+    shape = tuple(args.shape)
+    data = clustered(shape, seed=args.seed)
+    events = read_write_stream(
+        shape,
+        args.events,
+        mix=args.mix,
+        locality=args.locality,
+        seed=args.seed + 1,
+    )
+    engine = ShardedEngine.from_array(
+        data,
+        shards=args.shards,
+        method=args.method,
+        workers=args.workers or None,
+        cache_size=args.cache,
+    )
+    engine.reset_stats()
+    _run_serving_stream(engine, events)
+
+    print(f"engine:    {engine!r}")
+    print(f"events:    {len(events)} ({args.mix:.0%} reads, {args.locality})")
+    info = engine.cache_info()
+    print(
+        f"cache:     {info['hits']} hits / {info['misses']} misses "
+        f"(hit rate {info['hit_rate']:.2%}), {info['size']}/{info['capacity']} "
+        f"entries, {info['invalidations']} invalidations, "
+        f"{info['evictions']} evictions"
+    )
+    merged = engine.aggregate_stats()
+    print(
+        f"ops:       reads={merged.cell_reads} writes={merged.cell_writes} "
+        f"node_visits={merged.node_visits}"
+    )
+    print(f"{'shard':>5} {'span':<14} {'epoch':>6} {'cells':>10} "
+          f"{'visits':>8} {'reads':>8} {'writes':>8}")
+    for shard_row in engine.shard_report():
+        span = f"[{shard_row['span'][0]}, {shard_row['span'][1]})"
+        print(
+            f"{shard_row['shard']:>5} {span:<14} {shard_row['epoch']:>6} "
+            f"{shard_row['memory_cells']:>10,} {shard_row['node_visits']:>8,} "
+            f"{shard_row['cell_reads']:>8,} {shard_row['cell_writes']:>8,}"
+        )
+    engine.close()
     return 0
 
 
@@ -321,6 +500,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON artifact path (rows are merged per method/shape/locality/batch)",
     )
     bench_batch.set_defaults(handler=_command_bench_batch)
+
+    bench_engine = commands.add_parser(
+        "bench-engine",
+        help="measure sharded-engine serving throughput vs the scalar baseline",
+    )
+    serve_stats = commands.add_parser(
+        "serve-stats",
+        help="replay a serving workload and print shard/cache statistics",
+    )
+    for sub in (bench_engine, serve_stats):
+        sub.add_argument("--method", default="ddc", choices=method_names())
+        sub.add_argument(
+            "--shape", type=int, nargs="+", default=[256, 256], help="cube shape"
+        )
+        sub.add_argument("--shards", type=int, default=4, help="shard count")
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="executor threads (0 = deterministic sequential fan-out)",
+        )
+        sub.add_argument(
+            "--mix", type=float, default=0.9, help="fraction of events that read"
+        )
+        sub.add_argument(
+            "--locality", default="zipf", choices=("uniform", "zipf")
+        )
+        sub.add_argument(
+            "--events", type=int, default=500, help="stream length"
+        )
+        sub.add_argument(
+            "--cache", type=int, default=1024, help="result-cache capacity"
+        )
+        sub.add_argument("--seed", type=int, default=0)
+    bench_engine.add_argument(
+        "--pool", type=int, default=32, help="distinct read queries in the stream"
+    )
+    bench_engine.add_argument(
+        "--json",
+        default="BENCH_engine.json",
+        help="JSON artifact path (rows merged per configuration)",
+    )
+    bench_engine.set_defaults(handler=_command_bench_engine)
+    serve_stats.set_defaults(handler=_command_serve_stats)
 
     for name, handler in (
         ("table1", _command_table1),

@@ -70,6 +70,10 @@ class DynamicDataCube(RangeSumMethod):
     """
 
     name = "ddc"
+    #: Below this batch size the per-node bucketing and contribution
+    #: cache of the path-sharing traversal cost more than they share
+    #: (the batch=4 regression in BENCH_batch_queries.json).
+    batch_crossover = 8
     _overlay_class = TreeOverlay
 
     def __init__(
@@ -328,6 +332,8 @@ class DynamicDataCube(RangeSumMethod):
         normalized = [geometry.normalize_cell(cell, self.shape) for cell in cells]
         if self._root is None:
             return [self._zero() for _ in normalized]
+        if not self._use_batch_path(len(normalized)):
+            return [self.prefix_sum(cell) for cell in normalized]  # noqa: REP006 — adaptive crossover: a tiny batch never amortises the bucketed traversal's bookkeeping
         order: dict[tuple, list[int]] = {}
         for position, cell in enumerate(normalized):
             order.setdefault(cell, []).append(position)

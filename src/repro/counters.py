@@ -30,11 +30,18 @@ class OpCounter:
         cell_writes: stored values written.
         node_visits: tree nodes visited during navigation (primary-tree
             nodes, B-tree nodes); zero for flat array methods.
+        cache_hits: queries answered from a result cache without touching
+            the structure (see :mod:`repro.engine`); zero for bare
+            structures.
+        cache_misses: cache lookups that fell through to a structure
+            traversal.
     """
 
     cell_reads: int = 0
     cell_writes: int = 0
     node_visits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
     #: Optional page-access tracker (see repro.storage.buffer).  When a
     #: BufferPool is attached, every structure node touched by a real
     #: traversal is reported to it; None keeps the hook free.
@@ -50,6 +57,8 @@ class OpCounter:
         self.cell_reads = 0
         self.cell_writes = 0
         self.node_visits = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def total_cell_ops(self) -> int:
@@ -58,7 +67,13 @@ class OpCounter:
 
     def snapshot(self) -> "OpCounter":
         """An independent copy of the current tallies."""
-        return OpCounter(self.cell_reads, self.cell_writes, self.node_visits)
+        return OpCounter(
+            self.cell_reads,
+            self.cell_writes,
+            self.node_visits,
+            self.cache_hits,
+            self.cache_misses,
+        )
 
     def diff(self, earlier: "OpCounter") -> "OpCounter":
         """Tallies accumulated since ``earlier`` (a prior snapshot)."""
@@ -66,6 +81,8 @@ class OpCounter:
             self.cell_reads - earlier.cell_reads,
             self.cell_writes - earlier.cell_writes,
             self.node_visits - earlier.node_visits,
+            self.cache_hits - earlier.cache_hits,
+            self.cache_misses - earlier.cache_misses,
         )
 
     def merge(self, other: "OpCounter") -> None:
@@ -73,11 +90,20 @@ class OpCounter:
         self.cell_reads += other.cell_reads
         self.cell_writes += other.cell_writes
         self.node_visits += other.node_visits
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Hits over total cache lookups (0.0 when nothing was looked up)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"OpCounter(reads={self.cell_reads}, writes={self.cell_writes}, "
-            f"nodes={self.node_visits})"
+            f"nodes={self.node_visits}, cache={self.cache_hits}/"
+            f"{self.cache_hits + self.cache_misses})"
         )
 
 

@@ -1,0 +1,24 @@
+"""Sharded parallel serving engine with an epoch-invalidated result cache.
+
+The scaling layer on top of the range-sum structures: partition the cube
+along its leading dimension into K independent shards, route updates to
+owners, decompose queries into per-shard sub-ranges fanned out over an
+executor, and serve repeat reads from an LRU cache whose entries are
+validated against per-shard write epochs.  See ``docs/engine.md``.
+"""
+
+from .cache import MISS, EpochLruCache
+from .engine import ShardedEngine
+from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .sharding import ShardPlan, ShardSpan
+
+__all__ = [
+    "ShardedEngine",
+    "ShardPlan",
+    "ShardSpan",
+    "EpochLruCache",
+    "MISS",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+]

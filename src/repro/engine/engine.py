@@ -1,0 +1,394 @@
+"""The sharded serving engine: parallel decomposition + epoch-safe cache.
+
+:class:`ShardedEngine` is the serving layer the ROADMAP's scaling arc
+points at.  It *is* a :class:`~repro.methods.base.RangeSumMethod` — the
+same contract as every structure in the library — but internally it
+partitions the cube along its leading dimension into K independent
+shards (each one any registered method, DDC by default), and serves:
+
+* **point updates** by routing each delta to its owning shard and
+  bumping that shard's epoch counter;
+* **range / prefix queries** by decomposing the range into at most one
+  local sub-range per overlapping shard, fanning the sub-queries out
+  over an executor (sequential by default, a thread pool when
+  ``workers >= 2``), and summing the partial results — correct because
+  the slabs are disjoint;
+* **batches** by grouping all sub-queries / updates per shard first, so
+  each shard answers its whole share through one ``range_sum_many`` /
+  ``add_many`` call and the per-shard path-sharing machinery keeps
+  working inside the shard;
+* **repeat reads** from a hot-range LRU cache validated by the per-shard
+  epochs, so a read-heavy workload skips tree traversal entirely while
+  interleaved writes stay exactly visible.
+
+Concurrency model: public operations serialise on one reentrant lock;
+*within* a read, per-shard sub-queries run concurrently on the executor
+(they touch disjoint shards, and the lock keeps writers out for the
+duration).  Shared mutable state — the epoch list and the cache — is
+only touched under the lock or inside ``_locked_*`` helpers, which lint
+rule REP007 enforces mechanically.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from ..counters import OpCounter
+from ..methods.base import RangeSumMethod
+from ..methods.registry import method_class
+from .cache import MISS, EpochLruCache
+from .executor import make_executor
+from .sharding import ShardPlan
+
+__all__ = ["ShardedEngine"]
+
+
+class ShardedEngine(RangeSumMethod):
+    """K-sharded, cache-fronted serving engine over any registered method.
+
+    Args:
+        shape: logical cube shape; the leading dimension is sharded.
+        shards: number of slabs (1 degenerates to a cached passthrough).
+        method: registry name of the per-shard structure (default DDC).
+        workers: executor threads for sub-query fan-out; ``None``/0/1
+            select the deterministic sequential executor.
+        cache_size: LRU capacity in entries; 0 disables result caching.
+        dtype: value dtype, forwarded to every shard.
+        method_kwargs: extra keyword arguments for shard construction.
+    """
+
+    name = "engine"
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        shards: int = 4,
+        method: str = "ddc",
+        workers: int | None = None,
+        cache_size: int = 1024,
+        dtype=np.int64,
+        method_kwargs: dict | None = None,
+    ) -> None:
+        super().__init__(shape, dtype=dtype)
+        self.plan = ShardPlan(self.shape, shards)
+        self.method_name = method
+        self.workers = workers
+        self._method_kwargs = dict(method_kwargs or {})
+        shard_cls = method_class(method)
+        self._shards: list[RangeSumMethod] = [
+            shard_cls(
+                self.plan.shard_shape(index),
+                dtype=self.dtype,
+                **self._method_kwargs,
+            )
+            for index in range(self.plan.count)
+        ]
+        self._executor = make_executor(workers)
+        self._lock = threading.RLock()
+        self._epochs = [0] * self.plan.count
+        self._cache = EpochLruCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_array(cls, array: np.ndarray, **kwargs) -> "ShardedEngine":
+        """Build an engine whose shards bulk-load slabs of ``array``.
+
+        Each shard is constructed through its method's own vectorised
+        ``from_array`` on the matching leading-dimension slab — the
+        shard-compatible bulk build, K small builds instead of one big
+        one (and they are independent, so a future process-level build
+        can run them in parallel).
+        """
+        array = np.asarray(array)
+        engine = cls(array.shape, dtype=kwargs.pop("dtype", array.dtype), **kwargs)
+        shard_cls = method_class(engine.method_name)
+        with engine._lock:
+            for index in range(engine.plan.count):
+                slab = array[engine.plan.slab(index)].astype(engine.dtype)
+                engine._shards[index] = shard_cls.from_array(
+                    slab, dtype=engine.dtype, **engine._method_kwargs
+                )
+                engine._epochs[index] += 1
+        return engine
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def add(self, cell: Sequence[int] | int, delta) -> None:
+        """Route one point update to its owning shard (epoch-bumping).
+
+        The serving loop's write path: one owner lookup, one scalar
+        shard update, one epoch bump — no batch packaging.
+        """
+        cell = geometry.normalize_cell(cell, self.shape)
+        if delta == 0:
+            return
+        index = self.plan.owner(cell)
+        with self._lock:
+            shard = self._shards[index]
+            self.stats.touch(shard)
+            shard.add(self.plan.to_local(index, cell), delta)
+            self._epochs[index] += 1
+
+    def add_many(self, updates: Sequence[tuple]) -> None:
+        """Apply a write batch: group per shard, one epoch bump per shard.
+
+        Updates are combined per cell and grouped by owning shard, then
+        each touched shard applies its whole share through its own
+        ``add_many`` (the per-shard batch machinery — grouped descents,
+        cascade crossovers — keeps working).  The shard's epoch advances
+        once per batch, so every cached range overlapping it revalidates
+        as stale while ranges over untouched shards stay warm.
+        """
+        combined = self._combined_updates(updates)
+        if not combined:
+            return
+        grouped: dict[int, list[tuple]] = {}
+        for cell, delta in combined:
+            index = self.plan.owner(cell)
+            grouped.setdefault(index, []).append(
+                (self.plan.to_local(index, cell), delta)
+            )
+        with self._lock:
+            for index in sorted(grouped):
+                shard = self._shards[index]
+                self.stats.touch(shard)
+                shard.add_many(grouped[index])
+                self._epochs[index] += 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def prefix_sum(self, cell: Sequence[int] | int):
+        """Origin-anchored range sum (served through the cache)."""
+        cell = geometry.normalize_cell(cell, self.shape)
+        return self.range_sum((0,) * self.dims, cell)
+
+    def range_sum(self, low: Sequence[int] | int, high: Sequence[int] | int):
+        """One cached, shard-decomposed range sum.
+
+        The serving loop's read path: a hit is one lock acquisition and
+        one LRU probe; a miss skips the batch bookkeeping and goes
+        straight to the per-shard computation.
+        """
+        low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
+        key = (low_cell, high_cell)
+        with self._lock:
+            value = self._cache.get(key, self._epochs)
+            if value is not MISS:
+                self.stats.cache_hits += 1
+                return value
+            self.stats.cache_misses += 1
+            return self._locked_compute_one(key)
+
+    def prefix_sum_many(self, cells: Sequence) -> list:
+        """Batch prefix queries as origin-anchored batch range queries."""
+        origin = (0,) * self.dims
+        return self.range_sum_many(
+            [(origin, geometry.normalize_cell(cell, self.shape)) for cell in cells]
+        )
+
+    def range_sum_many(self, ranges: Sequence) -> list:
+        """Batch range queries: cache first, then per-shard fan-out.
+
+        Each query is looked up in the cache; the distinct misses are
+        decomposed, their sub-queries grouped per shard, and every
+        touched shard answers its group through one ``range_sum_many``
+        call — fanned out over the executor.  Duplicate misses inside
+        the batch share one computation and count as hits.
+        """
+        queries = [self._query_bounds(item) for item in ranges]
+        if not queries:
+            return []
+        self._use_batch_path(len(queries))
+        results: list = [None] * len(queries)
+        with self._lock:
+            missing: dict[tuple, list[int]] = {}
+            for position, key in enumerate(queries):
+                if key in missing:
+                    self.stats.cache_hits += 1
+                    missing[key].append(position)
+                    continue
+                value = self._cache.get(key, self._epochs)
+                if value is not MISS:
+                    self.stats.cache_hits += 1
+                    results[position] = value
+                else:
+                    self.stats.cache_misses += 1
+                    missing[key] = [position]
+            if missing:
+                for key, value in self._locked_compute(list(missing)):
+                    for position in missing[key]:
+                        results[position] = value
+        return results
+
+    def _locked_compute_one(self, key: tuple):
+        """Answer one missing range; caller holds the lock.
+
+        The scalar serving path: no batch dictionaries, and no executor
+        dispatch unless a thread pool is attached and the range actually
+        spans several shards.
+        """
+        parts = list(self.plan.decompose(*key))
+        if len(parts) > 1 and self._executor.workers > 1:
+            return self._locked_compute([key])[0][1]
+        epochs = tuple(self._epochs)
+        total = self._zero()
+        dependencies = []
+        for index, local_low, local_high in parts:
+            shard = self._shards[index]
+            self.stats.touch(shard)
+            total = total + shard.range_sum(local_low, local_high)
+            dependencies.append(index)
+        value = self.dtype.type(total)
+        self._cache.put(key, value, dependencies, epochs)
+        return value
+
+    def _locked_compute(self, keys: list[tuple]) -> list[tuple]:
+        """Answer distinct missing ranges; caller holds the lock.
+
+        Returns ``(key, value)`` pairs and caches every value stamped
+        with the epoch snapshot taken before any shard work started.
+        """
+        epochs = tuple(self._epochs)
+        per_shard: dict[int, list[tuple[int, tuple, tuple]]] = {}
+        dependencies: list[list[int]] = []
+        for key_index, (low, high) in enumerate(keys):
+            touched: list[int] = []
+            for shard_index, local_low, local_high in self.plan.decompose(
+                low, high
+            ):
+                per_shard.setdefault(shard_index, []).append(
+                    (key_index, local_low, local_high)
+                )
+                touched.append(shard_index)
+            dependencies.append(touched)
+
+        def run_shard(item: tuple[int, list[tuple[int, tuple, tuple]]]):
+            shard_index, sub_queries = item
+            shard = self._shards[shard_index]
+            self.stats.touch(shard)
+            if len(sub_queries) == 1:
+                _, local_low, local_high = sub_queries[0]
+                values = [shard.range_sum(local_low, local_high)]
+            else:
+                values = shard.range_sum_many(
+                    [
+                        (local_low, local_high)
+                        for _, local_low, local_high in sub_queries
+                    ]
+                )
+            return sub_queries, values
+
+        totals = [self._zero() for _ in keys]
+        for sub_queries, values in self._executor.map(
+            run_shard, sorted(per_shard.items())
+        ):
+            for (key_index, _, _), value in zip(sub_queries, values):
+                totals[key_index] = totals[key_index] + value
+
+        out: list[tuple] = []
+        for key_index, key in enumerate(keys):
+            value = self.dtype.type(totals[key_index])
+            self._cache.put(key, value, dependencies[key_index], epochs)
+            out.append((key, value))
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[RangeSumMethod, ...]:
+        """The per-shard structures (read-only view for tests/benches)."""
+        return tuple(self._shards)
+
+    @property
+    def epochs(self) -> tuple[int, ...]:
+        """Current per-shard write epochs."""
+        with self._lock:
+            return tuple(self._epochs)
+
+    def cache_info(self) -> dict:
+        """Cache occupancy and hit/miss tallies as one plain dict."""
+        with self._lock:
+            return {
+                "size": len(self._cache),
+                "capacity": self._cache.capacity,
+                "hits": self.stats.cache_hits,
+                "misses": self.stats.cache_misses,
+                "hit_rate": self.stats.cache_hit_rate,
+                "invalidations": self._cache.invalidations,
+                "evictions": self._cache.evictions,
+            }
+
+    def clear_cache(self) -> None:
+        """Drop all cached results (epochs keep advancing monotonically)."""
+        with self._lock:
+            self._cache.clear()
+
+    def aggregate_stats(self) -> OpCounter:
+        """Engine-level counters merged with every shard's counters."""
+        merged = self.stats.snapshot()
+        for shard in self._shards:
+            merged.merge(shard.stats)
+        return merged
+
+    def reset_stats(self) -> None:
+        """Zero the engine counter and every shard counter."""
+        self.stats.reset()
+        for shard in self._shards:
+            shard.stats.reset()
+
+    def shard_report(self) -> list[dict]:
+        """One row per shard: span, epoch, storage, and op tallies."""
+        rows = []
+        with self._lock:
+            epochs = tuple(self._epochs)
+        for span, epoch, shard in zip(self.plan.spans, epochs, self._shards):
+            rows.append(
+                {
+                    "shard": span.index,
+                    "span": [span.start, span.stop],
+                    "epoch": epoch,
+                    "memory_cells": shard.memory_cells(),
+                    "node_visits": shard.stats.node_visits,
+                    "cell_reads": shard.stats.cell_reads,
+                    "cell_writes": shard.stats.cell_writes,
+                }
+            )
+        return rows
+
+    def memory_cells(self) -> int:
+        """Stored cells across all shards (the cache is not counted)."""
+        return sum(shard.memory_cells() for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEngine(shape={self.shape}, shards={self.plan.count}, "
+            f"method={self.method_name!r}, workers={self.workers}, "
+            f"cache={self._cache.capacity})"
+        )

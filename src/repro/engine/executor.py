@@ -1,0 +1,78 @@
+"""Sub-query executors: sequential fallback and thread-pool fan-out.
+
+The engine decomposes every query into independent per-shard sub-queries
+and hands the batch to one of these executors.  Both expose the same
+two-method surface so the engine never branches on the concurrency mode:
+
+* :class:`SerialExecutor` — runs tasks in the calling thread, in order.
+  This is the default and the deterministic baseline: for small shard
+  counts the dispatch overhead of a pool exceeds the work it overlaps,
+  and a serial run makes every benchmark and test exactly reproducible.
+* :class:`ThreadedExecutor` — a :class:`~concurrent.futures.ThreadPoolExecutor`
+  wrapper.  Sub-queries touch disjoint shards, so they are safe to run
+  concurrently while the engine's lock keeps writers out; numpy releases
+  the GIL inside large gathers, which is where the overlap pays.
+
+Use :func:`make_executor` to pick by worker count.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SerialExecutor", "ThreadedExecutor", "make_executor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SerialExecutor:
+    """In-thread executor: deterministic, zero dispatch overhead."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item in order, in the calling thread."""
+        return [fn(item) for item in items]
+
+    def shutdown(self) -> None:
+        """Nothing to release."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ThreadedExecutor:
+    """Thread-pool executor for fanning sub-queries across shards."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"ThreadedExecutor needs >= 2 workers, got {workers} "
+                f"(use SerialExecutor instead)"
+            )
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item concurrently; results keep order."""
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        """Release the pool's threads (idempotent)."""
+        self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadedExecutor(workers={self.workers})"
+
+
+def make_executor(workers: int | None) -> SerialExecutor | ThreadedExecutor:
+    """Executor for ``workers`` threads; None, 0, or 1 mean sequential."""
+    if workers is None or workers <= 1:
+        return SerialExecutor()
+    return ThreadedExecutor(workers)

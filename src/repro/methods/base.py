@@ -86,11 +86,23 @@ class RangeSumMethod(ABC):
     #: Registry name of the method (e.g. ``"ps"``); set by subclasses.
     name: ClassVar[str] = "abstract"
 
+    #: Batches strictly smaller than this take the scalar path.  The
+    #: shared-work machinery (vectorised gathers, path-sharing descents)
+    #: has per-call setup costs that a tiny batch never amortises — the
+    #: small-batch regression the throughput benchmark exposed — so each
+    #: method declares the batch size at which its batch path starts to
+    #: win.  1 means "always batch".
+    batch_crossover: ClassVar[int] = 1
+
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         self.shape: Shape = geometry.normalize_shape(shape)
         self.dims = len(self.shape)
         self.dtype = np.dtype(dtype)
         self.stats = OpCounter()
+        #: Which path the most recent ``*_many`` call took: ``"batch"``
+        #: (shared-work machinery) or ``"scalar"`` (per-query fallback,
+        #: chosen below :attr:`batch_crossover`).  Benchmarks record it.
+        self.last_batch_path: str = "batch"
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -194,6 +206,18 @@ class RangeSumMethod(ABC):
     # Batch queries
     # ------------------------------------------------------------------
 
+    def _use_batch_path(self, count: int) -> bool:
+        """Decide batch vs scalar for a ``count``-query batch.
+
+        Records the decision in :attr:`last_batch_path` so benchmark rows
+        can report which path actually ran.  Overrides call this first
+        and fall back to the scalar loop (with an explanatory
+        ``noqa: REP006``) when it returns False.
+        """
+        use_batch = count >= type(self).batch_crossover
+        self.last_batch_path = "batch" if use_batch else "scalar"
+        return use_batch
+
     def prefix_sum_many(self, cells: Sequence) -> list:
         """Batch form of :meth:`prefix_sum`: one result per input cell.
 
@@ -203,6 +227,7 @@ class RangeSumMethod(ABC):
         descends each distinct root-to-leaf path once for the whole
         batch.
         """
+        self.last_batch_path = "scalar"
         return [self.prefix_sum(cell) for cell in cells]
 
     def range_sum_many(self, ranges: Sequence) -> list:

@@ -41,6 +41,10 @@ class FenwickCube(RangeSumMethod):
     """d-dimensional binary indexed tree: O(log^d n) queries and updates."""
 
     name = "fenwick"
+    #: The per-level gather visits every level *combination* regardless
+    #: of batch size — prod_i log2(n_i) vectorised reads — so small
+    #: batches are much cheaper as plain path walks.
+    batch_crossover = 64
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -98,6 +102,8 @@ class FenwickCube(RangeSumMethod):
         normalized = [geometry.normalize_cell(cell, self.shape) for cell in cells]
         if not normalized:
             return []
+        if not self._use_batch_path(len(normalized)):
+            return [self.prefix_sum(cell) for cell in normalized]  # noqa: REP006 — adaptive crossover: below batch_crossover the scalar path walks beat the full level-combination gather
         count = len(normalized)
         coords = np.array(normalized, dtype=np.int64)
         axis_paths: list[tuple[np.ndarray, np.ndarray]] = []

@@ -22,6 +22,10 @@ class NaiveArray(RangeSumMethod):
     """Dense array ``A`` with O(1) updates and O(n^d) range queries."""
 
     name = "naive"
+    # The cumulative-pass batch path only amortizes its cube-wide cumsum
+    # once the batch is big enough, regardless of what the logical cell
+    # cost model says.
+    batch_crossover = 8
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -79,8 +83,13 @@ class NaiveArray(RangeSumMethod):
         sequential_cost = sum(
             geometry.range_cell_count(origin, cell) for cell in normalized
         )
-        if len(normalized) < 2 or sequential_cost <= self._array.size:
+        if (
+            not self._use_batch_path(len(normalized))
+            or sequential_cost <= self._array.size
+        ):
+            self.last_batch_path = "scalar"
             return [self.prefix_sum(cell) for cell in normalized]  # noqa: REP006 — below the crossover, direct region sums win
+        self.last_batch_path = "batch"
         prefix = self._array.astype(self.dtype, copy=True)
         for axis in range(prefix.ndim):
             np.cumsum(prefix, axis=axis, out=prefix)
@@ -97,7 +106,11 @@ class NaiveArray(RangeSumMethod):
         direct_cost = sum(
             geometry.range_cell_count(low, high) for low, high in queries
         )
-        if len(queries) < 2 or direct_cost <= self._array.size:
+        if (
+            not self._use_batch_path(len(queries))
+            or direct_cost <= self._array.size
+        ):
+            self.last_batch_path = "scalar"
             return [self.range_sum(low, high) for low, high in queries]  # noqa: REP006 — below the crossover, direct region sums win
         return super().range_sum_many(queries)
 

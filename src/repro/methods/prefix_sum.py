@@ -24,6 +24,9 @@ class PrefixSumCube(RangeSumMethod):
     """HAMS97 prefix-sum array: O(1) queries, O(n^d) updates."""
 
     name = "ps"
+    #: A scalar prefix query is one indexed read; the vectorised gather
+    #: only wins once its numpy setup is spread over a few dozen queries.
+    batch_crossover = 32
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -50,6 +53,8 @@ class PrefixSumCube(RangeSumMethod):
         normalized = [geometry.normalize_cell(cell, self.shape) for cell in cells]
         if not normalized:
             return []
+        if not self._use_batch_path(len(normalized)):
+            return [self.prefix_sum(cell) for cell in normalized]  # noqa: REP006 — adaptive crossover: a tiny batch of O(1) scalar reads beats the gather setup
         index = tuple(
             np.array([cell[axis] for cell in normalized], dtype=np.intp)
             for axis in range(self.dims)

@@ -56,6 +56,9 @@ class SegmentTreeCube(RangeSumMethod):
     """Nested segment trees: O(log^d n) queries and updates, dense storage."""
 
     name = "segtree"
+    #: Like the Fenwick gather, the padded canonical-cover gather visits
+    #: every level combination regardless of batch size.
+    batch_crossover = 64
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -124,6 +127,8 @@ class SegmentTreeCube(RangeSumMethod):
         queries = [self._query_bounds(item) for item in ranges]
         if not queries:
             return []
+        if not self._use_batch_path(len(queries)):
+            return [self.range_sum(low, high) for low, high in queries]  # noqa: REP006 — adaptive crossover: below batch_crossover the scalar cover walks beat the padded gather
         count = len(queries)
         axis_paths: list[tuple[np.ndarray, np.ndarray]] = []
         lengths = np.ones(count, dtype=np.int64)

@@ -18,6 +18,7 @@ from .queries import (
     query_stream,
     random_ranges,
     random_updates,
+    read_write_stream,
     worst_case_update,
 )
 
@@ -38,4 +39,5 @@ __all__ = [
     "worst_case_update",
     "hot_region_updates",
     "interleaved",
+    "read_write_stream",
 ]

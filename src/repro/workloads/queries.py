@@ -26,6 +26,7 @@ __all__ = [
     "worst_case_update",
     "hot_region_updates",
     "interleaved",
+    "read_write_stream",
 ]
 
 
@@ -187,6 +188,109 @@ def hot_region_updates(
             delta = int(rng.integers(-magnitude, magnitude + 1))
         updates.append(PointUpdate(cell, delta))
     return updates
+
+
+def read_write_stream(
+    shape: Sequence[int],
+    count: int,
+    mix: float = 0.9,
+    locality: str = "uniform",
+    pool: int = 32,
+    selectivity: float = 0.1,
+    clusters: int = 4,
+    spread: float = 0.05,
+    zipf_exponent: float = 1.1,
+    magnitude: int = 10,
+    seed: int = 0,
+) -> list[RangeQuery | PointUpdate]:
+    """A serving-style event stream: ``mix`` reads, ``1 - mix`` writes.
+
+    Models the traffic the sharded engine serves: a dashboard fleet
+    re-issuing the same analytical range queries (reads drawn from a
+    finite ``pool`` of distinct ranges, so hot queries genuinely repeat
+    and a result cache has something to hit) interleaved with point
+    updates trickling in from the transactional side.
+
+    * ``mix`` — fraction of events that are reads (``RangeQuery``); the
+      rest are writes (``PointUpdate`` with non-zero delta).
+    * ``locality`` — ``"uniform"`` scatters both the query pool and the
+      writes uniformly; ``"zipf"`` anchors the pool at ``clusters``
+      centres with Zipf-distributed popularity (exponent
+      ``zipf_exponent``), ranks the pool itself by Zipf weights (the
+      dashboard's top queries dominate), and lands writes near the same
+      centres with per-dimension spread ``spread * size``.
+    * ``pool`` — number of distinct read queries; ``selectivity`` —
+      per-dimension fraction of the cube each pool range spans.
+
+    The result is a list (not a generator) so a benchmark can replay the
+    identical stream against several engine configurations.
+    """
+    shape = normalize_shape(shape)
+    if not 0.0 <= mix <= 1.0:
+        raise ConfigurationError(f"mix must be within [0, 1], got {mix}")
+    if locality not in ("uniform", "zipf"):
+        raise ConfigurationError(f"unknown locality {locality!r}")
+    if pool < 1:
+        raise ConfigurationError(f"pool must be >= 1, got {pool}")
+    rng = np.random.default_rng(seed)
+
+    if locality == "zipf":
+        clusters = max(1, clusters)
+        centres = [
+            tuple(int(rng.integers(0, size)) for size in shape)
+            for _ in range(clusters)
+        ]
+        centre_weights = np.array(
+            [1.0 / (rank + 1) ** zipf_exponent for rank in range(clusters)]
+        )
+        centre_weights /= centre_weights.sum()
+
+    def _near_centre() -> Cell:
+        centre = centres[int(rng.choice(clusters, p=centre_weights))]
+        return tuple(
+            int(np.clip(round(rng.normal(c, max(1.0, spread * size))), 0, size - 1))
+            for c, size in zip(centre, shape)
+        )
+
+    read_pool: list[RangeQuery] = []
+    for _ in range(pool):
+        anchor = (
+            _near_centre()
+            if locality == "zipf"
+            else tuple(int(rng.integers(0, size)) for size in shape)
+        )
+        low = []
+        high = []
+        for position, size in zip(anchor, shape):
+            extent = max(1, int(round(selectivity * size)))
+            lo = int(np.clip(position - extent // 2, 0, size - extent))
+            low.append(lo)
+            high.append(lo + extent - 1)
+        read_pool.append(RangeQuery(tuple(low), tuple(high)))
+
+    if locality == "zipf":
+        pool_weights = np.array(
+            [1.0 / (rank + 1) ** zipf_exponent for rank in range(pool)]
+        )
+        pool_weights /= pool_weights.sum()
+    else:
+        pool_weights = np.full(pool, 1.0 / pool)
+
+    events: list[RangeQuery | PointUpdate] = []
+    for _ in range(count):
+        if rng.random() < mix:
+            events.append(read_pool[int(rng.choice(pool, p=pool_weights))])
+        else:
+            cell = (
+                _near_centre()
+                if locality == "zipf"
+                else tuple(int(rng.integers(0, size)) for size in shape)
+            )
+            delta = 0
+            while delta == 0:
+                delta = int(rng.integers(-magnitude, magnitude + 1))
+            events.append(PointUpdate(cell, delta))
+    return events
 
 
 def interleaved(

@@ -342,6 +342,60 @@ class TestLintRules:
         )
         assert "REP001" in self._rules(source)
 
+    def test_rep007_unguarded_epoch_mutation_flagged(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def add(self, cell, delta):\n"
+            "        self._epochs[0] += 1\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert "REP007" in {finding.rule for finding in findings}
+
+    def test_rep007_unguarded_cache_call_flagged(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def query(self, key):\n"
+            "        return self._cache.get(key, self._epochs)\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert "REP007" in {finding.rule for finding in findings}
+
+    def test_rep007_lock_guarded_mutation_passes(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def add(self, cell, delta):\n"
+            "        with self._lock:\n"
+            "            self._epochs[0] += 1\n"
+            "            self._cache.clear()\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert findings == []
+
+    def test_rep007_locked_helper_exempt(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def _locked_compute(self, key):\n"
+            "        self._epochs[0] += 1\n"
+            "        self._cache.put(key, 0, (0,), self._epochs)\n"
+            "    def __init__(self):\n"
+            "        self._epochs = [0]\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert findings == []
+
+    def test_rep007_only_applies_to_engine_modules(self):
+        source = (
+            "__all__ = []\n"
+            "class Other:\n"
+            "    def poke(self):\n"
+            "        self._epochs[0] += 1\n"
+        )
+        assert self._findings(source) == []
+
     def test_syntax_error_reported(self):
         assert self._rules("def f(:\n") == {"REP000"}
 

@@ -1,0 +1,300 @@
+"""Tests for the sharded parallel execution engine.
+
+The load-bearing property: a K-sharded engine — any K, including counts
+that leave an uneven last shard — is cell-for-cell indistinguishable
+from the unsharded structure it wraps, under any interleaving of
+queries and updates, with or without the result cache and the thread
+pool in the loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EpochLruCache,
+    MISS,
+    SerialExecutor,
+    ShardedEngine,
+    ShardPlan,
+    ThreadedExecutor,
+    make_executor,
+)
+from repro.exceptions import ConfigurationError
+from repro.methods import build_method
+from repro.workloads import (
+    PointUpdate,
+    RangeQuery,
+    clustered,
+    read_write_stream,
+)
+
+
+class TestShardPlan:
+    def test_even_split(self):
+        plan = ShardPlan((8, 5), shards=4)
+        assert len(plan) == 4
+        assert [(s.start, s.stop) for s in plan.spans] == [
+            (0, 2),
+            (2, 4),
+            (4, 6),
+            (6, 8),
+        ]
+
+    def test_uneven_last_shard(self):
+        plan = ShardPlan((10, 3), shards=4)
+        lengths = [span.length for span in plan.spans]
+        assert sum(lengths) == 10
+        assert all(length >= 1 for length in lengths)
+        # floor(i*n/K) boundaries: spans differ by at most one row.
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_owner_routing(self):
+        plan = ShardPlan((10, 3), shards=3)
+        for row in range(10):
+            index = plan.owner((row, 0))
+            span = plan.spans[index]
+            assert span.start <= row < span.stop
+
+    def test_decompose_covers_range_exactly(self):
+        plan = ShardPlan((10, 4), shards=3)
+        parts = list(plan.decompose((1, 0), (8, 3)))
+        # Local sub-ranges translate back to a disjoint cover of [1, 8].
+        covered = []
+        for index, local_low, local_high in parts:
+            span = plan.spans[index]
+            covered.extend(
+                range(span.start + local_low[0], span.start + local_high[0] + 1)
+            )
+            assert local_low[1:] == (0,)
+            assert local_high[1:] == (3,)
+        assert covered == list(range(1, 9))
+
+    def test_decompose_single_shard_range(self):
+        plan = ShardPlan((12, 2), shards=4)
+        parts = list(plan.decompose((0, 0), (1, 1)))
+        assert len(parts) == 1
+        assert parts[0][0] == 0
+
+    def test_invalid_shard_counts(self):
+        with pytest.raises(ConfigurationError):
+            ShardPlan((8, 8), shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan((4, 4), shards=5)
+
+
+class TestEpochLruCache:
+    def test_hit_and_stale_invalidation(self):
+        cache = EpochLruCache(4)
+        epochs = [0, 0]
+        cache.put("a", 7, (0,), epochs)
+        assert cache.get("a", epochs) == 7
+        epochs[0] += 1  # a write to shard 0 invalidates the entry
+        assert cache.get("a", epochs) is MISS
+        assert "a" not in cache
+        assert cache.invalidations == 1
+
+    def test_independent_shard_write_keeps_entry(self):
+        cache = EpochLruCache(4)
+        epochs = [0, 0]
+        cache.put("a", 7, (0,), epochs)
+        epochs[1] += 1  # other shard: entry must stay warm
+        assert cache.get("a", epochs) == 7
+
+    def test_lru_eviction(self):
+        cache = EpochLruCache(2)
+        epochs = [0]
+        cache.put("a", 1, (0,), epochs)
+        cache.put("b", 2, (0,), epochs)
+        assert cache.get("a", epochs) == 1  # refresh a
+        cache.put("c", 3, (0,), epochs)  # evicts b
+        assert cache.get("b", epochs) is MISS
+        assert cache.get("a", epochs) == 1
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables(self):
+        cache = EpochLruCache(0)
+        cache.put("a", 1, (0,), [0])
+        assert cache.get("a", [0]) is MISS
+        assert len(cache) == 0
+
+
+class TestExecutors:
+    def test_make_executor_selects(self):
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor(0), SerialExecutor)
+        assert isinstance(make_executor(1), SerialExecutor)
+        pooled = make_executor(3)
+        assert isinstance(pooled, ThreadedExecutor)
+        assert pooled.workers == 3
+        pooled.shutdown()
+
+    def test_threaded_requires_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            ThreadedExecutor(1)
+
+    def test_map_matches_builtin(self):
+        serial = SerialExecutor()
+        pooled = ThreadedExecutor(2)
+        try:
+            items = list(range(10))
+            assert serial.map(lambda x: x * x, items) == [x * x for x in items]
+            assert pooled.map(lambda x: x * x, items) == [x * x for x in items]
+        finally:
+            pooled.shutdown()
+
+
+def _replay(target, events):
+    reads = []
+    for event in events:
+        if isinstance(event, RangeQuery):
+            reads.append(int(target.range_sum(event.low, event.high)))
+        else:
+            target.add(event.cell, event.delta)
+    return reads
+
+
+class TestEngineEquivalence:
+    SHAPE = (18, 9)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_interleaved_stream_matches_unsharded(self, shards):
+        """K-sharded == unsharded under mixed queries/updates (K=7 leaves
+        an uneven last shard on an 18-row cube)."""
+        data = clustered(self.SHAPE, seed=11)
+        events = read_write_stream(
+            self.SHAPE, 160, mix=0.7, locality="zipf", seed=12
+        )
+        baseline = build_method("ddc", data)
+        with ShardedEngine.from_array(data, shards=shards) as engine:
+            assert _replay(engine, events) == _replay(baseline, events)
+            assert np.array_equal(engine.to_dense(), baseline.to_dense())
+
+    @pytest.mark.parametrize("method", ["naive", "fenwick", "basic-ddc"])
+    def test_any_registered_method_as_shard(self, method):
+        data = clustered(self.SHAPE, seed=13)
+        events = read_write_stream(
+            self.SHAPE, 80, mix=0.6, locality="uniform", seed=14
+        )
+        baseline = build_method(method, data)
+        with ShardedEngine.from_array(data, shards=3, method=method) as engine:
+            assert _replay(engine, events) == _replay(baseline, events)
+
+    def test_thread_pool_matches_sequential(self):
+        data = clustered(self.SHAPE, seed=15)
+        events = read_write_stream(
+            self.SHAPE, 120, mix=0.8, locality="zipf", seed=16
+        )
+        with ShardedEngine.from_array(data, shards=4) as serial:
+            expected = _replay(serial, events)
+        with ShardedEngine.from_array(data, shards=4, workers=2) as pooled:
+            assert _replay(pooled, events) == expected
+
+    def test_batch_api_matches_scalar(self):
+        data = clustered(self.SHAPE, seed=17)
+        queries = [((1, 0), (16, 8)), ((0, 0), (3, 3)), ((5, 2), (17, 7))]
+        cells = [(4, 4), (17, 8), (0, 0)]
+        baseline = build_method("ddc", data)
+        with ShardedEngine.from_array(data, shards=4) as engine:
+            assert [int(v) for v in engine.range_sum_many(queries)] == [
+                int(v) for v in baseline.range_sum_many(queries)
+            ]
+            assert [int(v) for v in engine.prefix_sum_many(cells)] == [
+                int(v) for v in baseline.prefix_sum_many(cells)
+            ]
+            updates = [((2, 2), 5), ((9, 1), -3), ((17, 8), 11), ((2, 2), 1)]
+            engine.add_many(updates)
+            baseline.add_many(updates)
+            assert np.array_equal(engine.to_dense(), baseline.to_dense())
+
+
+class TestEngineCache:
+    SHAPE = (16, 8)
+
+    def test_query_update_query_reflects_write(self):
+        """The acceptance sequence: cached query -> overlapping write ->
+        re-query must see the new value, never the stale cache entry."""
+        data = clustered(self.SHAPE, seed=21)
+        with ShardedEngine.from_array(data, shards=4) as engine:
+            low, high = (2, 1), (13, 6)
+            first = int(engine.range_sum(low, high))
+            assert int(engine.range_sum(low, high)) == first  # cache hit
+            assert engine.stats.cache_hits == 1
+            engine.add((5, 3), 42)  # bumps the owning shard's epoch
+            assert int(engine.range_sum(low, high)) == first + 42
+            assert engine.cache_info()["invalidations"] >= 1
+
+    def test_write_to_other_shard_keeps_entry_warm(self):
+        data = clustered(self.SHAPE, seed=22)
+        with ShardedEngine.from_array(data, shards=4) as engine:
+            # Range entirely inside shard 0 (rows 0..3).
+            value = int(engine.range_sum((0, 0), (3, 7)))
+            engine.add((15, 0), 9)  # last shard; shard 0's epoch untouched
+            hits_before = engine.stats.cache_hits
+            assert int(engine.range_sum((0, 0), (3, 7))) == value
+            assert engine.stats.cache_hits == hits_before + 1
+
+    def test_counters_and_hit_rate(self):
+        data = clustered(self.SHAPE, seed=23)
+        with ShardedEngine.from_array(data, shards=2) as engine:
+            engine.reset_stats()
+            engine.range_sum((0, 0), (15, 7))
+            engine.range_sum((0, 0), (15, 7))
+            engine.range_sum((1, 1), (2, 2))
+            assert engine.stats.cache_misses == 2
+            assert engine.stats.cache_hits == 1
+            assert engine.stats.cache_hit_rate == pytest.approx(1 / 3)
+            info = engine.cache_info()
+            assert info["hits"] == 1 and info["misses"] == 2
+            assert info["size"] == 2
+
+    def test_cache_disabled_still_correct(self):
+        data = clustered(self.SHAPE, seed=24)
+        baseline = build_method("ddc", data)
+        with ShardedEngine.from_array(data, shards=3, cache_size=0) as engine:
+            events = read_write_stream(
+                self.SHAPE, 60, mix=0.8, locality="zipf", seed=25
+            )
+            assert _replay(engine, events) == _replay(baseline, events)
+            assert engine.stats.cache_hits == 0
+
+    def test_clear_cache(self):
+        data = clustered(self.SHAPE, seed=26)
+        with ShardedEngine.from_array(data, shards=2) as engine:
+            engine.range_sum((0, 0), (7, 7))
+            assert engine.cache_info()["size"] == 1
+            engine.clear_cache()
+            assert engine.cache_info()["size"] == 0
+
+
+class TestEngineIntrospection:
+    def test_shard_report_and_aggregate_stats(self):
+        data = clustered((12, 6), seed=31)
+        with ShardedEngine.from_array(data, shards=3) as engine:
+            engine.reset_stats()
+            engine.range_sum((0, 0), (11, 5))
+            report = engine.shard_report()
+            assert len(report) == 3
+            assert all(row["span"][1] > row["span"][0] for row in report)
+            merged = engine.aggregate_stats()
+            assert merged.cache_misses == 1
+            before = list(engine.epochs)
+            engine.add((0, 0), 1)
+            after = list(engine.epochs)
+            # Only the owning shard's epoch moves, and by exactly one.
+            assert after[0] == before[0] + 1
+            assert after[1:] == before[1:]
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ShardedEngine((8, 8), shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedEngine((4, 4), shards=9)
+
+    def test_total_and_memory(self):
+        data = clustered((10, 5), seed=32)
+        baseline = build_method("ddc", data)
+        with ShardedEngine.from_array(data, shards=4) as engine:
+            assert int(engine.total()) == int(baseline.total())
+            assert engine.memory_cells() > 0

@@ -17,6 +17,7 @@ from repro.workloads import (
     prefix_cells,
     random_ranges,
     random_updates,
+    read_write_stream,
     sparse_uniform,
     worst_case_update,
     zipf_skewed,
@@ -116,3 +117,52 @@ class TestQueryWorkloads:
         assert len(stream) == 25
         assert sum(isinstance(op, RangeQuery) for op in stream) == 10
         assert sum(isinstance(op, PointUpdate) for op in stream) == 15
+
+
+class TestReadWriteStream:
+    def test_mix_controls_read_fraction(self):
+        events = read_write_stream((32, 32), 400, mix=0.9, seed=20)
+        reads = sum(isinstance(op, RangeQuery) for op in events)
+        assert len(events) == 400
+        assert 0.84 < reads / 400 < 0.96
+
+    def test_all_events_in_bounds(self):
+        for op in read_write_stream((16, 24), 200, mix=0.5, seed=21):
+            if isinstance(op, RangeQuery):
+                assert all(
+                    0 <= lo <= hi < s
+                    for lo, hi, s in zip(op.low, op.high, (16, 24))
+                )
+            else:
+                assert all(0 <= c < s for c, s in zip(op.cell, (16, 24)))
+                assert op.delta != 0
+
+    def test_finite_pool_produces_repeats(self):
+        """Reads draw from a finite pool, so a result cache sees repeats."""
+        events = read_write_stream((64, 64), 300, mix=1.0, pool=8, seed=22)
+        distinct = {(op.low, op.high) for op in events}
+        assert len(distinct) <= 8
+        assert len(events) == 300
+
+    def test_zipf_locality_skews_toward_hot_queries(self):
+        events = read_write_stream(
+            (64, 64), 500, mix=1.0, locality="zipf", pool=32, seed=23
+        )
+        from collections import Counter
+
+        counts = Counter((op.low, op.high) for op in events)
+        top_two = sum(count for _, count in counts.most_common(2))
+        assert top_two > 500 * 0.3
+
+    def test_determinism(self):
+        first = read_write_stream((16, 16), 100, mix=0.7, seed=24)
+        second = read_write_stream((16, 16), 100, mix=0.7, seed=24)
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            read_write_stream((8, 8), 10, mix=1.5)
+        with pytest.raises(ValueError):
+            read_write_stream((8, 8), 10, locality="nope")
+        with pytest.raises(ValueError):
+            read_write_stream((8, 8), 10, pool=0)
