@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 
+from repro.artifacts import make_document
 from repro.methods import build_method, method_names
 from repro.workloads import clustered, query_stream
 
@@ -112,7 +113,7 @@ def test_batch_query_throughput(benchmark):
             f"{row['speedup']:>8.2f} "
             f"{row['node_visits_batch']:>10,} {row['node_visits_scalar']:>10,}"
         )
-    document = {"experiment": "batch_queries", "rows": rows}
+    document = make_document("batch_queries", rows)
     report("batch_query_throughput", "\n".join(lines), data=document)
     write_root_artifact("BENCH_batch_queries.json", document)
 

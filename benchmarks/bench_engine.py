@@ -27,6 +27,7 @@ from __future__ import annotations
 import os
 import time
 
+from repro.artifacts import make_document
 from repro.engine import ShardedEngine
 from repro.methods import build_method
 from repro.workloads import RangeQuery, clustered, read_write_stream
@@ -135,7 +136,7 @@ def test_engine_serving_throughput(benchmark):
             f"{row['baseline_seconds']:>10.5f} "
             f"{row['speedup_vs_scalar']:>8.2f} {row['cache_hit_rate']:>9.2%}"
         )
-    document = {"experiment": "engine_throughput", "rows": rows}
+    document = make_document("engine_throughput", rows)
     report("engine_throughput", "\n".join(lines), data=document)
     write_root_artifact("BENCH_engine.json", document)
 

@@ -15,6 +15,9 @@ Public API highlights:
   (Tables 1-2, Figure 1).
 * :class:`~repro.engine.ShardedEngine` — the serving layer: K shards,
   thread-pool query fan-out, epoch-invalidated result cache.
+* :class:`~repro.obs.Observability` — opt-in serving observability:
+  span tracing, latency/op histograms with Prometheus-style exposition,
+  and a slow-query log (free when disabled).
 """
 
 from .core.basic_ddc import BasicDynamicDataCube
@@ -34,6 +37,7 @@ from .methods import (
     create_method,
     method_names,
 )
+from .obs import Observability
 
 __version__ = "1.0.0"
 
@@ -46,6 +50,7 @@ __all__ = [
     "OpCounter",
     "ReproError",
     "ShardedEngine",
+    "Observability",
     "RangeSumMethod",
     "NaiveArray",
     "PrefixSumCube",

@@ -43,6 +43,14 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   unguarded mutation is a data race with the executor's reader threads
   and can serve a stale cached sum; plain attribute reads
   (``.capacity``, iteration) are not flagged.
+* **REP008 direct-clock** — hot-path modules (``src/repro/core/``,
+  ``src/repro/methods/``, ``src/repro/engine/``) must not call
+  ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` (or their
+  ``_ns`` variants) directly; all timestamps flow through the injected
+  observability clock (:mod:`repro.obs.clock`).  A direct clock read
+  bypasses the :class:`~repro.obs.clock.ManualClock` the tests inject
+  and silently re-introduces timing cost on paths that are supposed to
+  be free when observability is disabled.
 """
 
 from __future__ import annotations
@@ -97,6 +105,7 @@ RULES = {
     "REP005": "public module does not define __all__",
     "REP006": "*_many batch method loops over its own scalar operation",
     "REP007": "shared engine state mutated outside the epoch/lock helpers",
+    "REP008": "hot-path module reads the wall clock directly",
 }
 
 
@@ -455,6 +464,59 @@ def _check_engine_state(
                 )
 
 
+# -- REP008: hot paths read time only through the injected clock ---------
+
+#: Wall/monotonic clock readers that hot-path modules must not call.
+_CLOCK_FUNCTIONS = frozenset(
+    {
+        "time",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: Directory names marking the instrumented hot paths.
+_HOT_PATH_DIRS = frozenset({"core", "methods", "engine"})
+
+
+def _check_direct_clock(
+    tree: ast.Module, module_path: Path
+) -> Iterable[tuple[int, str, str]]:
+    if not _HOT_PATH_DIRS & set(module_path.parts):
+        return
+    imported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCTIONS:
+                    imported.add(alias.asname or alias.name)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        called = None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _CLOCK_FUNCTIONS
+        ):
+            called = f"time.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in imported:
+            called = func.id
+        if called is not None:
+            yield (
+                node.lineno,
+                "REP008",
+                f"{called}() in a hot-path module — read time through "
+                f"the injected observability clock (repro.obs.clock)",
+            )
+
+
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
@@ -484,6 +546,7 @@ def lint_source(source: str, path: str | Path) -> list[LintFinding]:
         _check_opcounter(tree),
         _check_batch_loops(tree, module_path),
         _check_engine_state(tree, module_path),
+        _check_direct_clock(tree, module_path),
     ]
     for check in checks:
         for line, rule, message in check:

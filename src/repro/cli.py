@@ -29,7 +29,15 @@ Examples::
     python -m repro bench-engine --shape 256 256 --shards 4 --mix 0.9
 
     # replay a serving workload and print per-shard/cache statistics
+    # (including p50/p95/p99 shard latency from the live histograms)
     python -m repro serve-stats --shape 128 128 --shards 4 --events 500
+
+    # same replay, dumping the metrics registry instead
+    python -m repro metrics --format prom
+    python -m repro metrics --format json
+
+    # same replay, printing the N slowest span trees + slow-query log
+    python -m repro trace --slowest 3 --slow-ms 0.5
 """
 
 from __future__ import annotations
@@ -171,28 +179,18 @@ def _command_audit(args) -> int:
 def _merge_artifact_row(
     path: Path, experiment: str, row: dict, key_fields: tuple[str, ...]
 ) -> None:
-    """Upsert ``row`` into a ``{"experiment", "rows"}`` JSON artifact.
+    """Upsert ``row`` into a shared-schema JSON artifact.
 
     Rows agreeing with ``row`` on every ``key_fields`` entry are
-    replaced, so repeated CLI runs refresh instead of duplicating.
+    replaced, so repeated CLI runs refresh instead of duplicating.  The
+    document shape (and its ``schema_version``) comes from
+    :mod:`repro.artifacts` — the same schema the benchmark suite writes.
     """
-    import json
+    from .artifacts import load_document, upsert_row, write_document
 
-    document = {"experiment": experiment, "rows": []}
-    if path.exists():
-        try:
-            loaded = json.loads(path.read_text())
-            if isinstance(loaded.get("rows"), list):
-                document = loaded
-        except (ValueError, OSError):
-            pass
-    key = tuple(row[field] for field in key_fields)
-    document["rows"] = [
-        existing
-        for existing in document["rows"]
-        if tuple(existing.get(field) for field in key_fields) != key
-    ] + [row]
-    path.write_text(json.dumps(document, indent=2) + "\n")
+    document = load_document(path, experiment)
+    upsert_row(document, row, key_fields)
+    write_document(path, document)
     print(f"wrote {path}")
 
 
@@ -377,8 +375,15 @@ def _command_bench_engine(args) -> int:
     return 0
 
 
-def _command_serve_stats(args) -> int:
+def _traced_replay(args):
+    """Build an engine with observability wired and replay the workload.
+
+    Shared by ``serve-stats`` / ``metrics`` / ``trace``: one clustered
+    cube, one read/write stream, one instrumented engine.  Returns
+    ``(obs, engine, events)`` with the engine already closed.
+    """
     from .engine import ShardedEngine
+    from .obs import Observability
     from .workloads import clustered, read_write_stream
 
     shape = tuple(args.shape)
@@ -390,15 +395,26 @@ def _command_serve_stats(args) -> int:
         locality=args.locality,
         seed=args.seed + 1,
     )
+    obs = Observability(
+        trace_sample_every=getattr(args, "sample_every", 1),
+        slow_query_seconds=getattr(args, "slow_ms", 0.0) / 1e3,
+    )
     engine = ShardedEngine.from_array(
         data,
         shards=args.shards,
         method=args.method,
         workers=args.workers or None,
         cache_size=args.cache,
+        obs=obs,
     )
     engine.reset_stats()
     _run_serving_stream(engine, events)
+    engine.close()
+    return obs, engine, events
+
+
+def _command_serve_stats(args) -> int:
+    obs, engine, events = _traced_replay(args)
 
     print(f"engine:    {engine!r}")
     print(f"events:    {len(events)} ({args.mix:.0%} reads, {args.locality})")
@@ -407,23 +423,65 @@ def _command_serve_stats(args) -> int:
         f"cache:     {info['hits']} hits / {info['misses']} misses "
         f"(hit rate {info['hit_rate']:.2%}), {info['size']}/{info['capacity']} "
         f"entries, {info['invalidations']} invalidations, "
-        f"{info['evictions']} evictions"
+        f"{info['evictions']} evictions ({info['stale_evictions']} stale)"
     )
     merged = engine.aggregate_stats()
     print(
         f"ops:       reads={merged.cell_reads} writes={merged.cell_writes} "
         f"node_visits={merged.node_visits}"
     )
+    latency = obs.metrics.histogram(
+        "repro_engine_shard_seconds",
+        "Per-shard sub-operation latency.",
+        labels=("shard", "op"),
+    )
     print(f"{'shard':>5} {'span':<14} {'epoch':>6} {'cells':>10} "
-          f"{'visits':>8} {'reads':>8} {'writes':>8}")
+          f"{'visits':>8} {'reads':>8} {'writes':>8} "
+          f"{'p50us':>8} {'p95us':>8} {'p99us':>8}")
     for shard_row in engine.shard_report():
         span = f"[{shard_row['span'][0]}, {shard_row['span'][1]})"
+        child = latency.labels(shard=str(shard_row["shard"]), op="range_sum")
+        p50, p95, p99 = (child.quantile(q) * 1e6 for q in (0.5, 0.95, 0.99))
         print(
             f"{shard_row['shard']:>5} {span:<14} {shard_row['epoch']:>6} "
             f"{shard_row['memory_cells']:>10,} {shard_row['node_visits']:>8,} "
-            f"{shard_row['cell_reads']:>8,} {shard_row['cell_writes']:>8,}"
+            f"{shard_row['cell_reads']:>8,} {shard_row['cell_writes']:>8,} "
+            f"{p50:>8.1f} {p95:>8.1f} {p99:>8.1f}"
         )
-    engine.close()
+    return 0
+
+
+def _command_metrics(args) -> int:
+    import json
+
+    obs, _engine, _events = _traced_replay(args)
+    if args.format == "prom":
+        sys.stdout.write(obs.metrics.render_prometheus())
+    else:
+        print(json.dumps(obs.metrics.to_json(), indent=2))
+    return 0
+
+
+def _command_trace(args) -> int:
+    from .obs import render_span_tree, sorted_by_duration
+
+    obs, _engine, events = _traced_replay(args)
+    roots = sorted_by_duration(obs.tracer.finished_roots())[: args.slowest]
+    print(
+        f"{len(events)} events replayed, {len(obs.tracer.finished_roots())} "
+        f"traces retained; {args.slowest} slowest:"
+    )
+    for rank, root in enumerate(roots, start=1):
+        print(f"\n#{rank}")
+        print(render_span_tree(root, indent=1))
+    log = obs.slow_log
+    print(
+        f"\nslow-query log: {len(log)} retained "
+        f"({log.qualified} qualified, {log.sampled_out} sampled out)"
+    )
+    for record in log.slowest(args.slowest):
+        print()
+        print(record.render())
     return 0
 
 
@@ -509,7 +567,15 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-stats",
         help="replay a serving workload and print shard/cache statistics",
     )
-    for sub in (bench_engine, serve_stats):
+    metrics = commands.add_parser(
+        "metrics",
+        help="replay a serving workload and dump the metrics registry",
+    )
+    trace = commands.add_parser(
+        "trace",
+        help="replay a serving workload and print the slowest span trees",
+    )
+    for sub in (bench_engine, serve_stats, metrics, trace):
         sub.add_argument("--method", default="ddc", choices=method_names())
         sub.add_argument(
             "--shape", type=int, nargs="+", default=[256, 256], help="cube shape"
@@ -544,6 +610,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_engine.set_defaults(handler=_command_bench_engine)
     serve_stats.set_defaults(handler=_command_serve_stats)
+    metrics.add_argument(
+        "--format",
+        default="prom",
+        choices=("prom", "json"),
+        help="Prometheus text exposition or the equivalent JSON export",
+    )
+    metrics.set_defaults(handler=_command_metrics)
+    trace.add_argument(
+        "--slowest", type=int, default=3, help="span trees to print"
+    )
+    trace.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        dest="sample_every",
+        help="head-sample every Nth trace (1 = trace everything)",
+    )
+    trace.add_argument(
+        "--slow-ms",
+        type=float,
+        default=0.0,
+        dest="slow_ms",
+        help="slow-query log latency threshold in milliseconds",
+    )
+    trace.set_defaults(handler=_command_trace)
 
     for name, handler in (
         ("table1", _command_table1),

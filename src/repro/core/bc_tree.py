@@ -38,6 +38,7 @@ from typing import Iterator, Sequence
 
 from ..counters import OpCounter
 from ..exceptions import ConfigurationError, OutOfBoundsError, StructureError
+from ..obs import NULL_OBS
 
 __all__ = ["DEFAULT_FANOUT", "BcTree"]
 
@@ -76,6 +77,12 @@ class BcTree:
             Cube passes its own counter so that the cost of every
             secondary structure is tallied against the primary cube.
     """
+
+    #: Observability wiring (see :mod:`repro.obs`).  Secondary trees
+    #: embedded in a cube keep the disabled default — their cost is
+    #: already tallied on the shared counter — but a standalone B^c tree
+    #: can have a facade assigned to feed the descent-depth histogram.
+    obs = NULL_OBS
 
     def __init__(self, fanout: int = DEFAULT_FANOUT, counter: OpCounter | None = None):
         if fanout < _MIN_FANOUT:
@@ -151,9 +158,11 @@ class BcTree:
         node = self._root
         rank = index
         acc = 0
+        depth = 1
         while isinstance(node, _Internal):
             self.stats.node_visits += 1
             self.stats.touch(node)
+            depth += 1
             child_index = 0
             for count in node.counts:
                 if rank < count:
@@ -168,6 +177,9 @@ class BcTree:
         for position in range(rank + 1):
             acc += node.values[position]
             self.stats.cell_reads += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.descent_depth.labels(structure="bc_tree", op="query").observe(depth)
         return acc
 
     def prefix_sum_many(self, indices: Sequence[int]) -> list:

@@ -195,9 +195,11 @@ class DynamicDataCube(RangeSumMethod):
         node = self._root
         side = self._capacity
         anchor = (0,) * self.dims
+        depth = 0
         while isinstance(node, _Node):
             self.stats.node_visits += 1
             self.stats.touch(node)
+            depth += 1
             half = side // 2
             mask = self._covering_mask(cell, anchor, half)
             anchor = self._child_anchor(anchor, mask, half)
@@ -216,6 +218,9 @@ class DynamicDataCube(RangeSumMethod):
         node[offsets] += delta
         self.stats.cell_writes += 1
         self._total += delta
+        obs = self.obs
+        if obs.enabled:
+            obs.descent_depth.labels(structure=self.name, op="update").observe(depth)
 
     def set(self, cell: Sequence[int] | int, value) -> None:
         cell = geometry.normalize_cell(cell, self.shape)
@@ -258,17 +263,35 @@ class DynamicDataCube(RangeSumMethod):
         whose region intersects the target region contributes its
         subtotal (fully inside) or one cumulative row-sum value
         (partially inside).
+
+        With observability wired, each call opens a ``tree.prefix_sum``
+        span (the leaf level of the engine→shard→method→tree trace) and
+        feeds the descent-depth histogram; disabled, the only cost is
+        one predicate check.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._prefix_walk(cell)[0]
+        with obs.span("tree.prefix_sum", structure=self.name) as span:
+            value, depth = self._prefix_walk(cell)
+            span.set(depth=depth)
+        obs.descent_depth.labels(structure=self.name, op="query").observe(depth)
+        return value
+
+    def _prefix_walk(self, cell: Sequence[int] | int):
+        """One Figure 10 descent; returns ``(value, levels walked)``."""
         cell = geometry.normalize_cell(cell, self.shape)
         node = self._root
         if node is None:
-            return self._zero()
+            return self._zero(), 0
         side = self._capacity
         anchor = (0,) * self.dims
         acc = 0
+        depth = 0
         while isinstance(node, _Node):
             self.stats.node_visits += 1
             self.stats.touch(node)
+            depth += 1
             half = side // 2
             cover = self._covering_mask(cell, anchor, half)
             submask = (cover - 1) & cover
@@ -285,13 +308,13 @@ class DynamicDataCube(RangeSumMethod):
             node = node.children[cover]
             side = half
             if node is None:
-                return self.dtype.type(acc)
+                return self.dtype.type(acc), depth
         offsets = tuple(c - a for c, a in zip(cell, anchor))
         self.stats.touch(node)
         region = tuple(slice(0, o + 1) for o in offsets)
         acc += node[region].sum().item()
         self.stats.cell_reads += geometry.range_cell_count((0,) * self.dims, offsets)
-        return self.dtype.type(acc)
+        return self.dtype.type(acc), depth
 
     def _box_contribution(
         self, node: _Node, mask: int, cover: int, cell: tuple, anchor: tuple, half: int

@@ -66,7 +66,15 @@ class OpCounter:
         return self.cell_reads + self.cell_writes
 
     def snapshot(self) -> "OpCounter":
-        """An independent copy of the current tallies."""
+        """An independent copy of the current tallies.
+
+        The copy is *tallies only*: the ``tracker`` attachment is
+        deliberately dropped (it stays ``None`` on the copy).  A snapshot
+        exists to be compared or merged later — if it kept the tracker, a
+        stray ``touch()`` on the copy would double-report page accesses
+        to the live :class:`~repro.storage.buffer` pool.  The live
+        counter keeps its tracker untouched.
+        """
         return OpCounter(
             self.cell_reads,
             self.cell_writes,
@@ -76,7 +84,13 @@ class OpCounter:
         )
 
     def diff(self, earlier: "OpCounter") -> "OpCounter":
-        """Tallies accumulated since ``earlier`` (a prior snapshot)."""
+        """Tallies accumulated since ``earlier`` (a prior snapshot).
+
+        Like :meth:`snapshot`, the result is a detached tallies-only
+        counter with no ``tracker``; it is safe to hand to reporting
+        code (span attributes, the slow-query log) without leaking the
+        live tracker attachment.
+        """
         return OpCounter(
             self.cell_reads - earlier.cell_reads,
             self.cell_writes - earlier.cell_writes,

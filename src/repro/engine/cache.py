@@ -35,6 +35,13 @@ __all__ = ["EpochLruCache", "MISS"]
 #: Sentinel distinguishing "not cached" from a cached falsy value.
 MISS = object()
 
+#: How many of the oldest entries an eviction probes for a stale victim
+#: before falling back to plain LRU.  Bounding the probe keeps ``put``
+#: O(1) at capacity while still preferring dead entries in the common
+#: case (stale entries cluster at the cold end — nobody re-reads them,
+#: or the read would have discarded them already).
+_STALE_SCAN_LIMIT = 8
+
 
 class EpochLruCache:
     """LRU map from query key to (value, dependent shards, their epochs)."""
@@ -50,6 +57,9 @@ class EpochLruCache:
         self.invalidations = 0
         #: Entries discarded to make room (capacity pressure).
         self.evictions = 0
+        #: Subset of ``evictions`` where the victim was already stale —
+        #: evicting it cost nothing a future lookup could have used.
+        self.stale_evictions = 0
 
     def get(self, key: Hashable, current_epochs: Sequence[int]):
         """The cached value for ``key``, or :data:`MISS`.
@@ -83,6 +93,12 @@ class EpochLruCache:
         value was computed: if a write slipped in between, the stamp is
         already stale and the very next :meth:`get` discards the entry —
         conservative, never incorrect.
+
+        Under capacity pressure the eviction probes the oldest
+        :data:`_STALE_SCAN_LIMIT` entries for one already invalidated by
+        a shard write and discards that in preference to a live entry;
+        only when every probed entry is still valid does plain LRU
+        (oldest first) apply.
         """
         if self.capacity == 0:
             return
@@ -91,8 +107,23 @@ class EpochLruCache:
         self._entries[key] = (value, shards, stamped)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            victim = self._stale_victim(current_epochs)
+            if victim is not None:
+                del self._entries[victim]
+                self.stale_evictions += 1
+            else:
+                self._entries.popitem(last=False)
             self.evictions += 1
+
+    def _stale_victim(self, current_epochs: Sequence[int]) -> Hashable | None:
+        """Oldest already-stale entry within the probe window, if any."""
+        for probed, (key, entry) in enumerate(self._entries.items()):
+            if probed >= _STALE_SCAN_LIMIT:
+                return None
+            _, shards, epochs = entry
+            if any(current_epochs[s] != e for s, e in zip(shards, epochs)):
+                return key
+        return None
 
     def clear(self) -> None:
         """Drop every entry (epoch counters live in the engine, not here)."""

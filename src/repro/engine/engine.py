@@ -40,6 +40,7 @@ from .. import geometry
 from ..counters import OpCounter
 from ..methods.base import RangeSumMethod
 from ..methods.registry import method_class
+from ..obs import NULL_OBS
 from .cache import MISS, EpochLruCache
 from .executor import make_executor
 from .sharding import ShardPlan
@@ -59,6 +60,12 @@ class ShardedEngine(RangeSumMethod):
         cache_size: LRU capacity in entries; 0 disables result caching.
         dtype: value dtype, forwarded to every shard.
         method_kwargs: extra keyword arguments for shard construction.
+        obs: optional :class:`~repro.obs.Observability` facade.  When
+            wired, the engine feeds request/shard latency histograms,
+            cache-outcome counters, epoch/occupancy gauges, per-query
+            span trees (engine→shard→method→tree), and the slow-query
+            log; the facade is propagated to every shard.  Defaults to
+            the shared disabled facade — zero overhead.
     """
 
     name = "engine"
@@ -72,12 +79,14 @@ class ShardedEngine(RangeSumMethod):
         cache_size: int = 1024,
         dtype=np.int64,
         method_kwargs: dict | None = None,
+        obs=None,
     ) -> None:
         super().__init__(shape, dtype=dtype)
         self.plan = ShardPlan(self.shape, shards)
         self.method_name = method
         self.workers = workers
         self._method_kwargs = dict(method_kwargs or {})
+        self.obs = obs if obs is not None else NULL_OBS
         shard_cls = method_class(method)
         self._shards: list[RangeSumMethod] = [
             shard_cls(
@@ -87,10 +96,46 @@ class ShardedEngine(RangeSumMethod):
             )
             for index in range(self.plan.count)
         ]
+        for shard in self._shards:
+            shard.obs = self.obs
         self._executor = make_executor(workers)
         self._lock = threading.RLock()
         self._epochs = [0] * self.plan.count
         self._cache = EpochLruCache(cache_size)
+        self._register_engine_instruments()
+
+    def _register_engine_instruments(self) -> None:
+        """Pre-create the engine's metric families (no-ops when disabled)."""
+        metrics = self.obs.metrics
+        self._obs_request_seconds = metrics.histogram(
+            "repro_engine_request_seconds",
+            "End-to-end engine request latency, per operation.",
+            labels=("op",),
+        )
+        self._obs_shard_seconds = metrics.histogram(
+            "repro_engine_shard_seconds",
+            "Per-shard sub-operation latency.",
+            labels=("shard", "op"),
+        )
+        self._obs_cache_lookups = metrics.counter(
+            "repro_engine_cache_lookups_total",
+            "Result-cache lookups by outcome: hit, miss (absent), or "
+            "stale (present but epoch-invalidated).",
+            labels=("result",),
+        )
+        self._obs_fanout_wait = metrics.histogram(
+            "repro_engine_fanout_wait_seconds",
+            "Wall time a multi-shard read spends in the executor fan-out.",
+        )
+        self._obs_cache_entries = metrics.gauge(
+            "repro_engine_cache_entries",
+            "Live entries in the epoch-validated result cache.",
+        )
+        self._obs_shard_epoch = metrics.gauge(
+            "repro_engine_shard_epoch",
+            "Current write epoch per shard.",
+            labels=("shard",),
+        )
 
     # ------------------------------------------------------------------
     # Construction
@@ -115,6 +160,7 @@ class ShardedEngine(RangeSumMethod):
                 engine._shards[index] = shard_cls.from_array(
                     slab, dtype=engine.dtype, **engine._method_kwargs
                 )
+                engine._shards[index].obs = engine.obs
                 engine._epochs[index] += 1
         return engine
 
@@ -132,11 +178,28 @@ class ShardedEngine(RangeSumMethod):
         if delta == 0:
             return
         index = self.plan.owner(cell)
-        with self._lock:
-            shard = self._shards[index]
-            self.stats.touch(shard)
-            shard.add(self.plan.to_local(index, cell), delta)
-            self._epochs[index] += 1
+        obs = self.obs
+        if not obs.enabled:
+            with self._lock:
+                self._locked_add_one(index, cell, delta)
+            return
+        start = obs.clock.now()
+        with obs.span("engine.add", shard=index):
+            with self._lock:
+                epoch = self._locked_add_one(index, cell, delta)
+        elapsed = obs.clock.now() - start
+        self._obs_request_seconds.labels(op="add").observe(elapsed)
+        self._obs_shard_seconds.labels(shard=str(index), op="add").observe(elapsed)
+        self._obs_shard_epoch.labels(shard=str(index)).set(epoch)
+
+    def _locked_add_one(self, index: int, cell: tuple, delta) -> int:
+        """Apply one routed update; caller holds the lock.  Returns the
+        shard's post-update epoch."""
+        shard = self._shards[index]
+        self.stats.touch(shard)
+        shard.add(self.plan.to_local(index, cell), delta)
+        self._epochs[index] += 1
+        return self._epochs[index]
 
     def add_many(self, updates: Sequence[tuple]) -> None:
         """Apply a write batch: group per shard, one epoch bump per shard.
@@ -157,12 +220,31 @@ class ShardedEngine(RangeSumMethod):
             grouped.setdefault(index, []).append(
                 (self.plan.to_local(index, cell), delta)
             )
-        with self._lock:
-            for index in sorted(grouped):
-                shard = self._shards[index]
-                self.stats.touch(shard)
-                shard.add_many(grouped[index])
-                self._epochs[index] += 1
+        obs = self.obs
+        if not obs.enabled:
+            with self._lock:
+                self._locked_add_groups(grouped)
+            return
+        start = obs.clock.now()
+        with obs.span("engine.add_many", updates=len(combined), shards=len(grouped)):
+            with self._lock:
+                epochs = self._locked_add_groups(grouped)
+        elapsed = obs.clock.now() - start
+        self._obs_request_seconds.labels(op="add_many").observe(elapsed)
+        for index, epoch in epochs.items():
+            self._obs_shard_epoch.labels(shard=str(index)).set(epoch)
+
+    def _locked_add_groups(self, grouped: dict[int, list[tuple]]) -> dict[int, int]:
+        """Apply per-shard update groups; caller holds the lock.  Returns
+        the post-batch epoch of every touched shard."""
+        epochs: dict[int, int] = {}
+        for index in sorted(grouped):
+            shard = self._shards[index]
+            self.stats.touch(shard)
+            shard.add_many(grouped[index])
+            self._epochs[index] += 1
+            epochs[index] = self._epochs[index]
+        return epochs
 
     # ------------------------------------------------------------------
     # Reads
@@ -178,17 +260,48 @@ class ShardedEngine(RangeSumMethod):
 
         The serving loop's read path: a hit is one lock acquisition and
         one LRU probe; a miss skips the batch bookkeeping and goes
-        straight to the per-shard computation.
+        straight to the per-shard computation.  With observability wired
+        the lookup outcome is classified hit / miss / stale (present but
+        epoch-invalidated) and every miss is offered to the slow-query
+        log with its span tree and OpCounter delta.
         """
         low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
         key = (low_cell, high_cell)
-        with self._lock:
-            value = self._cache.get(key, self._epochs)
-            if value is not MISS:
-                self.stats.cache_hits += 1
-                return value
-            self.stats.cache_misses += 1
-            return self._locked_compute_one(key)
+        obs = self.obs
+        if not obs.enabled:
+            with self._lock:
+                value = self._cache.get(key, self._epochs)
+                if value is not MISS:
+                    self.stats.cache_hits += 1
+                    return value
+                self.stats.cache_misses += 1
+                return self._locked_compute_one(key)
+        start = obs.clock.now()
+        outcome = "hit"
+        ops = None
+        with obs.span("engine.range_sum") as span:
+            with self._lock:
+                invalidations = self._cache.invalidations
+                value = self._cache.get(key, self._epochs)
+                if value is not MISS:
+                    self.stats.cache_hits += 1
+                else:
+                    outcome = (
+                        "stale"
+                        if self._cache.invalidations > invalidations
+                        else "miss"
+                    )
+                    self.stats.cache_misses += 1
+                    before = self.aggregate_stats()
+                    value = self._locked_compute_one(key)
+                    ops = self.aggregate_stats().diff(before)
+            span.set(cache=outcome)
+        elapsed = obs.clock.now() - start
+        self._obs_cache_lookups.labels(result=outcome).inc()
+        self._obs_request_seconds.labels(op="range_sum").observe(elapsed)
+        if ops is not None:
+            obs.slow_log.consider(span, ops, elapsed, op="range_sum", cache=outcome)
+        return value
 
     def prefix_sum_many(self, cells: Sequence) -> list:
         """Batch prefix queries as origin-anchored batch range queries."""
@@ -211,25 +324,74 @@ class ShardedEngine(RangeSumMethod):
             return []
         self._use_batch_path(len(queries))
         results: list = [None] * len(queries)
-        with self._lock:
-            missing: dict[tuple, list[int]] = {}
-            for position, key in enumerate(queries):
-                if key in missing:
-                    self.stats.cache_hits += 1
-                    missing[key].append(position)
-                    continue
-                value = self._cache.get(key, self._epochs)
-                if value is not MISS:
-                    self.stats.cache_hits += 1
-                    results[position] = value
-                else:
-                    self.stats.cache_misses += 1
-                    missing[key] = [position]
-            if missing:
-                for key, value in self._locked_compute(list(missing)):
-                    for position in missing[key]:
-                        results[position] = value
+        obs = self.obs
+        if not obs.enabled:
+            with self._lock:
+                self._locked_serve_batch(queries, results, want_ops=False)
+            return results
+        start = obs.clock.now()
+        with obs.span("engine.range_sum_many", queries=len(queries)) as span:
+            with self._lock:
+                hits, misses, stale, ops = self._locked_serve_batch(
+                    queries, results, want_ops=True
+                )
+            span.set(hits=hits, misses=misses, stale=stale)
+        elapsed = obs.clock.now() - start
+        self._obs_request_seconds.labels(op="range_sum_many").observe(elapsed)
+        if hits:
+            self._obs_cache_lookups.labels(result="hit").inc(hits)
+        if misses - stale:
+            self._obs_cache_lookups.labels(result="miss").inc(misses - stale)
+        if stale:
+            self._obs_cache_lookups.labels(result="stale").inc(stale)
+        if ops is not None:
+            obs.slow_log.consider(
+                span,
+                ops,
+                elapsed,
+                op="range_sum_many",
+                queries=len(queries),
+                cache_hits=hits,
+            )
         return results
+
+    def _locked_serve_batch(
+        self, queries: list[tuple], results: list, want_ops: bool
+    ) -> tuple[int, int, int, OpCounter | None]:
+        """Serve one query batch; caller holds the lock.
+
+        Fills ``results`` in place and returns ``(hits, distinct misses,
+        stale lookups, ops)`` where ``ops`` is the OpCounter delta of the
+        miss computation (``None`` when ``want_ops`` is false or nothing
+        missed).
+        """
+        missing: dict[tuple, list[int]] = {}
+        hits = 0
+        invalidations = self._cache.invalidations
+        for position, key in enumerate(queries):
+            if key in missing:
+                self.stats.cache_hits += 1
+                hits += 1
+                missing[key].append(position)
+                continue
+            value = self._cache.get(key, self._epochs)
+            if value is not MISS:
+                self.stats.cache_hits += 1
+                hits += 1
+                results[position] = value
+            else:
+                self.stats.cache_misses += 1
+                missing[key] = [position]
+        stale = self._cache.invalidations - invalidations
+        ops = None
+        if missing:
+            before = self.aggregate_stats() if want_ops else None
+            for key, value in self._locked_compute(list(missing)):
+                for position in missing[key]:
+                    results[position] = value
+            if want_ops:
+                ops = self.aggregate_stats().diff(before)
+        return hits, len(missing), stale, ops
 
     def _locked_compute_one(self, key: tuple):
         """Answer one missing range; caller holds the lock.
@@ -242,15 +404,26 @@ class ShardedEngine(RangeSumMethod):
         if len(parts) > 1 and self._executor.workers > 1:
             return self._locked_compute([key])[0][1]
         epochs = tuple(self._epochs)
+        obs = self.obs
         total = self._zero()
         dependencies = []
         for index, local_low, local_high in parts:
             shard = self._shards[index]
             self.stats.touch(shard)
-            total = total + shard.range_sum(local_low, local_high)
+            if not obs.enabled:
+                total = total + shard.range_sum(local_low, local_high)
+            else:
+                shard_start = obs.clock.now()
+                with obs.span("shard.range_sum", shard=index):
+                    total = total + shard.range_sum(local_low, local_high)
+                self._obs_shard_seconds.labels(
+                    shard=str(index), op="range_sum"
+                ).observe(obs.clock.now() - shard_start)
             dependencies.append(index)
         value = self.dtype.type(total)
         self._cache.put(key, value, dependencies, epochs)
+        if obs.enabled:
+            self._obs_cache_entries.set(len(self._cache))
         return value
 
     def _locked_compute(self, keys: list[tuple]) -> list[tuple]:
@@ -273,34 +446,65 @@ class ShardedEngine(RangeSumMethod):
                 touched.append(shard_index)
             dependencies.append(touched)
 
+        obs = self.obs
+        # Per-shard spans run on executor threads whose span stacks are
+        # empty, so the request span is captured here and attached as the
+        # explicit parent (a cross-thread child).
+        parent = obs.tracer.current() if obs.enabled else None
+
+        def compute(shard, sub_queries):
+            if len(sub_queries) == 1:
+                _, local_low, local_high = sub_queries[0]
+                return [shard.range_sum(local_low, local_high)]
+            return shard.range_sum_many(
+                [
+                    (local_low, local_high)
+                    for _, local_low, local_high in sub_queries
+                ]
+            )
+
         def run_shard(item: tuple[int, list[tuple[int, tuple, tuple]]]):
             shard_index, sub_queries = item
             shard = self._shards[shard_index]
             self.stats.touch(shard)
-            if len(sub_queries) == 1:
-                _, local_low, local_high = sub_queries[0]
-                values = [shard.range_sum(local_low, local_high)]
-            else:
-                values = shard.range_sum_many(
-                    [
-                        (local_low, local_high)
-                        for _, local_low, local_high in sub_queries
-                    ]
+            if not obs.enabled:
+                return sub_queries, compute(shard, sub_queries)
+            shard_start = obs.clock.now()
+            before = shard.stats.snapshot()
+            with obs.tracer.span(
+                "shard.range_sum",
+                parent=parent,
+                shard=shard_index,
+                queries=len(sub_queries),
+            ) as shard_span:
+                values = compute(shard, sub_queries)
+                delta = shard.stats.diff(before)
+                shard_span.set(
+                    node_visits=delta.node_visits,
+                    cell_ops=delta.total_cell_ops,
                 )
+            self._obs_shard_seconds.labels(
+                shard=str(shard_index), op="range_sum"
+            ).observe(obs.clock.now() - shard_start)
             return sub_queries, values
 
         totals = [self._zero() for _ in keys]
+        fanout_start = obs.clock.now() if obs.enabled else 0.0
         for sub_queries, values in self._executor.map(
             run_shard, sorted(per_shard.items())
         ):
             for (key_index, _, _), value in zip(sub_queries, values):
                 totals[key_index] = totals[key_index] + value
+        if obs.enabled:
+            self._obs_fanout_wait.observe(obs.clock.now() - fanout_start)
 
         out: list[tuple] = []
         for key_index, key in enumerate(keys):
             value = self.dtype.type(totals[key_index])
             self._cache.put(key, value, dependencies[key_index], epochs)
             out.append((key, value))
+        if obs.enabled:
+            self._obs_cache_entries.set(len(self._cache))
         return out
 
     # ------------------------------------------------------------------
@@ -329,6 +533,7 @@ class ShardedEngine(RangeSumMethod):
                 "hit_rate": self.stats.cache_hit_rate,
                 "invalidations": self._cache.invalidations,
                 "evictions": self._cache.evictions,
+                "stale_evictions": self._cache.stale_evictions,
             }
 
     def clear_cache(self) -> None:

@@ -36,6 +36,7 @@ import numpy as np
 from .. import geometry
 from ..counters import OpCounter
 from ..geometry import Cell, Shape
+from ..obs import NULL_OBS
 
 __all__ = ["RangeSumMethod", "masked_path_gather"]
 
@@ -93,6 +94,12 @@ class RangeSumMethod(ABC):
     #: method declares the batch size at which its batch path starts to
     #: win.  1 means "always batch".
     batch_crossover: ClassVar[int] = 1
+
+    #: Observability wiring (see :mod:`repro.obs`).  The class-level
+    #: default is the shared disabled facade, so an unwired structure
+    #: pays one predicate check per instrumented operation; callers (the
+    #: serving engine, the CLI) assign a live facade per instance.
+    obs = NULL_OBS
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         self.shape: Shape = geometry.normalize_shape(shape)
@@ -192,7 +199,36 @@ class RangeSumMethod(ABC):
         Uses the inclusion-exclusion identity of Figure 4: the sum of the
         region is an alternating combination of at most ``2^d`` prefix
         sums anchored at ``A[0,...,0]``.
+
+        This is the library's method-dispatch point for range queries,
+        so it is where per-method observability lives: with a live
+        :mod:`repro.obs` facade wired in, each call opens a
+        ``method.range_sum`` span and feeds the per-method latency and
+        op-count histograms.  Disabled (the default), the cost is one
+        predicate check.
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._range_sum_corners(low, high)
+        before = self.stats.snapshot()
+        start = obs.clock.now()
+        with obs.span("method.range_sum", method=self.name) as span:
+            result = self._range_sum_corners(low, high)
+            delta = self.stats.diff(before)
+            span.set(
+                node_visits=delta.node_visits,
+                cell_reads=delta.cell_reads,
+                cell_writes=delta.cell_writes,
+            )
+        elapsed = obs.clock.now() - start
+        obs.method_query_seconds.labels(method=self.name).observe(elapsed)
+        obs.method_query_ops.labels(method=self.name).observe(delta.total_cell_ops)
+        return result
+
+    def _range_sum_corners(
+        self, low: Sequence[int] | int, high: Sequence[int] | int
+    ):
+        """The uninstrumented Figure 4 corner combination."""
         low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
         result = self._zero()
         for sign, corner in geometry.inclusion_exclusion_corners(low_cell, high_cell):
@@ -210,12 +246,20 @@ class RangeSumMethod(ABC):
         """Decide batch vs scalar for a ``count``-query batch.
 
         Records the decision in :attr:`last_batch_path` so benchmark rows
-        can report which path actually ran.  Overrides call this first
-        and fall back to the scalar loop (with an explanatory
-        ``noqa: REP006``) when it returns False.
+        can report which path actually ran, and — with observability
+        wired — counts it in ``repro_method_batch_path_total`` so a
+        serving run shows live how often batches fall below the
+        crossover.  Overrides call this first and fall back to the
+        scalar loop (with an explanatory ``noqa: REP006``) when it
+        returns False.
         """
         use_batch = count >= type(self).batch_crossover
         self.last_batch_path = "batch" if use_batch else "scalar"
+        obs = self.obs
+        if obs.enabled:
+            obs.batch_path_total.labels(
+                method=self.name, path=self.last_batch_path
+            ).inc()
         return use_batch
 
     def prefix_sum_many(self, cells: Sequence) -> list:

@@ -1,0 +1,470 @@
+"""Metrics registry: counters, gauges, and log-scale latency histograms.
+
+The registry is the aggregation side of the observability layer: spans
+answer "what did *this* query do", metrics answer "what does the
+*distribution* look like" — the p99 of a shard's query latency, the hit
+rate of the result cache, how often the batch dispatcher fell back to
+the scalar path.  Three instrument kinds cover the serving stack:
+
+* :class:`Counter` — monotonically increasing event tallies;
+* :class:`Gauge` — last-write-wins level readings (cache occupancy,
+  shard epochs);
+* :class:`Histogram` — fixed-bucket distributions.  Latency histograms
+  use :data:`DEFAULT_LATENCY_BUCKETS`, a log-scale ladder from 1 µs to
+  ~4 s, so one bucket layout serves both a cache hit and a cold
+  multi-shard scan; quantiles (p50/p95/p99) are estimated by linear
+  interpolation inside the winning bucket.
+
+Every instrument is a *family* keyed by label values (``.labels(...)``),
+mirroring the Prometheus data model.  One internal export walk feeds
+both renderers, so :meth:`MetricsRegistry.render_prometheus` (text
+exposition) and :meth:`MetricsRegistry.to_json` (machine-readable
+export) always agree on names, labels, and values — one schema, two
+encodings.
+
+When observability is disabled the registry is replaced by
+:class:`NullRegistry`, whose instruments are shared do-nothing
+singletons: the instrumented hot paths keep their call shape and pay
+one predicate check.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+]
+
+#: Log-scale latency ladder (seconds): 1 µs · 4^i, i = 0..11 (1 µs → ~4.2 s).
+DEFAULT_LATENCY_BUCKETS = tuple(1e-6 * 4**i for i in range(12))
+
+#: Log-scale ladder for operation counts: powers of two, 1 → 32768.
+DEFAULT_COUNT_BUCKETS = tuple(float(2**i) for i in range(16))
+
+#: Descent-depth ladder: every level up to 12, then coarser to 32.
+DEFAULT_DEPTH_BUCKETS = tuple(
+    float(b) for b in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 16, 20, 24, 32)
+)
+
+_NAME_PATTERN = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_PATTERN = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _format_number(value: float) -> str:
+    """Compact, round-trippable number text shared by both encoders."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".9g")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Family:
+    """Shared machinery: a named instrument with per-label-set children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]) -> None:
+        if not _NAME_PATTERN.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_PATTERN.match(label):
+                raise ConfigurationError(
+                    f"invalid label name {label!r} for metric {name!r}"
+                )
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels):
+        """The child instrument for one concrete label-value assignment."""
+        if set(labels) != set(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def _default_child(self):
+        """The label-less child (only valid for label-less families)."""
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name!r} requires labels {self.label_names}"
+            )
+        return self.labels()
+
+    def samples(self) -> Iterable[tuple[dict[str, str], object]]:
+        """Yield ``(labels dict, child)`` in insertion order."""
+        for key, child in self._children.items():
+            yield dict(zip(self.label_names, key)), child
+
+
+class Counter(_Family):
+    """Monotonically increasing tally (family of :class:`_CounterChild`)."""
+
+    kind = "counter"
+
+    def _make_child(self) -> "_CounterChild":
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child."""
+        self._default_child().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up (inc by {amount}); use a Gauge"
+            )
+        self.value += amount
+
+
+class Gauge(_Family):
+    """Last-write-wins level reading (family of :class:`_GaugeChild`)."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> "_GaugeChild":
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        """Set the label-less child."""
+        self._default_child().set(value)
+
+    @property
+    def value(self) -> float:
+        return self._default_child().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution (family of :class:`_HistogramChild`).
+
+    Args:
+        buckets: ascending finite upper bounds; an implicit ``+Inf``
+            bucket tops the ladder.  Defaults to the log-scale latency
+            ladder :data:`DEFAULT_LATENCY_BUCKETS`.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(
+            float(b) for b in (buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        )
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be non-empty and "
+                f"strictly ascending, got {bounds}"
+            )
+        self.buckets = bounds
+
+    def _make_child(self) -> "_HistogramChild":
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-less child."""
+        self._default_child().observe(value)
+
+    def quantile(self, q: float) -> float:
+        return self._default_child().quantile(q)
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot = +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (amortised O(log buckets))."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bucket, ``+Inf`` last (== ``count``)."""
+        out = []
+        running = 0
+        for bucket_count in self.counts:
+            running += bucket_count
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by intra-bucket interpolation.
+
+        Returns 0.0 for an empty histogram.  Observations landing in the
+        ``+Inf`` bucket clamp to the highest finite bound — histograms
+        cannot see past their ladder, which is why the latency ladder
+        tops out well above any sane query time.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= target and bucket_count:
+                if index >= len(self.bounds):
+                    return self.bounds[-1]
+                upper = self.bounds[index]
+                lower = self.bounds[index - 1] if index else 0.0
+                fraction = (target - (running - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        return self.bounds[-1]
+
+
+class _NullInstrument:
+    """Do-nothing instrument: every method is a no-op returning zero.
+
+    One shared instance stands in for every counter, gauge, and
+    histogram when observability is disabled, so instrumented code never
+    branches on the instrument kind.
+    """
+
+    __slots__ = ()
+
+    def labels(self, **labels) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name-keyed collection of metric families with dual exposition."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels, **kwargs):
+        existing = self._families.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as a "
+                    f"{existing.kind} with labels {existing.label_names}"
+                )
+            return existing
+        family = cls(name, help, labels, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()) -> Counter:
+        """Get or create a counter family (idempotent per name)."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge family (idempotent per name)."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram family (idempotent per name)."""
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def collect(self) -> list[_Family]:
+        """Every registered family, sorted by name."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # Exposition — one export walk, two encodings
+    # ------------------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.collect():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    cumulative = child.cumulative()
+                    for bound, running in zip(child.bounds, cumulative):
+                        bucket_labels = dict(labels, le=_format_number(bound))
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_render_labels(bucket_labels)} {running}"
+                        )
+                    inf_labels = dict(labels, le="+Inf")
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_render_labels(inf_labels)} {child.count}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_format_number(child.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} "
+                        f"{child.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} "
+                        f"{_format_number(child.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """JSON export carrying exactly the exposition's values.
+
+        The document mirrors the text format sample for sample —
+        histogram buckets are cumulative and keyed by the same ``le``
+        strings — so a consumer can validate one against the other.
+        """
+        metrics = []
+        for family in self.collect():
+            samples = []
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    cumulative = child.cumulative()
+                    buckets = [
+                        {"le": _format_number(bound), "count": running}
+                        for bound, running in zip(child.bounds, cumulative)
+                    ]
+                    buckets.append({"le": "+Inf", "count": child.count})
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": buckets,
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            metrics.append(
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
+            )
+        return {"metrics": metrics}
+
+
+class NullRegistry:
+    """Disabled-mode registry: hands out the shared no-op instrument."""
+
+    def counter(self, name: str, help: str, labels: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str, labels: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ):
+        return NULL_INSTRUMENT
+
+    def collect(self) -> list:
+        return []
+
+    def render_prometheus(self) -> str:
+        return ""
+
+    def to_json(self) -> dict:
+        return {"metrics": []}

@@ -1,0 +1,315 @@
+"""Span-based tracing: one query becomes one engine→shard→method→tree tree.
+
+A :class:`Span` is a named, timed region with arbitrary key/value
+attributes (shard id, cache outcome, node-visit deltas).  Spans nest:
+each thread carries a stack of open spans, a new span becomes a child of
+the stack top, and a span opened with an explicit ``parent=`` attaches
+across threads — which is how the engine's executor fan-out keeps
+per-shard spans under the request's root span even when they run on
+pool threads.
+
+Finished *root* spans land in a bounded ring buffer (oldest evicted
+first), so a long serving run keeps a recent window of complete traces
+at O(capacity) memory.  Head-based sampling (``sample_every``) decides
+at the root whether a trace is recorded at all; an unsampled root pushes
+a null marker onto the stack so its entire subtree is suppressed for the
+price of one list append.
+
+The tracer never reads the wall clock itself — timestamps come from the
+injected clock (see :mod:`repro.obs.clock` and lint rule REP008).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterator, Sequence
+
+from ..exceptions import ConfigurationError
+from .clock import MonotonicClock
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "render_span_tree",
+    "sorted_by_duration",
+]
+
+#: Sentinel distinguishing "no parent passed" from "parent is None".
+_UNSET = object()
+
+
+class Span:
+    """One named, timed, attributed region of a trace."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attributes: dict[str, object] = {}
+        self.children: list["Span"] = []
+
+    def set(self, **attributes) -> None:
+        """Attach attributes (merging over earlier values)."""
+        self.attributes.update(attributes)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and finish (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, duration={self.duration:.6f}, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullSpan:
+    """Do-nothing span: the subtree of an unsampled or disabled trace."""
+
+    __slots__ = ()
+
+    name = "(unsampled)"
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    attributes: dict = {}
+    children: tuple = ()
+
+    def set(self, **attributes) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager for one live span (push on enter, pop on exit)."""
+
+    __slots__ = ("_tracer", "_span", "_is_root")
+
+    def __init__(self, tracer: "Tracer", span: Span, is_root: bool) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._is_root = is_root
+
+    def __enter__(self) -> Span:
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        self._span.end = self._tracer.clock.now()
+        self._tracer._stack().pop()
+        if self._is_root:
+            self._tracer._record(self._span)
+
+
+class _NullHandle:
+    """Context manager for a suppressed span.
+
+    Pushes :data:`NULL_SPAN` so descendants see a (null) parent and
+    suppress themselves instead of becoming orphan roots.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> _NullSpan:
+        self._tracer._stack().append(NULL_SPAN)
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer._stack().pop()
+
+
+class Tracer:
+    """Factory and ring buffer for spans.
+
+    Args:
+        clock: injected time source (defaults to a fresh monotonic
+            clock; the :class:`~repro.obs.Observability` facade passes
+            its own so every component shares one timeline).
+        capacity: finished root spans retained (oldest evicted first).
+        sample_every: head sampling — record every Nth root trace.  1
+            records everything; N > 1 bounds tracing overhead on hot
+            paths while metrics stay exact.
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        capacity: int = 256,
+        sample_every: int = 1,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"tracer capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ConfigurationError(
+                f"sample_every must be >= 1, got {sample_every}"
+            )
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._sample_lock = threading.Lock()
+        self._roots_seen = 0
+        self._null_handle = _NullHandle(self)
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, parent=_UNSET, **attributes):
+        """Open a span as a context manager yielding the :class:`Span`.
+
+        Without ``parent=`` the span nests under the calling thread's
+        innermost open span (or starts a new sampled root).  Pass the
+        parent explicitly to attach across threads — e.g. per-shard
+        sub-query spans created on executor threads.
+        """
+        if parent is _UNSET:
+            stack = self._stack()
+            parent = stack[-1] if stack else None
+        if parent is NULL_SPAN or isinstance(parent, _NullSpan):
+            return self._null_handle
+        if parent is None and not self._sample_root():
+            return self._null_handle
+        span = Span(name, self.clock.now())
+        if attributes:
+            span.attributes.update(attributes)
+        if parent is not None:
+            parent.children.append(span)
+        return _SpanHandle(self, span, is_root=parent is None)
+
+    def current(self) -> Span | _NullSpan | None:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _sample_root(self) -> bool:
+        if self.sample_every == 1:
+            return True
+        with self._sample_lock:
+            self._roots_seen += 1
+            return self._roots_seen % self.sample_every == 1
+
+    def _record(self, span: Span) -> None:
+        self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def finished_roots(self) -> list[Span]:
+        """Retained finished root spans, oldest first."""
+        return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop every retained trace (open spans are unaffected)."""
+        self._finished.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer(capacity={self.capacity}, "
+            f"sample_every={self.sample_every}, "
+            f"retained={len(self._finished)})"
+        )
+
+
+class NullTracer:
+    """Disabled-mode tracer: every span is the shared null span."""
+
+    def __init__(self) -> None:
+        self._handle = _StatelessNullHandle()
+
+    def span(self, name: str, parent=_UNSET, **attributes):
+        return self._handle
+
+    def current(self):
+        return None
+
+    def finished_roots(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+class _StatelessNullHandle:
+    """Null span context that does not even touch a thread-local stack."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+def _format_attributes(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    inner = ", ".join(f"{key}={value}" for key, value in attributes.items())
+    return " {" + inner + "}"
+
+
+def render_span_tree(span: Span, indent: int = 0) -> str:
+    """Human-readable one-line-per-span rendering of a finished trace.
+
+    ::
+
+        engine.range_sum 184.2us {cache=miss}
+          shard.range_sum 90.1us {shard=0, node_visits=14}
+            method.range_sum 88.0us {method=ddc}
+              tree.prefix_sum 21.5us {structure=ddc, depth=7}
+    """
+    lines: list[str] = []
+    _render_into(span, indent, lines)
+    return "\n".join(lines)
+
+
+def _render_into(span: Span, indent: int, lines: list[str]) -> None:
+    micros = span.duration * 1e6
+    if micros >= 1e6:
+        timing = f"{micros / 1e6:.3f}s"
+    elif micros >= 1e3:
+        timing = f"{micros / 1e3:.1f}ms"
+    else:
+        timing = f"{micros:.1f}us"
+    lines.append(
+        f"{'  ' * indent}{span.name} {timing}"
+        f"{_format_attributes(span.attributes)}"
+    )
+    for child in span.children:
+        _render_into(child, indent + 1, lines)
+
+
+def sorted_by_duration(spans: Sequence[Span]) -> list[Span]:
+    """Spans sorted slowest-first (helper for "show me the N slowest")."""
+    return sorted(spans, key=lambda span: span.duration, reverse=True)

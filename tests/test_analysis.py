@@ -396,6 +396,60 @@ class TestLintRules:
         )
         assert self._findings(source) == []
 
+    def test_rep008_direct_clock_call_flagged_in_hot_paths(self):
+        source = (
+            "__all__ = []\n"
+            "import time\n"
+            "def f():\n"
+            "    return time.perf_counter()\n"
+        )
+        for module_path in (
+            "src/repro/core/ddc.py",
+            "src/repro/methods/base.py",
+            "src/repro/engine/engine.py",
+        ):
+            findings = lint_source(source, module_path)
+            assert "REP008" in {f.rule for f in findings}, module_path
+
+    def test_rep008_covers_from_imports_and_variants(self):
+        source = (
+            "__all__ = []\n"
+            "from time import monotonic, perf_counter_ns\n"
+            "def f():\n"
+            "    return monotonic() + perf_counter_ns()\n"
+        )
+        findings = lint_source(source, "src/repro/core/ddc.py")
+        assert [f.rule for f in findings] == ["REP008", "REP008"]
+
+    def test_rep008_allows_clock_calls_outside_hot_paths(self):
+        source = (
+            "__all__ = []\n"
+            "import time\n"
+            "def now():\n"
+            "    return time.perf_counter()\n"
+        )
+        for module_path in ("src/repro/obs/clock.py", "src/repro/cli.py"):
+            assert lint_source(source, module_path) == []
+
+    def test_rep008_allows_injected_clock_in_hot_paths(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def serve(self):\n"
+            "        with self._lock:\n"
+            "            return self.obs.clock.now()\n"
+        )
+        assert lint_source(source, "src/repro/engine/engine.py") == []
+
+    def test_rep008_noqa_suppression(self):
+        source = (
+            "__all__ = []\n"
+            "import time\n"
+            "def f():\n"
+            "    return time.monotonic()  # noqa: REP008\n"
+        )
+        assert lint_source(source, "src/repro/core/ddc.py") == []
+
     def test_syntax_error_reported(self):
         assert self._rules("def f(:\n") == {"REP000"}
 

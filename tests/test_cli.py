@@ -138,6 +138,40 @@ class TestArtifacts:
         assert "d=2" in capsys.readouterr().out
 
 
+class TestObservabilityCommands:
+    ARGS = ["--shape", "32", "32", "--shards", "2", "--events", "60", "--seed", "3"]
+
+    def test_serve_stats_reports_latency_quantiles(self, capsys):
+        assert main(["serve-stats", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "p50us" in out and "p95us" in out and "p99us" in out
+        assert "stale)" in out  # cache line includes stale evictions
+
+    def test_metrics_prometheus_exposition(self, capsys):
+        assert main(["metrics", *self.ARGS, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_engine_request_seconds histogram" in out
+        assert 'repro_engine_shard_seconds_bucket{shard=' in out
+        assert "repro_engine_cache_lookups_total{" in out
+
+    def test_metrics_json_export(self, capsys):
+        import json
+
+        assert main(["metrics", *self.ARGS, "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        names = {family["name"] for family in document["metrics"]}
+        assert "repro_engine_shard_seconds" in names
+        assert "repro_tree_descent_depth" in names
+
+    def test_trace_prints_nested_span_trees(self, capsys):
+        assert main(["trace", *self.ARGS, "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 slowest:" in out
+        assert "engine." in out
+        assert "  shard.range_sum" in out  # nested one level under the root
+        assert "slow-query log:" in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

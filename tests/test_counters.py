@@ -44,6 +44,42 @@ class TestOpCounter:
             5,
         )
 
+    def test_snapshot_and_diff_drop_the_tracker(self):
+        # Contract (see OpCounter.snapshot/diff): copies are tallies
+        # only.  A snapshot that kept the tracker would double-report
+        # page accesses to the buffer pool if reporting code ever called
+        # touch() on it.
+        class Recorder:
+            def __init__(self):
+                self.seen = []
+
+            def access(self, obj):
+                self.seen.append(obj)
+
+        tracker = Recorder()
+        counter = OpCounter(5, 2, 3)
+        counter.tracker = tracker
+
+        snap = counter.snapshot()
+        assert snap.tracker is None
+        assert (snap.cell_reads, snap.cell_writes, snap.node_visits) == (5, 2, 3)
+
+        delta = counter.diff(OpCounter(1, 1, 1))
+        assert delta.tracker is None
+        assert (delta.cell_reads, delta.cell_writes, delta.node_visits) == (
+            4,
+            1,
+            2,
+        )
+
+        # A stray touch() on either copy must be a silent no-op...
+        snap.touch("node")
+        delta.touch("node")
+        assert tracker.seen == []
+        # ...while the live counter still reports.
+        counter.touch("node")
+        assert tracker.seen == ["node"]
+
 
 class TestMeasurementSession:
     def test_record_and_filter(self):

@@ -119,6 +119,57 @@ class TestEpochLruCache:
         assert cache.get("a", [0]) is MISS
         assert len(cache) == 0
 
+    def test_get_refreshes_recency_order(self):
+        cache = EpochLruCache(3)
+        epochs = [0]
+        for key, value in (("a", 1), ("b", 2), ("c", 3)):
+            cache.put(key, value, (0,), epochs)
+        # touch the oldest two so "c" becomes the LRU victim
+        assert cache.get("a", epochs) == 1
+        assert cache.get("b", epochs) == 2
+        cache.put("d", 4, (0,), epochs)
+        assert cache.get("c", epochs) is MISS
+        assert cache.get("a", epochs) == 1
+        assert cache.get("b", epochs) == 2
+        assert cache.get("d", epochs) == 4
+
+    def test_contains_does_not_perturb_recency(self):
+        cache = EpochLruCache(2)
+        epochs = [0]
+        cache.put("a", 1, (0,), epochs)
+        cache.put("b", 2, (0,), epochs)
+        # membership probes must not refresh "a" — it stays the LRU victim
+        assert "a" in cache
+        assert "a" in cache
+        cache.put("c", 3, (0,), epochs)
+        assert cache.get("a", epochs) is MISS
+        assert cache.get("b", epochs) == 2
+
+    def test_stale_entries_evicted_before_live_ones(self):
+        cache = EpochLruCache(2)
+        epochs = [0, 0]
+        cache.put("live", 1, (0,), epochs)     # depends on shard 0
+        cache.put("stale", 2, (1,), epochs)    # depends on shard 1
+        epochs[1] += 1                         # "stale" is now invalid
+        # at capacity: the eviction scan must pick the stale entry even
+        # though "live" is older in LRU order
+        cache.put("new", 3, (0,), epochs)
+        assert cache.get("live", epochs) == 1
+        assert cache.get("new", epochs) == 3
+        assert cache.get("stale", epochs) is MISS
+        assert cache.stale_evictions == 1
+        assert cache.evictions == 1
+
+    def test_plain_lru_eviction_when_nothing_is_stale(self):
+        cache = EpochLruCache(2)
+        epochs = [0]
+        cache.put("a", 1, (0,), epochs)
+        cache.put("b", 2, (0,), epochs)
+        cache.put("c", 3, (0,), epochs)
+        assert cache.get("a", epochs) is MISS
+        assert cache.stale_evictions == 0
+        assert cache.evictions == 1
+
 
 class TestExecutors:
     def test_make_executor_selects(self):
@@ -248,6 +299,7 @@ class TestEngineCache:
             info = engine.cache_info()
             assert info["hits"] == 1 and info["misses"] == 2
             assert info["size"] == 2
+            assert info["stale_evictions"] == 0
 
     def test_cache_disabled_still_correct(self):
         data = clustered(self.SHAPE, seed=24)

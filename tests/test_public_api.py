@@ -59,6 +59,20 @@ def test_top_level_exports():
         ("repro.convert", ["convert", "rebuild"]),
         ("repro.advisor", ["WorkloadProfile", "recommend"]),
         ("repro.workloads", ["dense_uniform", "clustered", "growth_stream", "random_ranges"]),
+        (
+            "repro.obs",
+            [
+                "Observability",
+                "NULL_OBS",
+                "MetricsRegistry",
+                "Tracer",
+                "SlowQueryLog",
+                "ManualClock",
+                "render_span_tree",
+                "sorted_by_duration",
+            ],
+        ),
+        ("repro.artifacts", ["make_document", "load_document", "write_document", "upsert_row"]),
         ("repro.cli", ["main", "build_parser"]),
     ],
 )
@@ -69,7 +83,7 @@ def test_documented_module_surface(module, names):
 
 
 def test_all_lists_are_importable():
-    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads"):
+    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads", "repro.obs", "repro.artifacts"):
         imported = importlib.import_module(module)
         exported = getattr(imported, "__all__", [])
         for name in exported:
