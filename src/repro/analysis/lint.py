@@ -34,23 +34,28 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   fallback and are exempt; adaptive crossovers that deliberately take
   the scalar path for small batches carry an explanatory ``noqa``.
 * **REP007 unguarded-engine-state** — inside ``src/repro/engine/``, the
-  shared mutable serving state (the ``_epochs`` list and the ``_cache``)
-  must only be mutated — assigned, aug-assigned, deleted, or driven
-  through a method call like ``.put()`` / ``.get()`` / ``.clear()`` —
+  shared mutable serving state (the ``_epochs`` list, the ``_cache``,
+  and the ``_breakers`` circuit-breaker list) must only be mutated —
+  assigned, aug-assigned, deleted, or driven through a method call like
+  ``.put()`` / ``.get()`` / ``.clear()`` / ``.record_failure()``,
+  including through a subscript (``self._breakers[i].allow(...)``) —
   lexically inside a ``with ..._lock:`` block, or inside a helper whose
   name starts with ``_locked_`` (documented as called with the lock
   held), or in ``__init__`` (construction precedes sharing).  An
   unguarded mutation is a data race with the executor's reader threads
-  and can serve a stale cached sum; plain attribute reads
-  (``.capacity``, iteration) are not flagged.
+  and can serve a stale cached sum or a torn breaker state; plain
+  attribute reads (``.capacity``, iteration) are not flagged.
 * **REP008 direct-clock** — hot-path modules (``src/repro/core/``,
   ``src/repro/methods/``, ``src/repro/engine/``) must not call
   ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` (or their
-  ``_ns`` variants) directly; all timestamps flow through the injected
-  observability clock (:mod:`repro.obs.clock`).  A direct clock read
-  bypasses the :class:`~repro.obs.clock.ManualClock` the tests inject
-  and silently re-introduces timing cost on paths that are supposed to
-  be free when observability is disabled.
+  ``_ns`` variants) or ``time.sleep`` directly; all timestamps and
+  sleeps flow through the injected observability clock
+  (:mod:`repro.obs.clock`).  A direct clock read bypasses the
+  :class:`~repro.obs.clock.ManualClock` the tests inject and silently
+  re-introduces timing cost on paths that are supposed to be free when
+  observability is disabled; a direct sleep (retry backoff, injected
+  latency) would turn every deterministic virtual-time chaos test into
+  a real-time one.
 """
 
 from __future__ import annotations
@@ -379,7 +384,7 @@ def _check_batch_loops(
 # -- REP007: engine shared state only mutates under the lock ------------
 
 #: Attributes holding the engine's shared mutable serving state.
-_GUARDED_ATTRS = frozenset({"_epochs", "_cache"})
+_GUARDED_ATTRS = frozenset({"_epochs", "_cache", "_breakers"})
 
 #: Function names allowed to touch guarded state without a lexical lock:
 #: construction (nothing is shared yet) and helpers whose naming contract
@@ -428,7 +433,12 @@ def _iter_state_mutations(node: ast.AST) -> Iterable[tuple[int, str]]:
                 yield (node.lineno, f"assignment to {attr}")
                 break
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-        attr = _guarded_attr(node.func.value)
+        receiver = node.func.value
+        # See through one subscript so an element-wise drive like
+        # ``self._breakers[i].record_failure(...)`` is still guarded.
+        if isinstance(receiver, ast.Subscript):
+            receiver = receiver.value
+        attr = _guarded_attr(receiver)
         if attr is not None:
             yield (node.lineno, f"{attr}.{node.func.attr}() call")
 
@@ -476,6 +486,7 @@ _CLOCK_FUNCTIONS = frozenset(
         "monotonic_ns",
         "process_time",
         "process_time_ns",
+        "sleep",
     }
 )
 

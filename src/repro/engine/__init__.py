@@ -5,11 +5,29 @@ along its leading dimension into K independent shards, route updates to
 owners, decompose queries into per-shard sub-ranges fanned out over an
 executor, and serve repeat reads from an LRU cache whose entries are
 validated against per-shard write epochs.  See ``docs/engine.md``.
+
+Fault tolerance (``docs/resilience.md``): attach a
+:class:`~repro.engine.resilience.ResiliencePolicy` to run every read
+fan-out with deadline budgets, retry-with-backoff, per-shard circuit
+breakers, and graceful degradation; test it all deterministically with
+:class:`~repro.engine.resilience.FaultInjector`.
 """
 
 from .cache import MISS, EpochLruCache
 from .engine import ShardedEngine
 from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    Deadline,
+    FaultInjector,
+    FaultScript,
+    PartialResult,
+    ResiliencePolicy,
+    is_partial,
+)
 from .sharding import ShardPlan, ShardSpan
 
 __all__ = [
@@ -21,4 +39,14 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "make_executor",
+    "ResiliencePolicy",
+    "Deadline",
+    "CircuitBreaker",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "PartialResult",
+    "is_partial",
+    "FaultInjector",
+    "FaultScript",
 ]

@@ -31,6 +31,7 @@ rule REP007 enforces mechanically.
 
 from __future__ import annotations
 
+import random
 import threading
 from typing import Sequence
 
@@ -38,11 +39,17 @@ import numpy as np
 
 from .. import geometry
 from ..counters import OpCounter
+from ..exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ShardFailedError,
+)
 from ..methods.base import RangeSumMethod
 from ..methods.registry import method_class
 from ..obs import NULL_OBS
 from .cache import MISS, EpochLruCache
 from .executor import make_executor
+from .resilience import CircuitBreaker, Deadline, PartialResult, ResiliencePolicy
 from .sharding import ShardPlan
 
 __all__ = ["ShardedEngine"]
@@ -66,6 +73,18 @@ class ShardedEngine(RangeSumMethod):
             span trees (engine→shard→method→tree), and the slow-query
             log; the facade is propagated to every shard.  Defaults to
             the shared disabled facade — zero overhead.
+        resilience: optional
+            :class:`~repro.engine.resilience.ResiliencePolicy`.  When
+            set, every read fan-out runs with deadline budgets,
+            retry-with-backoff, per-shard circuit breakers, and the
+            policy's graceful-degradation mode (see
+            ``docs/resilience.md``).  ``None`` (the default) keeps the
+            exact PR 3 fast path.
+        executor: optional pre-built executor (anything with the
+            ``map`` / ``try_map`` / ``shutdown`` surface) — this is how
+            tests and the chaos CLI interpose a
+            :class:`~repro.engine.resilience.FaultInjector`.  When
+            given, ``workers`` is ignored.
     """
 
     name = "engine"
@@ -80,6 +99,8 @@ class ShardedEngine(RangeSumMethod):
         dtype=np.int64,
         method_kwargs: dict | None = None,
         obs=None,
+        resilience: ResiliencePolicy | None = None,
+        executor=None,
     ) -> None:
         super().__init__(shape, dtype=dtype)
         self.plan = ShardPlan(self.shape, shards)
@@ -98,10 +119,19 @@ class ShardedEngine(RangeSumMethod):
         ]
         for shard in self._shards:
             shard.obs = self.obs
-        self._executor = make_executor(workers)
+        self._executor = executor if executor is not None else make_executor(workers)
         self._lock = threading.RLock()
         self._epochs = [0] * self.plan.count
         self._cache = EpochLruCache(cache_size)
+        self.policy = resilience
+        self._breakers: list[CircuitBreaker] | None = (
+            [CircuitBreaker(resilience) for _ in range(self.plan.count)]
+            if resilience is not None
+            else None
+        )
+        self._retry_rng = random.Random(
+            resilience.retry_seed if resilience is not None else 0
+        )
         self._register_engine_instruments()
 
     def _register_engine_instruments(self) -> None:
@@ -135,6 +165,37 @@ class ShardedEngine(RangeSumMethod):
             "repro_engine_shard_epoch",
             "Current write epoch per shard.",
             labels=("shard",),
+        )
+        self._obs_retries = metrics.counter(
+            "repro_engine_retries_total",
+            "Shard sub-operations re-attempted after a failure.",
+            labels=("shard",),
+        )
+        self._obs_timeouts = metrics.counter(
+            "repro_engine_timeouts_total",
+            "Shard sub-operations abandoned because the request deadline "
+            "budget ran out.",
+        )
+        self._obs_breaker_transitions = metrics.counter(
+            "repro_engine_breaker_transitions_total",
+            "Circuit-breaker state transitions per shard.",
+            labels=("shard", "to"),
+        )
+        self._obs_breaker_state = metrics.gauge(
+            "repro_engine_breaker_state",
+            "Circuit-breaker state per shard "
+            "(0 = closed, 1 = half-open, 2 = open).",
+            labels=("shard",),
+        )
+        self._obs_degraded = metrics.counter(
+            "repro_engine_degraded_total",
+            "Degraded responses by mode: partial (marked, missing shards "
+            "omitted) or fallback (exact, recomputed off the fan-out path).",
+            labels=("mode",),
+        )
+        self._obs_backoff = metrics.histogram(
+            "repro_engine_backoff_seconds",
+            "Retry backoff sleeps between fan-out rounds.",
         )
 
     # ------------------------------------------------------------------
@@ -398,8 +459,12 @@ class ShardedEngine(RangeSumMethod):
 
         The scalar serving path: no batch dictionaries, and no executor
         dispatch unless a thread pool is attached and the range actually
-        spans several shards.
+        spans several shards.  With a resilience policy attached every
+        read goes through the guarded fan-out instead, so deadlines,
+        retries, and breakers apply uniformly.
         """
+        if self.policy is not None:
+            return self._locked_compute([key])[0][1]
         parts = list(self.plan.decompose(*key))
         if len(parts) > 1 and self._executor.workers > 1:
             return self._locked_compute([key])[0][1]
@@ -490,9 +555,17 @@ class ShardedEngine(RangeSumMethod):
 
         totals = [self._zero() for _ in keys]
         fanout_start = obs.clock.now() if obs.enabled else 0.0
-        for sub_queries, values in self._executor.map(
-            run_shard, sorted(per_shard.items())
-        ):
+        if self.policy is None:
+            completed = self._executor.map(run_shard, sorted(per_shard.items()))
+            missing_by_key: dict[int, set[int]] = {}
+        else:
+            completed, failed = self._locked_resilient_fanout(
+                sorted(per_shard.items()), run_shard
+            )
+            missing_by_key = self._locked_degrade(
+                failed, per_shard, dependencies, completed, compute
+            )
+        for sub_queries, values in completed:
             for (key_index, _, _), value in zip(sub_queries, values):
                 totals[key_index] = totals[key_index] + value
         if obs.enabled:
@@ -501,11 +574,189 @@ class ShardedEngine(RangeSumMethod):
         out: list[tuple] = []
         for key_index, key in enumerate(keys):
             value = self.dtype.type(totals[key_index])
+            if key_index in missing_by_key:
+                # Degraded: explicitly marked, and never cached — the
+                # next lookup must recompute rather than resurrect a
+                # partial sum as if it were exact.
+                out.append(
+                    (key, PartialResult(value, missing_by_key[key_index]))
+                )
+                continue
             self._cache.put(key, value, dependencies[key_index], epochs)
             out.append((key, value))
         if obs.enabled:
             self._obs_cache_entries.set(len(self._cache))
         return out
+
+    # ------------------------------------------------------------------
+    # Resilient fan-out (deadlines, retries, breakers, degradation)
+    # ------------------------------------------------------------------
+
+    def _locked_resilient_fanout(
+        self, items: list[tuple], run_shard
+    ) -> tuple[list, dict]:
+        """Fan ``items`` out under the resilience policy; caller holds
+        the lock.
+
+        Returns ``(completed, failed)`` where ``completed`` holds the
+        successful ``run_shard`` results and ``failed`` maps each
+        permanently-failed shard index to its final exception.  Each
+        round re-submits only the still-failing shards through the
+        executor — so an interposed FaultInjector sees every retry —
+        with exponential seeded-jitter backoff slept on the injected
+        clock between rounds, the whole request bounded by one
+        :class:`~repro.engine.resilience.Deadline`, and every outcome
+        recorded into the per-shard breakers (whose refusals fail fast
+        without touching the shard at all).
+        """
+        policy = self.policy
+        clock = self.obs.clock
+        deadline = Deadline.after(clock, policy.deadline_seconds)
+        pending: dict[int, list] = dict(items)
+        attempts: dict[int, int] = {index: 0 for index in pending}
+        completed: list = []
+        failed: dict[int, Exception] = {}
+        round_index = 0
+        while pending:
+            now = clock.now()
+            runnable: list[tuple] = []
+            for shard_index in sorted(pending):
+                breaker = self._breakers[shard_index]
+                state_before = breaker.state
+                allowed = breaker.allow(now)
+                self._note_breaker(shard_index, state_before, breaker.state)
+                if allowed:
+                    runnable.append((shard_index, pending[shard_index]))
+                else:
+                    failed[shard_index] = CircuitOpenError(
+                        f"shard {shard_index} circuit breaker is open "
+                        f"(failure rate {breaker.failure_rate():.2f})"
+                    )
+                    del pending[shard_index]
+            if not runnable:
+                break
+            if deadline is not None and deadline.expired(clock):
+                for shard_index, _ in runnable:
+                    failed[shard_index] = DeadlineExceededError(
+                        f"request deadline of {policy.deadline_seconds}s "
+                        f"spent before shard {shard_index} was attempted"
+                    )
+                    self._obs_timeouts.inc()
+                    del pending[shard_index]
+                break
+            timeout = deadline.remaining(clock) if deadline is not None else None
+            outcomes = self._executor.try_map(
+                run_shard, runnable, timeout=timeout, clock=clock
+            )
+            now = clock.now()
+            retrying = False
+            for (shard_index, _), (value, error) in zip(runnable, outcomes):
+                breaker = self._breakers[shard_index]
+                state_before = breaker.state
+                if error is None:
+                    breaker.record_success(now)
+                    self._note_breaker(shard_index, state_before, breaker.state)
+                    completed.append(value)
+                    del pending[shard_index]
+                    continue
+                breaker.record_failure(now)
+                self._note_breaker(shard_index, state_before, breaker.state)
+                attempts[shard_index] += 1
+                out_of_time = isinstance(error, DeadlineExceededError) or (
+                    deadline is not None and deadline.expired(clock)
+                )
+                if out_of_time or attempts[shard_index] > policy.max_retries:
+                    if isinstance(error, DeadlineExceededError):
+                        self._obs_timeouts.inc()
+                    failed[shard_index] = error
+                    del pending[shard_index]
+                else:
+                    self._obs_retries.labels(shard=str(shard_index)).inc()
+                    retrying = True
+            if retrying and pending:
+                backoff = policy.backoff(round_index, self._retry_rng)
+                if deadline is not None:
+                    backoff = min(backoff, deadline.remaining(clock))
+                if backoff > 0:
+                    self._obs_backoff.observe(backoff)
+                    clock.sleep(backoff)
+            round_index += 1
+        return completed, failed
+
+    def _locked_degrade(
+        self,
+        failed: dict[int, Exception],
+        per_shard: dict[int, list],
+        dependencies: list[list[int]],
+        completed: list,
+        compute,
+    ) -> dict[int, set[int]]:
+        """Apply the degradation policy to permanently-failed shards;
+        caller holds the lock.
+
+        * ``strict`` — raise: :class:`DeadlineExceededError` when the
+          budget ran out, else :class:`ShardFailedError` naming every
+          failed shard (chained to the first underlying error).
+        * ``fallback`` — recompute each failed shard's sub-queries
+          synchronously in the request thread (``compute`` is the
+          direct, executor-free path), append the exact results to
+          ``completed``, and return no missing keys.
+        * ``partial`` — return ``{key_index: missing shard set}`` so
+          the caller wraps affected answers in
+          :class:`~repro.engine.resilience.PartialResult`.
+        """
+        if not failed:
+            return {}
+        policy = self.policy
+        obs = self.obs
+        if policy.degradation == "strict":
+            deadline_errors = [
+                error
+                for error in failed.values()
+                if isinstance(error, DeadlineExceededError)
+            ]
+            if deadline_errors:
+                raise deadline_errors[0]
+            first = next(iter(failed.values()))
+            raise ShardFailedError(
+                "shard sub-operations failed after retries: "
+                + ", ".join(
+                    f"shard {index}: {error}" for index, error in sorted(failed.items())
+                )
+            ) from first
+        if policy.degradation == "fallback":
+            for shard_index in sorted(failed):
+                sub_queries = per_shard[shard_index]
+                shard = self._shards[shard_index]
+                self.stats.touch(shard)
+                if obs.enabled:
+                    with obs.span("shard.fallback", shard=shard_index):
+                        values = compute(shard, sub_queries)
+                else:
+                    values = compute(shard, sub_queries)
+                completed.append((sub_queries, values))
+                self._obs_degraded.labels(mode="fallback").inc()
+            return {}
+        # partial: name the missing shards per affected key
+        missing_by_key: dict[int, set[int]] = {}
+        failed_shards = set(failed)
+        for key_index, touched in enumerate(dependencies):
+            gone = failed_shards.intersection(touched)
+            if gone:
+                missing_by_key[key_index] = gone
+                self._obs_degraded.labels(mode="partial").inc()
+        return missing_by_key
+
+    def _note_breaker(self, shard_index: int, before: str, after: str) -> None:
+        """Emit breaker transition/state instruments on a state change."""
+        if before == after or not self.obs.enabled:
+            return
+        self._obs_breaker_transitions.labels(
+            shard=str(shard_index), to=after
+        ).inc()
+        self._obs_breaker_state.labels(shard=str(shard_index)).set(
+            self._breakers[shard_index].gauge_value
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -576,6 +827,28 @@ class ShardedEngine(RangeSumMethod):
     def memory_cells(self) -> int:
         """Stored cells across all shards (the cache is not counted)."""
         return sum(shard.memory_cells() for shard in self._shards)
+
+    def resilience_info(self) -> dict | None:
+        """Policy summary plus live per-shard breaker state (None when
+        no policy is attached)."""
+        if self.policy is None:
+            return None
+        with self._lock:
+            breakers = [
+                {
+                    "shard": index,
+                    "state": breaker.state,
+                    "failure_rate": breaker.failure_rate(),
+                }
+                for index, breaker in enumerate(self._breakers)
+            ]
+        return {
+            "deadline_seconds": self.policy.deadline_seconds,
+            "max_retries": self.policy.max_retries,
+            "degradation": self.policy.degradation,
+            "breaker_window": self.policy.breaker_window,
+            "breakers": breakers,
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -13,20 +13,40 @@ two-method surface so the engine never branches on the concurrency mode:
   concurrently while the engine's lock keeps writers out; numpy releases
   the GIL inside large gathers, which is where the overlap pays.
 
+Failure semantics: ``map`` propagates the first exception a task raises
+(a programming error should surface loudly), while ``try_map`` — the
+resilience layer's entry point — isolates failures per item and returns
+``(result, error)`` outcome pairs so one failing shard can be retried
+without discarding its siblings' answers.  The threaded ``try_map``
+additionally honours a wall-clock ``timeout``: sub-operations that have
+not finished when the budget runs out come back as
+:class:`~repro.exceptions.DeadlineExceededError` outcomes (their
+threads are abandoned, not killed — Python cannot preempt them — so a
+genuinely stuck shard costs one pool thread until it unsticks).
+
 Use :func:`make_executor` to pick by worker count.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Callable, Sequence, TypeVar
 
-from ..exceptions import ConfigurationError
+from ..exceptions import ConfigurationError, DeadlineExceededError
 
 __all__ = ["SerialExecutor", "ThreadedExecutor", "make_executor"]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+def _attempt(fn: Callable[[T], R], item: T) -> tuple:
+    """One ``try_map`` outcome: ``(result, None)`` or ``(None, error)``."""
+    try:
+        return fn(item), None
+    except Exception as error:  # noqa: BLE001 — isolated per item by design
+        return None, error
 
 
 class SerialExecutor:
@@ -37,6 +57,39 @@ class SerialExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item in order, in the calling thread."""
         return [fn(item) for item in items]
+
+    def try_map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout: float | None = None,
+        clock=None,
+    ) -> list[tuple]:
+        """Per-item ``(result, error)`` outcomes, in order.
+
+        A raising item never aborts its siblings.  With ``timeout`` and
+        an injected ``clock``, items whose turn comes after the budget
+        has elapsed are not run at all and report
+        :class:`~repro.exceptions.DeadlineExceededError` — the serial
+        executor cannot preempt a running task, but it can refuse to
+        start the next one.
+        """
+        deadline = (
+            clock.now() + timeout
+            if timeout is not None and clock is not None
+            else None
+        )
+        outcomes: list[tuple] = []
+        for item in items:
+            if deadline is not None and clock.now() >= deadline:
+                outcomes.append(
+                    (None, DeadlineExceededError(
+                        f"serial fan-out budget of {timeout}s exhausted"
+                    ))
+                )
+                continue
+            outcomes.append(_attempt(fn, item))
+        return outcomes
 
     def shutdown(self) -> None:
         """Nothing to release."""
@@ -62,6 +115,49 @@ class ThreadedExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``fn`` to every item concurrently; results keep order."""
         return list(self._pool.map(fn, items))
+
+    def try_map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        timeout: float | None = None,
+        clock=None,
+    ) -> list[tuple]:
+        """Concurrent per-item ``(result, error)`` outcomes, in order.
+
+        ``timeout`` bounds the *total* wall time spent waiting: each
+        pending future is waited on for whatever remains of the budget
+        (re-measured on the injected ``clock`` when given), and futures
+        still running at exhaustion come back as
+        :class:`~repro.exceptions.DeadlineExceededError` outcomes.  The
+        underlying threads are abandoned to finish on their own — the
+        caller must treat the sub-operation as failed either way.
+        """
+        futures = [self._pool.submit(_attempt, fn, item) for item in items]
+        deadline = (
+            clock.now() + timeout
+            if timeout is not None and clock is not None
+            else None
+        )
+        outcomes: list[tuple] = []
+        for future in futures:
+            if timeout is None:
+                outcomes.append(future.result())
+                continue
+            remaining = (
+                deadline - clock.now() if deadline is not None else timeout
+            )
+            try:
+                outcomes.append(future.result(timeout=max(0.0, remaining)))
+            except (FutureTimeoutError, TimeoutError):
+                future.cancel()
+                outcomes.append(
+                    (None, DeadlineExceededError(
+                        f"shard sub-operation exceeded the {timeout}s "
+                        f"fan-out budget"
+                    ))
+                )
+        return outcomes
 
     def shutdown(self) -> None:
         """Release the pool's threads (idempotent)."""

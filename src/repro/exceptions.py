@@ -17,6 +17,11 @@ __all__ = [
     "UnknownMethodError",
     "SchemaError",
     "StructureError",
+    "ResilienceError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "ShardFailedError",
+    "InjectedFaultError",
 ]
 
 
@@ -61,4 +66,32 @@ class StructureError(ReproError, AssertionError):
 
     Raised by the ``validate()`` methods of the core data structures; a
     user should never see this unless the library has a bug.
+    """
+
+
+class ResilienceError(ReproError, RuntimeError):
+    """Base class for serving-resilience failures (see ``repro.engine``)."""
+
+
+class DeadlineExceededError(ResilienceError, TimeoutError):
+    """A request's deadline budget ran out before every shard answered.
+
+    Subclasses :class:`TimeoutError` so generic timeout handling in
+    callers keeps working.
+    """
+
+
+class CircuitOpenError(ResilienceError):
+    """A shard's circuit breaker is open and the call was not attempted."""
+
+
+class ShardFailedError(ResilienceError):
+    """A shard sub-operation failed after exhausting its retry budget."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A deterministic fault raised by the test/chaos FaultInjector.
+
+    Never raised by production code paths; exists so resilience tests
+    can distinguish injected faults from genuine shard failures.
     """

@@ -19,6 +19,7 @@ from .queries import (
     random_ranges,
     random_updates,
     read_write_stream,
+    straddling_ranges,
     worst_case_update,
 )
 
@@ -40,4 +41,5 @@ __all__ = [
     "hot_region_updates",
     "interleaved",
     "read_write_stream",
+    "straddling_ranges",
 ]

@@ -27,6 +27,7 @@ __all__ = [
     "hot_region_updates",
     "interleaved",
     "read_write_stream",
+    "straddling_ranges",
 ]
 
 
@@ -291,6 +292,46 @@ def read_write_stream(
                 delta = int(rng.integers(-magnitude, magnitude + 1))
             events.append(PointUpdate(cell, delta))
     return events
+
+
+def straddling_ranges(
+    shape: Sequence[int],
+    count: int,
+    shards: int,
+    seed: int = 0,
+) -> list[RangeQuery]:
+    """Ranges guaranteed to cross at least one shard-slab boundary.
+
+    The adversarial read workload for fault-injection testing: a range
+    confined to one slab exercises none of the fan-out machinery, so a
+    chaos run over single-shard ranges would under-test exactly the
+    paths (multi-shard retry, partial degradation, per-shard deadline
+    accounting) it exists to cover.  Boundaries follow the engine's
+    ``floor(i·n/K)`` slab rule, so every returned range overlaps at
+    least two shards of a K-shard engine over ``shape``.
+    """
+    shape = normalize_shape(shape)
+    leading = shape[0]
+    if not 2 <= shards <= leading:
+        raise ConfigurationError(
+            f"straddling_ranges needs 2 <= shards <= {leading}, got {shards}"
+        )
+    boundaries = [leading * i // shards for i in range(1, shards)]
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(count):
+        boundary = int(boundaries[int(rng.integers(0, len(boundaries)))])
+        lo0 = int(rng.integers(0, boundary))
+        hi0 = int(rng.integers(boundary, leading))
+        low = [lo0]
+        high = [hi0]
+        for size in shape[1:]:
+            a = int(rng.integers(0, size))
+            b = int(rng.integers(0, size))
+            low.append(min(a, b))
+            high.append(max(a, b))
+        queries.append(RangeQuery(tuple(low), tuple(high)))
+    return queries
 
 
 def interleaved(

@@ -387,6 +387,27 @@ class TestLintRules:
         findings = lint_source(source, "src/repro/engine/engine.py")
         assert findings == []
 
+    def test_rep007_unguarded_breaker_drive_flagged(self):
+        # Element-wise drives through one subscript must still be seen.
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def poke(self, i):\n"
+            "        self._breakers[i].record_failure(0.0)\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert "REP007" in {finding.rule for finding in findings}
+
+    def test_rep007_locked_breaker_drive_passes(self):
+        source = (
+            "__all__ = []\n"
+            "class Engine:\n"
+            "    def poke(self, i):\n"
+            "        with self._lock:\n"
+            "            self._breakers[i].record_success(0.0)\n"
+        )
+        assert lint_source(source, "src/repro/engine/engine.py") == []
+
     def test_rep007_only_applies_to_engine_modules(self):
         source = (
             "__all__ = []\n"
@@ -420,6 +441,18 @@ class TestLintRules:
         )
         findings = lint_source(source, "src/repro/core/ddc.py")
         assert [f.rule for f in findings] == ["REP008", "REP008"]
+
+    def test_rep008_flags_real_sleep_in_hot_paths(self):
+        # Real sleeps in the fan-out would make chaos tests wall-clock
+        # slow and nondeterministic; backoff must use the injected clock.
+        source = (
+            "__all__ = []\n"
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(0.01)\n"
+        )
+        findings = lint_source(source, "src/repro/engine/engine.py")
+        assert "REP008" in {f.rule for f in findings}
 
     def test_rep008_allows_clock_calls_outside_hot_paths(self):
         source = (

@@ -172,6 +172,50 @@ class TestObservabilityCommands:
         assert "slow-query log:" in out
 
 
+class TestChaosCommand:
+    ARGS = ["--shape", "32", "32", "--shards", "4", "--events", "60", "--seed", "1"]
+
+    def test_fallback_soak_is_exact_and_exits_zero(self, tmp_path, capsys):
+        artifact = tmp_path / "chaos.json"
+        assert main([
+            "chaos", *self.ARGS,
+            "--fault-rate", "0.3", "--mode", "fallback",
+            "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sub-operations perturbed" in out
+        assert "0 MISMATCHES" in out
+        import json
+
+        document = json.loads(artifact.read_text())
+        assert document["experiment"] == "chaos_soak"
+        (row,) = document["rows"]
+        assert row["mode"] == "fallback"
+        assert row["mismatches"] == 0
+        assert row["injected_rate"] > 0
+
+    def test_partial_soak_marks_degraded_answers(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "chaos.json"
+        assert main([
+            "chaos", *self.ARGS,
+            "--fault-rate", "0.4", "--retries", "0", "--mode", "partial",
+            "--json", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded (marked)" in out
+        (row,) = json.loads(artifact.read_text())["rows"]
+        assert row["degraded"] > 0
+        assert row["mismatches"] == 0
+
+    def test_rejects_bad_rate(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["chaos", "--fault-rate", "1.5"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -5,9 +5,17 @@ updates, queries, expansions, batches, and conversions while repeatedly
 validating every internal invariant and cross-checking results against a
 dense oracle — the closest thing to fault injection a deterministic
 structure admits.
+
+Example counts are sized for the PR path; the nightly chaos job sets
+``REPRO_FUZZ_SCALE`` (an integer multiplier, default 1) to run the same
+programs at soak depth.  The multiplier must live in the per-test
+``@settings`` decorators — they override any registered hypothesis
+profile, so an env-var profile alone would silently not apply.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -22,6 +30,9 @@ from repro.core.ddc import DynamicDataCube
 from repro.core.growth import GrowableCube
 from repro.core.keyed_bc_tree import KeyedBcTree
 from repro.persist import load_cube, save_cube
+
+#: Nightly soak multiplier for every max_examples below (1 on the PR path).
+_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
 
 
 @st.composite
@@ -40,7 +51,7 @@ def fuzz_program(draw):
 
 
 class TestDdcFuzz:
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20 * _SCALE, deadline=None)
     @given(program=fuzz_program(), cube_class=st.sampled_from(["ddc", "basic"]))
     def test_mixed_operations_stay_consistent(self, program, cube_class):
         seed, side, leaf_side, steps = program
@@ -99,7 +110,7 @@ class TestDdcFuzz:
         assert np.array_equal(cube.to_dense(), oracle)
         assert cube.total() == oracle.sum()
 
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2**31))
     def test_convert_round_trips_preserve_everything(self, seed):
         """ddc -> ps -> fenwick -> ddc must be the identity."""
@@ -110,7 +121,7 @@ class TestDdcFuzz:
         assert np.array_equal(chain.to_dense(), data)
         chain.validate()
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2**31))
     def test_persist_round_trip_mid_lifecycle(self, seed, tmp_path_factory):
         """Save/load at a random point, then keep operating."""
@@ -142,7 +153,7 @@ class TestSanitizerFuzz:
     exact operation that introduced it instead of a later query.
     """
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2**31), fanout=st.sampled_from([4, 8]))
     def test_bc_tree_every_mutation_audited(self, seed, fanout):
         rng = np.random.default_rng(seed)
@@ -176,7 +187,7 @@ class TestSanitizerFuzz:
         assert tree.to_list() == mirror
         assert tree.audits >= 30
 
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2**31), fanout=st.sampled_from([4, 8]))
     def test_keyed_bc_tree_every_mutation_audited(self, seed, fanout):
         rng = np.random.default_rng(seed)
@@ -197,7 +208,7 @@ class TestSanitizerFuzz:
             assert tree.get(key) == mirror[key]
         assert tree.audits >= 30
 
-    @settings(max_examples=10, deadline=None)
+    @settings(max_examples=10 * _SCALE, deadline=None)
     @given(seed=st.integers(0, 2**31))
     def test_ddc_every_mutation_audited(self, seed):
         rng = np.random.default_rng(seed)
@@ -241,7 +252,7 @@ class TestSanitizerFuzz:
 
 
 class TestGrowableFuzz:
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=25 * _SCALE, deadline=None)
     @given(
         seed=st.integers(0, 2**31),
         scale=st.sampled_from([10, 1000, 10**6]),

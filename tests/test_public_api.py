@@ -58,7 +58,22 @@ def test_top_level_exports():
         ("repro.olap_persist", ["save_datacube", "load_datacube"]),
         ("repro.convert", ["convert", "rebuild"]),
         ("repro.advisor", ["WorkloadProfile", "recommend"]),
-        ("repro.workloads", ["dense_uniform", "clustered", "growth_stream", "random_ranges"]),
+        ("repro.workloads", ["dense_uniform", "clustered", "growth_stream", "random_ranges", "straddling_ranges"]),
+        (
+            "repro.engine",
+            [
+                "ShardedEngine",
+                "ShardPlan",
+                "SerialExecutor",
+                "ThreadedExecutor",
+                "ResiliencePolicy",
+                "CircuitBreaker",
+                "FaultInjector",
+                "FaultScript",
+                "PartialResult",
+                "is_partial",
+            ],
+        ),
         (
             "repro.obs",
             [
@@ -83,7 +98,7 @@ def test_documented_module_surface(module, names):
 
 
 def test_all_lists_are_importable():
-    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads", "repro.obs", "repro.artifacts"):
+    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads", "repro.obs", "repro.artifacts", "repro.engine"):
         imported = importlib.import_module(module)
         exported = getattr(imported, "__all__", [])
         for name in exported:
