@@ -13,8 +13,14 @@ all of it:
   whose findings carry a *path* to the offending node;
 * :func:`~repro.analysis.sanitize.sanitize` — a wrapper that re-audits
   a structure after every mutating operation (for tests and fuzzing);
-* :mod:`repro.analysis.lint` — an AST-based project-rule linter,
-  runnable as ``python -m repro.analysis.lint src/``.
+* :mod:`repro.analysis.lint` — an AST-based project-rule linter
+  (REP001–REP008), runnable as ``python -m repro.analysis.lint src/``;
+* :mod:`repro.analysis.flow` — CFG/dataflow analyses (REP009–REP012:
+  unguarded shared-state writes, lock-order cycles, escaping
+  exceptions, hot-path allocations), runnable as ``repro analyze``;
+* :mod:`repro.analysis.raceguard` — the runtime
+  :class:`~repro.analysis.raceguard.LockSanitizer`, the dynamic twin of
+  REP009/REP010 for tests and ``repro chaos --sanitize``.
 """
 
 from __future__ import annotations
@@ -24,12 +30,22 @@ from .sanitize import Sanitized, sanitize
 
 
 def __getattr__(name: str):
-    # Lazy so that `python -m repro.analysis.lint` does not import the
-    # submodule twice (runpy warns when the package eagerly imports it).
+    # Lazy so that `python -m repro.analysis.lint` (and `... .flow`) do
+    # not import the submodule twice (runpy warns when the package
+    # eagerly imports it), and so importing the audit layer does not
+    # drag in the analyzer.
     if name in ("LintFinding", "lint_paths"):
         from . import lint
 
         return getattr(lint, name)
+    if name in ("FlowFinding", "analyze_paths"):
+        from . import flow
+
+        return getattr(flow, name)
+    if name in ("LockSanitizer", "attach_engine"):
+        from . import raceguard
+
+        return getattr(raceguard, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -40,6 +56,10 @@ __all__ = [
     "audit",
     "LintFinding",
     "lint_paths",
+    "FlowFinding",
+    "analyze_paths",
+    "LockSanitizer",
+    "attach_engine",
     "Sanitized",
     "sanitize",
 ]

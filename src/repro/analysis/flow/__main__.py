@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.flow`` — run the dataflow analyses."""
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Basic-block control-flow graphs over Python function ASTs.
+
+The flow analyses (:mod:`repro.analysis.flow.locks`,
+:mod:`repro.analysis.flow.raises`, :mod:`repro.analysis.flow.hotpath`)
+need to reason about *paths* through a function — which locks are held
+when a statement executes, which handlers an exception can reach — and a
+statement-at-a-time AST walk cannot answer that.  :func:`build_cfg`
+lowers one function body into basic blocks connected by control edges:
+
+* straight-line statements accumulate into one block;
+* ``if`` / ``while`` / ``for`` fork and join (loops get a back edge,
+  ``break`` / ``continue`` jump to the loop exit / header);
+* ``try`` bodies get a conservative *exception edge* from every block in
+  the protected region to every handler entry, and both the normal and
+  the handler exits funnel through the ``finally`` blocks;
+* ``with`` / ``async with`` items are desugared into explicit
+  :class:`WithEnter` / :class:`WithExit` pseudo-statements, emitted on
+  the normal exit *and* on every early exit (``return`` / ``break`` /
+  ``continue``) that unwinds the context — this is what makes the
+  lock-state analysis see ``with self._lock:`` release points exactly
+  where the interpreter releases them;
+* ``return`` / ``raise`` terminate their block (``raise`` additionally
+  edges into the enclosing handlers, if any).
+
+Nested ``def`` / ``class`` statements are opaque single statements here;
+:mod:`repro.analysis.flow.locks` analyses nested functions separately
+with the lock state captured at their definition point.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "WithEnter",
+    "WithExit",
+    "Statement",
+    "build_cfg",
+]
+
+
+@dataclass(frozen=True)
+class WithEnter:
+    """Pseudo-statement: a ``with`` item's context is being entered."""
+
+    item: ast.withitem
+    lineno: int
+
+
+@dataclass(frozen=True)
+class WithExit:
+    """Pseudo-statement: a ``with`` item's context is being exited."""
+
+    item: ast.withitem
+    lineno: int
+
+
+#: One entry in a basic block: a real statement, an ``except`` clause
+#: header, or a with-item marker.
+Statement = Union[ast.stmt, ast.ExceptHandler, WithEnter, WithExit]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    index: int
+    statements: list[Statement] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+
+    def add_successor(self, index: int) -> None:
+        if index not in self.successors:
+            self.successors.append(index)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks plus entry index; predecessors derived on demand."""
+
+    function: ast.FunctionDef | ast.AsyncFunctionDef
+    blocks: list[BasicBlock]
+    entry: int
+
+    def predecessors(self) -> dict[int, list[int]]:
+        preds: dict[int, list[int]] = {block.index: [] for block in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class _Loop:
+    """Break/continue targets plus the with-depth at loop entry."""
+
+    header: int
+    after: int
+    with_depth: int
+
+
+class _Builder:
+    def __init__(self, function: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.function = function
+        self.blocks: list[BasicBlock] = []
+        self.loops: list[_Loop] = []
+        #: Entry blocks of the handlers protecting the region being built.
+        self.handlers: list[list[int]] = []
+        #: With items currently open, innermost last.
+        self.with_stack: list[ast.withitem] = []
+
+    # -- plumbing ------------------------------------------------------
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def edge(self, source: BasicBlock, target: BasicBlock) -> None:
+        source.add_successor(target.index)
+
+    def _raise_edges(self, block: BasicBlock) -> None:
+        """Conservative may-raise edges into the enclosing handlers."""
+        for handler_entries in self.handlers:
+            for entry in handler_entries:
+                block.add_successor(entry)
+
+    def _unwind_withs(self, block: BasicBlock, down_to: int, lineno: int) -> None:
+        """Emit WithExit markers for contexts above depth ``down_to``."""
+        for item in reversed(self.with_stack[down_to:]):
+            block.statements.append(WithExit(item, lineno))
+
+    # -- statement dispatch --------------------------------------------
+
+    def visit_body(
+        self, body: list[ast.stmt], current: BasicBlock | None
+    ) -> BasicBlock | None:
+        """Lower ``body`` starting in ``current``; returns the live block
+        at the end, or ``None`` when every path terminated."""
+        for stmt in body:
+            if current is None:
+                # Unreachable code after return/raise/break: give it its
+                # own island so line numbers still resolve, but no edges.
+                current = self.new_block()
+            current = self.visit_statement(stmt, current)
+        return current
+
+    def visit_statement(
+        self, stmt: ast.stmt, current: BasicBlock
+    ) -> BasicBlock | None:
+        if isinstance(stmt, ast.If):
+            return self._visit_if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._visit_loop(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._visit_with(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._visit_try(stmt, current)
+        if isinstance(stmt, ast.Return):
+            current.statements.append(stmt)
+            self._unwind_withs(current, 0, stmt.lineno)
+            return None
+        if isinstance(stmt, ast.Raise):
+            current.statements.append(stmt)
+            self._raise_edges(current)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                loop = self.loops[-1]
+                self._unwind_withs(current, loop.with_depth, stmt.lineno)
+                current.add_successor(loop.after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                loop = self.loops[-1]
+                self._unwind_withs(current, loop.with_depth, stmt.lineno)
+                current.add_successor(loop.header)
+            return None
+        # Plain statement (including nested def/class, kept opaque).
+        current.statements.append(stmt)
+        if self.handlers and not isinstance(
+            stmt, (ast.Pass, ast.Global, ast.Nonlocal)
+        ):
+            self._raise_edges(current)
+        return current
+
+    # -- compound statements -------------------------------------------
+
+    def _visit_if(self, stmt: ast.If, current: BasicBlock) -> BasicBlock | None:
+        current.statements.append(stmt)  # the test, visible to transfers
+        then_entry = self.new_block()
+        self.edge(current, then_entry)
+        then_exit = self.visit_body(stmt.body, then_entry)
+        if stmt.orelse:
+            else_entry = self.new_block()
+            self.edge(current, else_entry)
+            else_exit = self.visit_body(stmt.orelse, else_entry)
+        else:
+            else_exit = current
+        if then_exit is None and else_exit is None:
+            return None
+        join = self.new_block()
+        if then_exit is not None:
+            self.edge(then_exit, join)
+        if else_exit is not None:
+            self.edge(else_exit, join)
+        return join
+
+    def _visit_loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: BasicBlock
+    ) -> BasicBlock:
+        header = self.new_block()
+        header.statements.append(stmt)  # test / iteration target
+        self.edge(current, header)
+        after = self.new_block()
+        body_entry = self.new_block()
+        self.edge(header, body_entry)
+        self.loops.append(_Loop(header.index, after.index, len(self.with_stack)))
+        body_exit = self.visit_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_exit is not None:
+            self.edge(body_exit, header)  # back edge
+        if stmt.orelse:
+            else_entry = self.new_block()
+            self.edge(header, else_entry)
+            else_exit = self.visit_body(stmt.orelse, else_entry)
+            if else_exit is not None:
+                self.edge(else_exit, after)
+        else:
+            self.edge(header, after)
+        return after
+
+    def _visit_with(
+        self, stmt: ast.With | ast.AsyncWith, current: BasicBlock
+    ) -> BasicBlock | None:
+        depth = len(self.with_stack)
+        for item in stmt.items:
+            current.statements.append(WithEnter(item, stmt.lineno))
+            self.with_stack.append(item)
+        exit_block = self.visit_body(stmt.body, current)
+        if exit_block is not None:
+            end_line = getattr(stmt.body[-1], "lineno", stmt.lineno)
+            self._unwind_withs(exit_block, depth, end_line)
+        del self.with_stack[depth:]
+        return exit_block
+
+    def _visit_try(self, stmt: ast.Try, current: BasicBlock) -> BasicBlock | None:
+        # Handler entry blocks first, so body blocks can edge into them.
+        handler_entries: list[BasicBlock] = []
+        for handler in stmt.handlers:
+            entry = self.new_block()
+            entry.statements.append(handler)  # the `except X as e:` clause
+            handler_entries.append(entry)
+        self.handlers.append([entry.index for entry in handler_entries])
+        body_entry = self.new_block()
+        self.edge(current, body_entry)
+        body_exit = self.visit_body(stmt.body, body_entry)
+        self.handlers.pop()
+
+        if stmt.orelse and body_exit is not None:
+            body_exit = self.visit_body(stmt.orelse, body_exit)
+
+        handler_exits: list[BasicBlock] = []
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            handler_exit = self.visit_body(handler.body, entry)
+            if handler_exit is not None:
+                handler_exits.append(handler_exit)
+
+        exits = [block for block in [body_exit, *handler_exits] if block is not None]
+        if stmt.finalbody:
+            final_entry = self.new_block()
+            for block in exits:
+                self.edge(block, final_entry)
+            if not exits:
+                # Reached only on the exceptional path; keep it wired to
+                # the body entry so the finally code is not orphaned.
+                self.edge(body_entry, final_entry)
+            return self.visit_body(stmt.finalbody, final_entry)
+        if not exits:
+            return None
+        join = self.new_block()
+        for block in exits:
+            self.edge(block, join)
+        return join
+
+
+def build_cfg(function: ast.FunctionDef | ast.AsyncFunctionDef) -> ControlFlowGraph:
+    """Lower one function body into a :class:`ControlFlowGraph`."""
+    builder = _Builder(function)
+    entry = builder.new_block()
+    builder.visit_body(function.body, entry)
+    return ControlFlowGraph(function=function, blocks=builder.blocks, entry=entry.index)

@@ -41,10 +41,15 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   including through a subscript (``self._breakers[i].allow(...)``) —
   lexically inside a ``with ..._lock:`` block, or inside a helper whose
   name starts with ``_locked_`` (documented as called with the lock
-  held), or in ``__init__`` (construction precedes sharing).  An
-  unguarded mutation is a data race with the executor's reader threads
-  and can serve a stale cached sum or a torn breaker state; plain
-  attribute reads (``.capacity``, iteration) are not flagged.
+  held), or in ``__init__`` (construction precedes sharing).  Writes
+  driven through a local alias (``c = self._cache; c[key] = value``)
+  count as mutations of the aliased attribute.  An unguarded mutation
+  is a data race with the executor's reader threads and can serve a
+  stale cached sum or a torn breaker state; plain attribute reads
+  (``.capacity``, iteration) are not flagged.  This is a fast lexical
+  pre-pass: when the CFG/dataflow analyzer (``repro analyze``) runs in
+  the same gate, pass ``defer_to_flow=True`` and its path-sensitive
+  REP009 supersedes it.
 * **REP008 direct-clock** — hot-path modules (``src/repro/core/``,
   ``src/repro/methods/``, ``src/repro/engine/``) must not call
   ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` (or their
@@ -412,26 +417,76 @@ def _is_lock_with(node: ast.With) -> bool:
     return False
 
 
-def _iter_state_mutations(node: ast.AST) -> Iterable[tuple[int, str]]:
+def _access_root(node: ast.AST) -> ast.AST:
+    """Root expression of a subscript/attribute/star access chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute, ast.Starred)):
+        node = node.value
+    return node
+
+
+def _collect_aliases(
+    function: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> dict[str, str]:
+    """Local names bound to a guarded attribute (``c = self._cache``).
+
+    Lexical, not flow-sensitive: one pre-pass sweep over the function.
+    The flow analyzer's REP009 redoes this with real must-alias
+    tracking; this keeps the fast pre-pass from missing the plain
+    alias-then-mutate spelling entirely.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign):
+            continue
+        attr = _guarded_attr(node.value)
+        if attr is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                aliases[target.id] = attr
+    return aliases
+
+
+def _iter_state_mutations(
+    node: ast.AST, aliases: dict[str, str] | None = None
+) -> Iterable[tuple[int, str]]:
     """Yield ``(lineno, description)`` for guarded-state mutations in node.
 
     A *mutation* is an assignment / aug-assignment / deletion whose
     target involves a guarded attribute (``self._epochs[i] += 1``,
     ``self._cache = ...``), or a method call driven through one
     (``self._cache.put(...)`` — the LRU reorders on ``get`` too, so all
-    guarded-object method calls count).  Plain loads are not mutations.
+    guarded-object method calls count).  With ``aliases``, writes driven
+    through a local alias of a guarded attribute (``c = self._cache;
+    c[key] = value`` / ``c.put(...)``) count too.  Plain loads and bare
+    rebinds of the alias name itself are not mutations.
     """
+    aliases = aliases or {}
     targets: list[ast.AST] = []
     if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
     elif isinstance(node, ast.Delete):
         targets = list(node.targets)
     for target in targets:
+        reported = False
         for sub in ast.walk(target):
             attr = _guarded_attr(sub)
             if attr is not None:
                 yield (node.lineno, f"assignment to {attr}")
+                reported = True
                 break
+        if reported:
+            continue
+        root = _access_root(target)
+        if (
+            root is not target  # bare `c = ...` rebinds, doesn't mutate
+            and isinstance(root, ast.Name)
+            and root.id in aliases
+        ):
+            yield (
+                node.lineno,
+                f"assignment through alias {root.id!r} of {aliases[root.id]}",
+            )
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
         receiver = node.func.value
         # See through one subscript so an element-wise drive like
@@ -441,6 +496,12 @@ def _iter_state_mutations(node: ast.AST) -> Iterable[tuple[int, str]]:
         attr = _guarded_attr(receiver)
         if attr is not None:
             yield (node.lineno, f"{attr}.{node.func.attr}() call")
+        elif isinstance(receiver, ast.Name) and receiver.id in aliases:
+            yield (
+                node.lineno,
+                f"{receiver.id}.{node.func.attr}() call through an alias "
+                f"of {aliases[receiver.id]}",
+            )
 
 
 def _check_engine_state(
@@ -461,10 +522,11 @@ def _check_engine_state(
                 for inner in ast.walk(with_node):
                     if hasattr(inner, "lineno"):
                         locked_lines.add(id(inner))
+        aliases = _collect_aliases(function)
         for node in ast.walk(function):
             if id(node) in locked_lines:
                 continue
-            for line, description in _iter_state_mutations(node):
+            for line, description in _iter_state_mutations(node, aliases):
                 yield (
                     line,
                     "REP007",
@@ -533,8 +595,16 @@ def _check_direct_clock(
 # ----------------------------------------------------------------------
 
 
-def lint_source(source: str, path: str | Path) -> list[LintFinding]:
-    """Lint one module's source text; returns sorted findings."""
+def lint_source(
+    source: str, path: str | Path, *, defer_to_flow: bool = False
+) -> list[LintFinding]:
+    """Lint one module's source text; returns sorted findings.
+
+    ``defer_to_flow=True`` drops the REP007 engine-state pre-pass: when
+    the CFG/dataflow analyzer (:mod:`repro.analysis.flow`) runs in the
+    same gate, its path-sensitive REP009 supersedes the lexical check —
+    reporting both would double-flag every genuine site.
+    """
     module_path = Path(path)
     try:
         tree = ast.parse(source, filename=str(module_path))
@@ -556,9 +626,10 @@ def lint_source(source: str, path: str | Path) -> list[LintFinding]:
         _check_module_all(tree, module_path),
         _check_opcounter(tree),
         _check_batch_loops(tree, module_path),
-        _check_engine_state(tree, module_path),
         _check_direct_clock(tree, module_path),
     ]
+    if not defer_to_flow:
+        checks.append(_check_engine_state(tree, module_path))
     for check in checks:
         for line, rule, message in check:
             if not _suppressed(source_lines, line, rule):
@@ -576,11 +647,25 @@ def _iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
             yield path
 
 
-def lint_paths(paths: Sequence[str | Path]) -> list[LintFinding]:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+def lint_paths(
+    paths: Sequence[str | Path], *, defer_to_flow: bool = False
+) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    The result is globally sorted by ``(path, line, rule)`` — not just
+    per-file — so output order is stable regardless of how the input
+    paths were spelled (``src/`` vs an explicit file list).
+    """
     findings: list[LintFinding] = []
     for module_path in _iter_python_files(paths):
-        findings.extend(lint_source(module_path.read_text(), module_path))
+        findings.extend(
+            lint_source(
+                module_path.read_text(),
+                module_path,
+                defer_to_flow=defer_to_flow,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
 

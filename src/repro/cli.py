@@ -43,6 +43,13 @@ Examples::
     # >= 20% of shard sub-operations and cross-check every answer
     # against the unsharded reference (non-zero exit on any mismatch)
     python -m repro chaos --events 400 --fault-rate 0.25 --mode fallback
+
+    # same soak with the runtime lock sanitizer attached: lock-order
+    # inversions and unguarded shared-state mutations exit 2
+    python -m repro chaos --sanitize
+
+    # CFG/dataflow analyses (REP009-REP012) against the committed baseline
+    python -m repro analyze src/ --baseline benchmarks/baselines/analyze.json
 """
 
 from __future__ import annotations
@@ -490,6 +497,79 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _command_analyze(args) -> int:
+    """Run the flow analyses (REP009-REP012) and diff against a baseline.
+
+    Exit codes: 0 clean (after baseline subtraction), 1 un-baselined
+    findings, 2 usage error (missing path, baseline flags misused).
+    When ``$GITHUB_STEP_SUMMARY`` is set (CI), a findings table is
+    appended to it so the hygiene job surfaces results without log
+    spelunking.
+    """
+    import os
+
+    from .analysis.flow import (
+        analyze_paths,
+        baseline_document,
+        filter_baseline,
+        findings_document,
+        load_baseline,
+        render_markdown_table,
+    )
+    from .analysis.flow.driver import _iter_python_files
+    from .artifacts import write_document
+
+    missing = [entry for entry in args.paths if not Path(entry).exists()]
+    if missing:
+        for entry in missing:
+            print(f"repro analyze: no such path: {entry}", file=sys.stderr)
+        return 2
+
+    findings = analyze_paths(args.paths)
+    files = sum(1 for _ in _iter_python_files(args.paths))
+
+    if args.update_baseline:
+        if not args.baseline:
+            print(
+                "repro analyze: --update-baseline requires --baseline",
+                file=sys.stderr,
+            )
+            return 2
+        write_document(Path(args.baseline), baseline_document(findings))
+        print(
+            f"baselined {len(findings)} finding(s) -> {args.baseline}"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        findings, suppressed = filter_baseline(
+            findings, load_baseline(args.baseline)
+        )
+
+    for finding in findings:
+        print(finding)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(
+        f"repro analyze: {files} file(s), {status}"
+        + (f", {suppressed} baselined" if suppressed else "")
+    )
+
+    if args.json:
+        write_document(
+            Path(args.json),
+            findings_document(findings, files=files, suppressed=suppressed),
+        )
+        print(f"wrote {args.json}")
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write("## repro analyze\n\n")
+            handle.write(render_markdown_table(findings))
+    return 1 if findings else 0
+
+
 def _quantile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank quantile of an ascending list (0.0 when empty)."""
     if not sorted_values:
@@ -498,13 +578,30 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     return sorted_values[rank]
 
 
+def _chaos_exit_code(mismatches: int, sanitizer_violations: int) -> int:
+    """Chaos exit-code contract: sanitizer findings outrank mismatches.
+
+    2 — the lock sanitizer recorded violations (lock-order inversion or
+    unguarded shared-state mutation): a concurrency bug exists even if
+    every answer happened to come out right this run.
+    1 — un-marked answer mismatches against the unsharded reference.
+    0 — clean soak.
+    """
+    if sanitizer_violations:
+        return 2
+    return 1 if mismatches else 0
+
+
 def _command_chaos(args) -> int:
     """Seeded fault-injection soak with correctness cross-checking.
 
     Runs entirely on a :class:`~repro.obs.clock.ManualClock`, so latency
     spikes, stuck-shard hangs, and retry backoff all burn *virtual* time
     — the soak is deterministic and instant, yet the deadline budget and
-    the tail-latency report behave as they would on a wall clock.
+    the tail-latency report behave as they would on a wall clock.  With
+    ``--sanitize`` a :class:`~repro.analysis.raceguard.LockSanitizer`
+    (record mode, same virtual clock) watches the engine's lock
+    discipline throughout; its violations dominate the exit code.
     """
     from .engine import (
         FaultInjector,
@@ -577,6 +674,14 @@ def _command_chaos(args) -> int:
         resilience=policy,
         executor=injector,
     )
+    sanitizer = None
+    if args.sanitize:
+        from .analysis.raceguard import LockSanitizer, attach_engine
+
+        # Record mode: the soak runs to completion and reports every
+        # violation at once instead of dying on the first.
+        sanitizer = LockSanitizer(clock, strict=False)
+        attach_engine(engine, sanitizer)
 
     exact = degraded = mismatches = request_errors = 0
     latencies: list[float] = []
@@ -648,6 +753,11 @@ def _command_chaos(args) -> int:
                 f"breaker:    shard {breaker['shard']} {breaker['state']} "
                 f"(failure rate {breaker['failure_rate']:.2f})"
             )
+    if sanitizer is not None:
+        print(
+            f"sanitizer:  {len(sanitizer.events)} lock events, "
+            f"{len(sanitizer.violations)} violations"
+        )
 
     row = {
         "shape": list(shape),
@@ -674,6 +784,10 @@ def _command_chaos(args) -> int:
         "p50_ms": p50,
         "p95_ms": p95,
         "p99_ms": p99,
+        "sanitized": bool(sanitizer is not None),
+        "sanitizer_violations": (
+            len(sanitizer.violations) if sanitizer is not None else 0
+        ),
     }
     _merge_artifact_row(
         Path(args.json),
@@ -687,8 +801,18 @@ def _command_chaos(args) -> int:
             f"unsharded reference",
             file=sys.stderr,
         )
-        return 1
-    return 0
+    if sanitizer is not None and sanitizer.violations:
+        print(
+            f"FAIL: lock sanitizer recorded "
+            f"{len(sanitizer.violations)} violation(s):",
+            file=sys.stderr,
+        )
+        for line in sanitizer.report():
+            print(f"  {line}", file=sys.stderr)
+    return _chaos_exit_code(
+        mismatches,
+        len(sanitizer.violations) if sanitizer is not None else 0,
+    )
 
 
 def _command_table1(args) -> int:
@@ -932,7 +1056,39 @@ def build_parser() -> argparse.ArgumentParser:
         default="BENCH_chaos.json",
         help="JSON artifact path (rows merged per configuration)",
     )
+    chaos.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="attach the runtime lock sanitizer; violations exit 2",
+    )
     chaos.set_defaults(handler=_command_chaos)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the CFG/dataflow analyses (REP009-REP012) over source "
+        "trees and diff against a committed baseline",
+    )
+    analyze.add_argument(
+        "paths", nargs="+", help="files or directories to analyze"
+    )
+    analyze.add_argument(
+        "--baseline",
+        default=None,
+        help="accepted-findings JSON (repro.artifacts schema); matching "
+        "findings are subtracted before the exit code is decided",
+    )
+    analyze.add_argument(
+        "--update-baseline",
+        action="store_true",
+        dest="update_baseline",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    analyze.add_argument(
+        "--json",
+        default=None,
+        help="also write the un-baselined findings as a JSON document",
+    )
+    analyze.set_defaults(handler=_command_analyze)
 
     for name, handler in (
         ("table1", _command_table1),

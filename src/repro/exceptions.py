@@ -22,6 +22,9 @@ __all__ = [
     "CircuitOpenError",
     "ShardFailedError",
     "InjectedFaultError",
+    "RaceGuardError",
+    "LockOrderViolationError",
+    "UnguardedMutationError",
 ]
 
 
@@ -95,3 +98,25 @@ class InjectedFaultError(ResilienceError):
     Never raised by production code paths; exists so resilience tests
     can distinguish injected faults from genuine shard failures.
     """
+
+
+class RaceGuardError(ReproError, RuntimeError):
+    """Base class for runtime lock-sanitizer violations.
+
+    Raised only when a :class:`repro.analysis.raceguard.LockSanitizer`
+    is attached (tests, ``repro chaos --sanitize``); production paths
+    never construct one.
+    """
+
+
+class LockOrderViolationError(RaceGuardError):
+    """Two locks were acquired in an order that inverts a recorded order.
+
+    The sanitizer records every nested acquisition as a directed edge;
+    taking ``b`` while holding ``a`` after some thread took ``a`` while
+    holding ``b`` is a latent ABBA deadlock even if this run got lucky.
+    """
+
+
+class UnguardedMutationError(RaceGuardError):
+    """A registered shared object was mutated with no guarding lock held."""

@@ -14,6 +14,20 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(0xDDC)
 
 
+@pytest.fixture
+def lock_sanitizer():
+    """A strict LockSanitizer on a manual clock, for engine tests.
+
+    Use with :func:`repro.analysis.raceguard.attach_engine` to make a
+    test fail the moment the engine inverts a lock order or mutates
+    shared state unguarded — the runtime twin of REP009/REP010.
+    """
+    from repro.analysis.raceguard import LockSanitizer
+    from repro.obs.clock import ManualClock
+
+    return LockSanitizer(ManualClock(), strict=True)
+
+
 @pytest.fixture(params=["naive", "ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"])
 def method_name(request) -> str:
     """Every registered range-sum method name."""
