@@ -31,8 +31,11 @@ from conftest import report, write_root_artifact
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 N = 32 if SMOKE else 256
 SHAPE = (N, N)
-BATCH_SIZES = [4, 16] if SMOKE else [16, 64, 256]
+# The largest batch must clear every method's batch_crossover so the
+# smoke run still exercises (and asserts on) the shared-work batch path.
+BATCH_SIZES = [4, 256] if SMOKE else [16, 64, 256]
 LOCALITIES = ["uniform", "zipf"]
+REPS = 1 if SMOKE else 3
 
 
 def test_batch_query_throughput(benchmark):
@@ -50,16 +53,30 @@ def test_batch_query_throughput(benchmark):
                     cells = query_stream(
                         SHAPE, batch, locality=locality, seed=51 + batch
                     )
-                    method.stats.reset()
-                    start = time.perf_counter()
-                    batch_results = method.prefix_sum_many(cells)
-                    batch_seconds = time.perf_counter() - start
-                    batch_stats = method.stats.snapshot()
-                    method.stats.reset()
-                    start = time.perf_counter()
-                    scalar_results = [method.prefix_sum(cell) for cell in cells]
-                    scalar_seconds = time.perf_counter() - start
-                    scalar_stats = method.stats.snapshot()
+                    # Warm both paths once (first-touch numpy setup,
+                    # allocator effects), then keep the best of REPS
+                    # timed runs — a single cold round mostly measures
+                    # scheduler noise on small batches.
+                    method.prefix_sum_many(cells)
+                    [method.prefix_sum(cell) for cell in cells]
+                    batch_seconds = scalar_seconds = None
+                    for _ in range(REPS):
+                        method.stats.reset()
+                        start = time.perf_counter()
+                        batch_results = method.prefix_sum_many(cells)
+                        elapsed = time.perf_counter() - start
+                        batch_stats = method.stats.snapshot()
+                        if batch_seconds is None or elapsed < batch_seconds:
+                            batch_seconds = elapsed
+                        method.stats.reset()
+                        start = time.perf_counter()
+                        scalar_results = [
+                            method.prefix_sum(cell) for cell in cells
+                        ]
+                        elapsed = time.perf_counter() - start
+                        scalar_stats = method.stats.snapshot()
+                        if scalar_seconds is None or elapsed < scalar_seconds:
+                            scalar_seconds = elapsed
                     assert [int(v) for v in batch_results] == [
                         int(v) for v in scalar_results
                     ], f"batch/scalar mismatch for {name}"

@@ -14,7 +14,11 @@ trade-off surface is visible in one artifact:
 * a higher read mix → fewer epoch bumps → higher hit rate;
 * zipf locality → the hot pool dominates → the cache carries the load;
 * worker threads pay dispatch overhead per sub-query and only help once
-  per-shard work is large enough to overlap.
+  per-shard work is large enough to overlap — the GIL caps them hard;
+* the process executor sidesteps the GIL entirely: shards live as
+  shared-memory prefix-sum slabs served by a persistent worker pool,
+  so a cache miss costs one vectorised gather per touched shard
+  instead of a pure-python tree descent.
 
 Results land in ``benchmarks/results/engine_throughput.json`` and the
 headline artifact ``BENCH_engine.json`` at the repository root.
@@ -40,10 +44,24 @@ SHAPE = (N, N)
 EVENTS = 100 if SMOKE else 600
 METHOD = "ddc"
 SHARD_COUNTS = [1, 2] if SMOKE else [1, 4, 8]
-WORKER_COUNTS = [0] if SMOKE else [0, 4]
+#: Executor dimension: ``(kind, workers)``.  ``serial`` is the
+#: deterministic baseline; ``thread`` exercises the GIL-bound pool (and
+#: its single-shard fast path); ``process`` serves shards from
+#: shared-memory prefix slabs through the worker-process pool.
+EXECUTOR_CONFIGS = (
+    [("serial", 0), ("process", 2)]
+    if SMOKE
+    else [("serial", 0), ("thread", 4), ("process", 4)]
+)
 MIXES = [0.9] if SMOKE else [0.5, 0.9, 0.95]
 LOCALITIES = ["zipf"] if SMOKE else ["uniform", "zipf"]
 CACHE_SIZE = 4096
+# Replays mutate state, so each rep rebuilds its target and the row
+# keeps the best rep — a single cold round mostly measures worker
+# spawn-up and scheduler noise, not serving cost.  Smoke runs keep the
+# reps: their tiny replay makes them almost free, and the regression
+# gate's absolute floors need stable numbers.
+REPS = 3
 
 
 def _replay(target, events):
@@ -68,32 +86,46 @@ def test_engine_serving_throughput(benchmark):
                 events = read_write_stream(
                     SHAPE, EVENTS, mix=mix, locality=locality, seed=71
                 )
-                baseline = build_method(METHOD, data)
-                baseline_seconds, baseline_reads = _replay(baseline, events)
-                expected = [int(value) for value in baseline_reads]
+                baseline_seconds = None
+                expected = None
+                for _ in range(REPS):
+                    baseline = build_method(METHOD, data)
+                    elapsed, baseline_reads = _replay(baseline, events)
+                    if baseline_seconds is None or elapsed < baseline_seconds:
+                        baseline_seconds = elapsed
+                    expected = [int(value) for value in baseline_reads]
                 for shards in SHARD_COUNTS:
-                    for workers in WORKER_COUNTS:
-                        engine = ShardedEngine.from_array(
-                            data,
-                            shards=shards,
-                            method=METHOD,
-                            workers=workers or None,
-                            cache_size=CACHE_SIZE,
-                        )
-                        engine.reset_stats()
-                        engine_seconds, engine_reads = _replay(engine, events)
-                        info = engine.cache_info()
-                        engine.close()
-                        assert [int(v) for v in engine_reads] == expected, (
-                            f"engine (K={shards}) disagrees with the "
-                            f"unsharded baseline"
-                        )
+                    for executor_kind, workers in EXECUTOR_CONFIGS:
+                        engine_seconds = None
+                        for _ in range(REPS):
+                            engine = ShardedEngine.from_array(
+                                data,
+                                shards=shards,
+                                method=METHOD,
+                                workers=workers or None,
+                                executor=(
+                                    None if executor_kind == "serial"
+                                    else executor_kind
+                                ),
+                                cache_size=CACHE_SIZE,
+                            )
+                            engine.reset_stats()
+                            elapsed, engine_reads = _replay(engine, events)
+                            info = engine.cache_info()
+                            engine.close()
+                            assert [int(v) for v in engine_reads] == expected, (
+                                f"engine (K={shards}, {executor_kind}) "
+                                f"disagrees with the unsharded baseline"
+                            )
+                            if engine_seconds is None or elapsed < engine_seconds:
+                                engine_seconds = elapsed
                         rows.append(
                             {
                                 "shape": list(SHAPE),
                                 "method": METHOD,
                                 "shards": shards,
                                 "workers": workers,
+                                "executor": executor_kind,
                                 "mix": mix,
                                 "locality": locality,
                                 "events": len(events),
@@ -126,12 +158,13 @@ def test_engine_serving_throughput(benchmark):
     lines = [
         f"sharded-engine serving vs unsharded scalar, {N}x{N} clustered cube, "
         f"{EVENTS} events",
-        f"{'locality':<8} {'mix':>5} {'shards':>6} {'workers':>7} "
+        f"{'locality':<8} {'mix':>5} {'shards':>6} {'executor':<8} {'workers':>7} "
         f"{'engine s':>10} {'scalar s':>10} {'speedup':>8} {'hit rate':>9}",
     ]
     for row in rows:
         lines.append(
             f"{row['locality']:<8} {row['mix']:>5.2f} {row['shards']:>6} "
+            f"{row['executor']:<8} "
             f"{row['workers']:>7} {row['engine_seconds']:>10.5f} "
             f"{row['baseline_seconds']:>10.5f} "
             f"{row['speedup_vs_scalar']:>8.2f} {row['cache_hit_rate']:>9.2%}"
@@ -155,3 +188,18 @@ def test_engine_serving_throughput(benchmark):
         assert best > 1.0, f"best read-heavy zipf speedup {best:.2f} <= 1"
         # The hot pool actually hits the cache on read-heavy workloads.
         assert any(row["cache_hit_rate"] > 0.3 for row in read_heavy)
+        # Acceptance: the process executor breaks the GIL ceiling —
+        # shared-memory shard fan-out serves >= 3x the unsharded scalar
+        # baseline at K=4 on the read-heavy zipf stream.
+        process_row = next(
+            row
+            for row in rows
+            if row["executor"] == "process"
+            and row["shards"] == 4
+            and row["locality"] == "zipf"
+            and row["mix"] == 0.9
+        )
+        assert process_row["speedup_vs_scalar"] >= 3.0, (
+            f"process executor speedup "
+            f"{process_row['speedup_vs_scalar']:.2f} < 3x"
+        )

@@ -40,8 +40,9 @@ from .findings import FlowFinding
 
 __all__ = ["GUARDED_ATTRS", "LockState", "LockAnalyzer"]
 
-#: Attributes holding shared mutable serving state (same set REP007 guards).
-GUARDED_ATTRS = frozenset({"_epochs", "_cache", "_breakers"})
+#: Attributes holding shared mutable serving state (same set REP007
+#: guards) — including the process executor's worker-lane table.
+GUARDED_ATTRS = frozenset({"_epochs", "_cache", "_breakers", "_lanes"})
 
 #: Synthetic lock representing "the caller holds the engine lock" for
 #: ``_locked_*`` helpers.  Never contributes order-graph edges.

@@ -388,8 +388,10 @@ def _check_batch_loops(
 
 # -- REP007: engine shared state only mutates under the lock ------------
 
-#: Attributes holding the engine's shared mutable serving state.
-_GUARDED_ATTRS = frozenset({"_epochs", "_cache", "_breakers"})
+#: Attributes holding the engine's shared mutable serving state.  The
+#: process-pool entries (``_lanes``: worker/pipe lanes, each guarded by
+#: its per-lane lock) joined the set with the process executor.
+_GUARDED_ATTRS = frozenset({"_epochs", "_cache", "_breakers", "_lanes"})
 
 #: Function names allowed to touch guarded state without a lexical lock:
 #: construction (nothing is shared yet) and helpers whose naming contract

@@ -28,6 +28,10 @@ Examples::
     # sharded-engine serving throughput vs the unsharded scalar baseline
     python -m repro bench-engine --shape 256 256 --shards 4 --mix 0.9
 
+    # same measurement over the process executor: shards served from
+    # shared-memory prefix slabs by a persistent worker-process pool
+    python -m repro bench-engine --shards 4 --executor process
+
     # replay a serving workload and print per-shard/cache statistics
     # (including p50/p95/p99 shard latency from the live histograms)
     python -m repro serve-stats --shape 128 128 --shards 4 --events 500
@@ -47,6 +51,10 @@ Examples::
     # same soak with the runtime lock sanitizer attached: lock-order
     # inversions and unguarded shared-state mutations exit 2
     python -m repro chaos --sanitize
+
+    # soak the worker-process pool, SIGKILLing real workers mid-query;
+    # recovery must stay exact (slabs + ledger replay survive the kill)
+    python -m repro chaos --executor process --kill-rate 0.05
 
     # CFG/dataflow analyses (REP009-REP012) against the committed baseline
     python -m repro analyze src/ --baseline benchmarks/baselines/analyze.json
@@ -330,7 +338,11 @@ def _command_bench_engine(args) -> int:
         shards=args.shards,
         method=args.method,
         workers=args.workers or None,
+        executor=args.executor,
         cache_size=args.cache,
+    )
+    executor_kind = args.executor or (
+        "thread" if (args.workers or 0) > 1 and args.shards > 1 else "serial"
     )
     engine.reset_stats()
     start = time.perf_counter()
@@ -350,6 +362,7 @@ def _command_bench_engine(args) -> int:
         "method": args.method,
         "shards": args.shards,
         "workers": args.workers,
+        "executor": executor_kind,
         "mix": args.mix,
         "locality": args.locality,
         "events": len(events),
@@ -369,11 +382,13 @@ def _command_bench_engine(args) -> int:
         "cache_hit_rate": info["hit_rate"],
     }
     print(
-        f"{'shards':>6} {'workers':>7} {'mix':>5} {'locality':<8} "
+        f"{'shards':>6} {'executor':<8} {'workers':>7} {'mix':>5} "
+        f"{'locality':<8} "
         f"{'engine s':>10} {'scalar s':>10} {'speedup':>8} {'hit rate':>9}"
     )
     print(
-        f"{row['shards']:>6} {row['workers']:>7} {row['mix']:>5.2f} "
+        f"{row['shards']:>6} {row['executor']:<8} {row['workers']:>7} "
+        f"{row['mix']:>5.2f} "
         f"{row['locality']:<8} {row['engine_seconds']:>10.4f} "
         f"{row['baseline_seconds']:>10.4f} {row['speedup_vs_scalar']:>8.2f} "
         f"{row['cache_hit_rate']:>9.2%}"
@@ -382,7 +397,10 @@ def _command_bench_engine(args) -> int:
         Path(args.json),
         "engine_throughput",
         row,
-        ("shape", "method", "shards", "workers", "mix", "locality", "events"),
+        (
+            "shape", "method", "shards", "workers", "executor",
+            "mix", "locality", "events",
+        ),
     )
     return 0
 
@@ -392,7 +410,9 @@ def _traced_replay(args):
 
     Shared by ``serve-stats`` / ``metrics`` / ``trace``: one clustered
     cube, one read/write stream, one instrumented engine.  Returns
-    ``(obs, engine, events)`` with the engine already closed.
+    ``(obs, engine, events, pool)`` with the engine already closed;
+    ``pool`` is the worker-pool snapshot captured *before* shutdown
+    (None outside process mode).
     """
     from .engine import ShardedEngine
     from .obs import Observability
@@ -416,17 +436,19 @@ def _traced_replay(args):
         shards=args.shards,
         method=args.method,
         workers=args.workers or None,
+        executor=args.executor,
         cache_size=args.cache,
         obs=obs,
     )
     engine.reset_stats()
     _run_serving_stream(engine, events)
+    pool = engine.pool_info()
     engine.close()
-    return obs, engine, events
+    return obs, engine, events, pool
 
 
 def _command_serve_stats(args) -> int:
-    obs, engine, events = _traced_replay(args)
+    obs, engine, events, pool = _traced_replay(args)
 
     print(f"engine:    {engine!r}")
     print(f"events:    {len(events)} ({args.mix:.0%} reads, {args.locality})")
@@ -460,13 +482,29 @@ def _command_serve_stats(args) -> int:
             f"{shard_row['cell_reads']:>8,} {shard_row['cell_writes']:>8,} "
             f"{p50:>8.1f} {p95:>8.1f} {p99:>8.1f}"
         )
+    if pool is not None:
+        print(
+            f"pool:      {pool['workers']} worker(s) "
+            f"({pool['start_method']} start, "
+            f"{'ipc' if pool['ipc_reads'] else 'direct'} reads), "
+            f"{pool['restarts']} restart(s), "
+            f"{pool['buffered_deltas']} buffered delta(s)"
+        )
+        for lane in pool["lanes"]:
+            shards = ", ".join(str(s) for s in lane["shards"])
+            print(
+                f"  lane {lane['worker']}: pid {lane['pid']} "
+                f"{'alive' if lane['alive'] else 'DEAD'}, "
+                f"shards [{shards}], restarts {lane['restarts']}, "
+                f"pending acks {lane['pending_acks']}"
+            )
     return 0
 
 
 def _command_metrics(args) -> int:
     import json
 
-    obs, _engine, _events = _traced_replay(args)
+    obs, _engine, _events, _pool = _traced_replay(args)
     if args.format == "prom":
         sys.stdout.write(obs.metrics.render_prometheus())
     else:
@@ -477,7 +515,7 @@ def _command_metrics(args) -> int:
 def _command_trace(args) -> int:
     from .obs import render_span_tree, sorted_by_duration
 
-    obs, _engine, events = _traced_replay(args)
+    obs, _engine, events, _pool = _traced_replay(args)
     roots = sorted_by_duration(obs.tracer.finished_roots())[: args.slowest]
     print(
         f"{len(events)} events replayed, {len(obs.tracer.finished_roots())} "
@@ -655,25 +693,48 @@ def _command_chaos(args) -> int:
         breaker_cooldown_seconds=args.breaker_cooldown_ms / 1e3,
         degradation=args.mode,
     )
-    injector = FaultInjector(
-        SerialExecutor(),
-        clock=clock,
-        seed=args.seed,
-        fault_rate=args.fault_rate,
-        latency_rate=args.latency_rate,
-        latency_seconds=args.latency_ms / 1e3,
-        hang_rate=args.hang_rate,
-        hang_seconds=args.hang_ms / 1e3,
-    )
-    engine = ShardedEngine.from_array(
-        data,
-        shards=args.shards,
-        method=args.method,
-        cache_size=args.cache,
-        obs=obs,
-        resilience=policy,
-        executor=injector,
-    )
+    def make_injector(inner):
+        return FaultInjector(
+            inner,
+            clock=clock,
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            latency_rate=args.latency_rate,
+            latency_seconds=args.latency_ms / 1e3,
+            hang_rate=args.hang_rate,
+            hang_seconds=args.hang_ms / 1e3,
+            kill_rate=args.kill_rate,
+        )
+
+    if args.executor == "process":
+        # Soak the real worker pool: shards live in shared-memory
+        # slabs, reads round-trip through worker pipes (``ipc_reads``)
+        # so injected kills genuinely interrupt in-flight queries, and
+        # the injector interposes *in front of* the already-running
+        # pool — workers keep their slab attachments across the wrap.
+        engine = ShardedEngine.from_array(
+            data,
+            shards=args.shards,
+            method=args.method,
+            cache_size=args.cache,
+            obs=obs,
+            resilience=policy,
+            executor="process",
+            ipc_reads=True,
+        )
+        engine.wrap_executor(make_injector)
+        injector = engine.executor
+    else:
+        injector = make_injector(SerialExecutor())
+        engine = ShardedEngine.from_array(
+            data,
+            shards=args.shards,
+            method=args.method,
+            cache_size=args.cache,
+            obs=obs,
+            resilience=policy,
+            executor=injector,
+        )
     sanitizer = None
     if args.sanitize:
         from .analysis.raceguard import LockSanitizer, attach_engine
@@ -706,6 +767,7 @@ def _command_chaos(args) -> int:
         else:
             mismatches += 1
     resilience = engine.resilience_info()
+    pool = engine.pool_info()
     engine.close()
 
     def counter_total(name: str, labels: tuple = ()) -> int:
@@ -733,8 +795,14 @@ def _command_chaos(args) -> int:
         f"sub-operations perturbed ({injection['injected_rate']:.1%}: "
         f"{injection['injected_fault']} faults, "
         f"{injection['injected_latency']} latency, "
-        f"{injection['injected_hang']} hangs)"
+        f"{injection['injected_hang']} hangs, "
+        f"{injection['injected_kill']} kills)"
     )
+    if pool is not None:
+        print(
+            f"pool:       {pool['alive']}/{pool['workers']} worker(s) alive, "
+            f"{pool['restarts']} respawn(s) across the soak"
+        )
     print(
         f"resilience: {retries} retries, {timeouts} timeouts, "
         f"{transitions} breaker transitions"
@@ -764,12 +832,15 @@ def _command_chaos(args) -> int:
         "method": args.method,
         "shards": args.shards,
         "mode": args.mode,
+        "executor": args.executor,
         "seed": args.seed,
         "events": len(events),
         "reads": len(latencies),
         "fault_rate": args.fault_rate,
         "latency_rate": args.latency_rate,
         "hang_rate": args.hang_rate,
+        "kill_rate": args.kill_rate,
+        "worker_restarts": pool["restarts"] if pool is not None else 0,
         "deadline_ms": args.deadline_ms,
         "retries_allowed": args.retries,
         "injected_rate": injection["injected_rate"],
@@ -793,7 +864,7 @@ def _command_chaos(args) -> int:
         Path(args.json),
         "chaos_soak",
         row,
-        ("shape", "method", "shards", "mode", "seed", "events"),
+        ("shape", "method", "shards", "mode", "executor", "seed", "events"),
     )
     if mismatches:
         print(
@@ -918,6 +989,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="executor threads (0 = deterministic sequential fan-out)",
         )
         sub.add_argument(
+            "--executor",
+            default=None,
+            choices=("serial", "thread", "process"),
+            help="executor kind; 'process' serves shards from "
+            "shared-memory slabs via a worker-process pool "
+            "(default: auto — threads when --workers >= 2)",
+        )
+        sub.add_argument(
             "--mix", type=float, default=0.9, help="fraction of events that read"
         )
         sub.add_argument(
@@ -1020,6 +1099,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=50.0,
         dest="hang_ms",
         help="injected hang duration (virtual milliseconds)",
+    )
+    chaos.add_argument(
+        "--executor",
+        default="serial",
+        choices=("serial", "process"),
+        help="'process' soaks the worker-process pool (shared-memory "
+        "slabs, IPC reads) so injected kills hit real workers",
+    )
+    chaos.add_argument(
+        "--kill-rate",
+        type=float,
+        default=0.0,
+        dest="kill_rate",
+        help="probability a sub-operation SIGKILLs the owning pool "
+        "worker (process executor; elsewhere the crash is simulated)",
     )
     chaos.add_argument(
         "--deadline-ms",

@@ -71,9 +71,11 @@ class DynamicDataCube(RangeSumMethod):
 
     name = "ddc"
     #: Below this batch size the per-node bucketing and contribution
-    #: cache of the path-sharing traversal cost more than they share
-    #: (the batch=4 regression in BENCH_batch_queries.json).
-    batch_crossover = 8
+    #: cache of the path-sharing traversal cost more than they share.
+    #: Set by the worst locality: uniform batches share few paths and
+    #: only break even near 128 (zipf wins from ~16, but the crossover
+    #: cannot see locality), per BENCH_batch_queries.json.
+    batch_crossover = 128
     _overlay_class = TreeOverlay
 
     def __init__(

@@ -11,11 +11,19 @@ Fault tolerance (``docs/resilience.md``): attach a
 fan-out with deadline budgets, retry-with-backoff, per-shard circuit
 breakers, and graceful degradation; test it all deterministically with
 :class:`~repro.engine.resilience.FaultInjector`.
+
+Process parallelism (``docs/engine.md``): construct the engine with
+``executor="process"`` to serve every shard from a shared-memory
+prefix-sum slab (:class:`~repro.engine.shm.ShardSlabStore`) through a
+persistent worker-process pool
+(:class:`~repro.engine.process.ProcessExecutor`) — the fan-out contract
+is unchanged, so resilience and chaos tooling compose as-is.
 """
 
 from .cache import MISS, EpochLruCache
 from .engine import ShardedEngine
 from .executor import SerialExecutor, ThreadedExecutor, make_executor
+from .process import ProcessExecutor, ShmShardReplica
 from .resilience import (
     BREAKER_CLOSED,
     BREAKER_HALF_OPEN,
@@ -29,6 +37,7 @@ from .resilience import (
     is_partial,
 )
 from .sharding import ShardPlan, ShardSpan
+from .shm import ShardSlabStore
 
 __all__ = [
     "ShardedEngine",
@@ -38,6 +47,9 @@ __all__ = [
     "MISS",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
+    "ShmShardReplica",
+    "ShardSlabStore",
     "make_executor",
     "ResiliencePolicy",
     "Deadline",

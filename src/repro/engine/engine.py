@@ -41,6 +41,7 @@ from .. import geometry
 from ..counters import OpCounter
 from ..exceptions import (
     CircuitOpenError,
+    ConfigurationError,
     DeadlineExceededError,
     ShardFailedError,
 )
@@ -48,7 +49,7 @@ from ..methods.base import RangeSumMethod
 from ..methods.registry import method_class
 from ..obs import NULL_OBS
 from .cache import MISS, EpochLruCache
-from .executor import make_executor
+from .executor import ThreadedExecutor, make_executor
 from .resilience import CircuitBreaker, Deadline, PartialResult, ResiliencePolicy
 from .sharding import ShardPlan
 
@@ -80,11 +81,27 @@ class ShardedEngine(RangeSumMethod):
             policy's graceful-degradation mode (see
             ``docs/resilience.md``).  ``None`` (the default) keeps the
             exact PR 3 fast path.
-        executor: optional pre-built executor (anything with the
-            ``map`` / ``try_map`` / ``shutdown`` surface) — this is how
+        executor: either a pre-built executor (anything with the
+            ``map`` / ``try_map`` / ``shutdown`` surface — this is how
             tests and the chaos CLI interpose a
-            :class:`~repro.engine.resilience.FaultInjector`.  When
-            given, ``workers`` is ignored.
+            :class:`~repro.engine.resilience.FaultInjector`; ``workers``
+            is then ignored) or one of the strings ``"serial"``,
+            ``"thread"``, ``"process"``.  ``"process"`` replaces the
+            in-process shards with
+            :class:`~repro.engine.process.ShmShardReplica` proxies over
+            a :class:`~repro.engine.shm.ShardSlabStore` — every shard's
+            payload becomes a shared-memory prefix-sum slab served by a
+            persistent worker-process pool, side-stepping the GIL
+            entirely (``method`` then only labels reports; the slab
+            layout is fixed).  ``None`` (the default) keeps the
+            historical behaviour: threads when ``workers >= 2``, serial
+            otherwise — except that a single-shard plan now always runs
+            serially, since there is nothing to fan out.
+        ipc_reads: process mode only — route every read through the
+            owning worker's pipe instead of gathering directly off the
+            shared slab.  Slower, but it makes reads themselves cross
+            the process boundary, which is what the chaos harness wants
+            when it kills workers mid-query.
     """
 
     name = "engine"
@@ -101,6 +118,7 @@ class ShardedEngine(RangeSumMethod):
         obs=None,
         resilience: ResiliencePolicy | None = None,
         executor=None,
+        ipc_reads: bool = False,
     ) -> None:
         super().__init__(shape, dtype=dtype)
         self.plan = ShardPlan(self.shape, shards)
@@ -108,18 +126,61 @@ class ShardedEngine(RangeSumMethod):
         self.workers = workers
         self._method_kwargs = dict(method_kwargs or {})
         self.obs = obs if obs is not None else NULL_OBS
+        executor_kind = executor if isinstance(executor, str) else None
+        if executor_kind is not None:
+            executor = None
+            if executor_kind not in ("serial", "thread", "process"):
+                raise ConfigurationError(
+                    f"unknown executor kind {executor_kind!r} "
+                    f"(expected 'serial', 'thread', or 'process')"
+                )
         shard_cls = method_class(method)
-        self._shards: list[RangeSumMethod] = [
-            shard_cls(
-                self.plan.shard_shape(index),
-                dtype=self.dtype,
-                **self._method_kwargs,
+        self._store = None
+        self._process_pool = None
+        if executor_kind == "process":
+            from .process import ProcessExecutor, ShmShardReplica
+            from .shm import ShardSlabStore
+
+            self._store = ShardSlabStore(self.plan, dtype=self.dtype)
+            self._process_pool = ProcessExecutor(
+                self._store, workers=workers, obs=self.obs,
+                ipc_reads=ipc_reads,
             )
-            for index in range(self.plan.count)
-        ]
+            self._shards: list[RangeSumMethod] = [
+                ShmShardReplica(
+                    self._process_pool,
+                    index,
+                    self.plan.shard_shape(index),
+                    dtype=self.dtype,
+                )
+                for index in range(self.plan.count)
+            ]
+        else:
+            self._shards = [
+                shard_cls(
+                    self.plan.shard_shape(index),
+                    dtype=self.dtype,
+                    **self._method_kwargs,
+                )
+                for index in range(self.plan.count)
+            ]
         for shard in self._shards:
             shard.obs = self.obs
-        self._executor = executor if executor is not None else make_executor(workers)
+        if executor is not None:
+            self._executor = executor
+        elif executor_kind == "process":
+            self._executor = self._process_pool
+        elif executor_kind == "thread":
+            self._executor = ThreadedExecutor(workers if workers and workers >= 2 else 2)
+        elif executor_kind == "serial":
+            self._executor = make_executor(None)
+        else:
+            # Default selection, with one refinement: a single-shard plan
+            # has nothing to fan out, so a thread pool would be pure
+            # dispatch overhead — degrade to the serial executor.
+            self._executor = make_executor(
+                workers if self.plan.count > 1 else None
+            )
         self._lock = threading.RLock()
         self._epochs = [0] * self.plan.count
         self._cache = EpochLruCache(cache_size)
@@ -214,6 +275,18 @@ class ShardedEngine(RangeSumMethod):
         """
         array = np.asarray(array)
         engine = cls(array.shape, dtype=kwargs.pop("dtype", array.dtype), **kwargs)
+        if engine._store is not None:
+            # Process mode: the payload lives in the shared slab store;
+            # recomputing the prefix slabs in place is the bulk load
+            # (attached workers see the pages directly), and the epoch
+            # bumps invalidate anything cached against the empty cube.
+            with engine._lock:
+                # No posted delta may race the rewrite.
+                engine._process_pool.flush()
+                engine._store.load_array(array.astype(engine.dtype))
+                for index in range(engine.plan.count):
+                    engine._epochs[index] += 1
+            return engine
         shard_cls = method_class(engine.method_name)
         with engine._lock:
             for index in range(engine.plan.count):
@@ -729,11 +802,16 @@ class ShardedEngine(RangeSumMethod):
                 sub_queries = per_shard[shard_index]
                 shard = self._shards[shard_index]
                 self.stats.touch(shard)
+                # Proxy shards (process mode) provide an executor-free
+                # direct reader over the shared slab — the fallback must
+                # not depend on the very worker that just failed.
+                fallback = getattr(shard, "fallback_target", None)
+                target = fallback() if fallback is not None else shard
                 if obs.enabled:
                     with obs.span("shard.fallback", shard=shard_index):
-                        values = compute(shard, sub_queries)
+                        values = compute(target, sub_queries)
                 else:
-                    values = compute(shard, sub_queries)
+                    values = compute(target, sub_queries)
                 completed.append((sub_queries, values))
                 self._obs_degraded.labels(mode="fallback").inc()
             return {}
@@ -766,6 +844,34 @@ class ShardedEngine(RangeSumMethod):
     def shards(self) -> tuple[RangeSumMethod, ...]:
         """The per-shard structures (read-only view for tests/benches)."""
         return tuple(self._shards)
+
+    @property
+    def executor(self):
+        """The live executor (read-only view for tests/benches)."""
+        return self._executor
+
+    @property
+    def process_pool(self):
+        """The worker-process pool, or None outside process mode."""
+        return self._process_pool
+
+    def wrap_executor(self, wrap) -> None:
+        """Replace the live executor with ``wrap(current_executor)``.
+
+        The hook the chaos harness uses to interpose a
+        :class:`~repro.engine.resilience.FaultInjector` around an
+        already-running executor — in process mode the pool keeps its
+        workers and shm attachments, the injector just sits in front of
+        the fan-out.
+        """
+        with self._lock:
+            self._executor = wrap(self._executor)
+
+    def pool_info(self) -> dict | None:
+        """Worker-pool snapshot (None outside process mode)."""
+        if self._process_pool is None:
+            return None
+        return self._process_pool.pool_info()
 
     @property
     def epochs(self) -> tuple[int, ...]:
@@ -855,8 +961,13 @@ class ShardedEngine(RangeSumMethod):
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the executor down (idempotent)."""
+        """Shut the executor down; in process mode also stop the worker
+        pool and unlink the shared-memory slabs (idempotent)."""
         self._executor.shutdown()
+        if self._process_pool is not None and self._process_pool is not self._executor:
+            self._process_pool.shutdown()
+        if self._store is not None:
+            self._store.destroy()
 
     def __enter__(self) -> "ShardedEngine":
         return self

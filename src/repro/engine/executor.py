@@ -35,7 +35,7 @@ from typing import Callable, Sequence, TypeVar
 
 from ..exceptions import ConfigurationError, DeadlineExceededError
 
-__all__ = ["SerialExecutor", "ThreadedExecutor", "make_executor"]
+__all__ = ["SerialExecutor", "ThreadFanout", "ThreadedExecutor", "make_executor"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -98,22 +98,30 @@ class SerialExecutor:
         return "SerialExecutor()"
 
 
-class ThreadedExecutor:
-    """Thread-pool executor for fanning sub-queries across shards."""
+class ThreadFanout:
+    """Shared thread-pool fan-out surface (``map`` / ``try_map``).
 
-    def __init__(self, workers: int) -> None:
-        if workers < 2:
-            raise ConfigurationError(
-                f"ThreadedExecutor needs >= 2 workers, got {workers} "
-                f"(use SerialExecutor instead)"
-            )
-        self.workers = workers
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-shard"
-        )
+    Subclasses provide ``self.workers`` and ``self._pool``; this mixin
+    supplies the ordered fan-out, the per-item isolation, and the
+    deadline semantics.  :class:`ThreadedExecutor` runs shard work on
+    the pool threads directly; the process executor (see
+    ``repro.engine.process``) reuses the same fan-out with pool threads
+    that block on worker IPC instead (blocking on a pipe releases the
+    GIL, which is the whole point).
+    """
+
+    workers: int
+    _pool: ThreadPoolExecutor
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every item concurrently; results keep order."""
+        """Apply ``fn`` to every item concurrently; results keep order.
+
+        A single-item batch — a request whose range resolves to one
+        owning shard, the common case under zipf locality — runs inline:
+        pool dispatch would cost more than the work it overlaps.
+        """
+        if len(items) == 1:
+            return [fn(items[0])]
         return list(self._pool.map(fn, items))
 
     def try_map(
@@ -162,6 +170,21 @@ class ThreadedExecutor:
     def shutdown(self) -> None:
         """Release the pool's threads (idempotent)."""
         self._pool.shutdown(wait=True)
+
+
+class ThreadedExecutor(ThreadFanout):
+    """Thread-pool executor for fanning sub-queries across shards."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                f"ThreadedExecutor needs >= 2 workers, got {workers} "
+                f"(use SerialExecutor instead)"
+            )
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ThreadedExecutor(workers={self.workers})"

@@ -1,0 +1,899 @@
+"""Process-parallel shard fan-out over the shared-memory slab store.
+
+The GIL caps the threaded executor at ~1.9x no matter how many workers
+because every DDC descent is pure-python bytecode.  This module moves
+shard serving into a **persistent pool of worker processes**:
+
+* each worker owns a fixed subset of shards (``shard % workers``) and
+  attaches their prefix-sum slabs from the
+  :class:`~repro.engine.shm.ShardSlabStore` at startup — zero-copy,
+  built once at plan time;
+* the parent keeps the engine's ``map`` / ``try_map`` contract by
+  reusing the thread-pool fan-out (:class:`~.executor.ThreadFanout`):
+  each pool thread blocks on its worker's pipe, releasing the GIL, so
+  ``ResiliencePolicy`` deadlines, retries, circuit breakers, and the
+  ``FaultInjector`` compose completely unchanged;
+* writes ship as compact ``(cell, delta)`` tuples over the owning
+  worker's pipe and are applied as suffix rectangles on the shared
+  slab — the worker is the single writer for its shards, so deltas
+  serialise without locks.  Shipments are **buffered and pipelined**:
+  deltas accumulate parent-side and go out
+  :data:`~ProcessExecutor.ship_threshold` at a time (one worker
+  wake-up per batch instead of per write), and the ack is collected
+  lazily by the next operation that touches the lane
+  (:meth:`ProcessExecutor.fence` / :meth:`ProcessExecutor.call` /
+  :meth:`ProcessExecutor.flush`), hiding the worker's wake-up latency
+  behind the parent's own work;
+* reads are **zero-copy gathers on the parent's own mapping** of the
+  same slab and never wait for the worker: each shard's segment opens
+  with a single-writer seqlock (see :mod:`repro.engine.shm`) that
+  detects a torn gather, and the parent folds its own
+  posted-but-unapplied deltas back into the result from a per-shard
+  ledger — exact, because the parent is the only poster.  The gather
+  is C-level numpy that releases the GIL, and a pipe round-trip costs
+  more than the gather itself.  ``ipc_reads=True`` routes reads
+  through the owning worker instead — the mode a remote shard store
+  would use, and the mode the crash-semantics tests exercise.  State
+  lives in the shared slabs, **not** in the workers, so a SIGKILLed
+  worker costs exactly one failed sub-operation: the next call
+  respawns the process, which reattaches and answers exactly.  Even
+  pipelined writes in flight survive the kill — the parent's delta
+  ledger holds every posted-but-unacknowledged batch, and once the
+  worker is dead the parent (now the shard's only writer) replays the
+  unapplied suffix straight into the slab.  The sole unrecoverable
+  window is a kill *mid-apply*: the seqlock's odd count marks the
+  slab as holding a torn batch, and that loss surfaces as
+  :class:`~repro.exceptions.WorkerCrashedError` instead of serving
+  wrong sums.
+
+Failure semantics: a dead pipe surfaces as
+:class:`~repro.exceptions.WorkerCrashedError`, which the engine's
+resilient fan-out treats like any other shard failure — retried within
+the deadline budget, recorded by the shard's breaker, degraded per
+policy.  Worker-side *operation* errors (a malformed op) come back as
+:class:`~repro.exceptions.StructureError` replies without killing the
+worker — they indicate a library bug, not a flaky shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from ..exceptions import ConfigurationError, StructureError, WorkerCrashedError
+from ..methods.base import RangeSumMethod
+from ..obs import NULL_OBS
+from . import shm
+from .executor import ThreadFanout
+
+__all__ = ["ProcessExecutor", "ShmShardReplica"]
+
+
+def _pool_worker_main(
+    worker_index: int,
+    manifests: list,
+    owned: tuple,
+    conn,
+) -> None:
+    """Serve slab operations for this worker's shards (child process).
+
+    One blocking request/reply loop per worker: the parent serialises
+    access per lane, so no concurrency exists inside a worker and the
+    slab math needs no locks.  Replies are ``("ok", value)`` or
+    ``("error", detail)``; an unreadable pipe means the parent is gone
+    and the loop exits.
+    """
+    segments = {}
+    headers = {}
+    views = {}
+    for index in owned:
+        segment, header, view = shm.attach_slab(manifests[index])
+        segments[index] = segment
+        headers[index] = header
+        views[index] = view
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message[0]
+            if op == "stop":
+                conn.send(("ok", None))
+                break
+            try:
+                if op == "query_many":
+                    _, index, ranges = message
+                    reply = shm.slab_range_sum_many(views[index], ranges)
+                elif op == "apply":
+                    _, index, updates = message
+                    # Single-writer seqlock: odd seq brackets the
+                    # in-place suffix adds so the parent's zero-copy
+                    # readers can detect (and retry around) a torn
+                    # gather; ``applied`` tells them which posted
+                    # batches the slab already includes.
+                    header = headers[index]
+                    header[shm.HEADER_SEQ] += 1
+                    shm.slab_apply_deltas(views[index], updates)
+                    header[shm.HEADER_APPLIED] += 1
+                    header[shm.HEADER_SEQ] += 1
+                    reply = len(updates)
+                elif op == "ping":
+                    reply = worker_index
+                else:
+                    raise ConfigurationError(f"unknown worker op {op!r}")
+                conn.send(("ok", reply))
+            except Exception as error:  # noqa: BLE001 - reported to parent
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+    finally:
+        for segment in segments.values():
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+
+
+def _fold_pending(values: list, queries: Sequence[tuple], batches) -> list:
+    """Add the contribution of deltas that have not reached the slab.
+
+    A point delta at ``cell`` contributes to a range sum exactly when
+    the cell lies inside the query box, so the correction is O(pending
+    deltas) per query — trivial next to a fence's worth of waiting.
+    ``batches`` is an iterable of update lists (ledger entries and/or
+    the parent-side buffer).
+    """
+    for position, (low, high) in enumerate(queries):
+        extra = 0
+        for updates in batches:
+            for cell, delta in updates:
+                if all(
+                    lower <= coordinate <= upper
+                    for lower, coordinate, upper in zip(low, cell, high)
+                ):
+                    extra += delta
+        if extra:
+            values[position] += extra
+    return values
+
+
+class _Lane:
+    """One worker process plus its command pipe.
+
+    All mutable fields are guarded by the per-lane ``_lock``: the
+    parent's fan-out threads serialise on it per call, so a lane sees
+    at most one in-flight request and respawn/kill never races a
+    round-trip.
+    """
+
+    __slots__ = (
+        "worker_index", "owned", "process", "conn", "restarts", "pending",
+        "_lock",
+    )
+
+    def __init__(self, worker_index: int, owned: tuple) -> None:
+        self.worker_index = worker_index
+        self.owned = owned
+        self.process = None
+        self.conn = None
+        self.restarts = 0
+        #: Pipelined sends whose acks have not been collected yet.
+        self.pending = 0
+        self._lock = threading.Lock()
+
+
+class ProcessExecutor(ThreadFanout):
+    """Persistent worker-pool executor with warm shard replicas.
+
+    Implements the same ``map`` / ``try_map`` / ``shutdown`` surface as
+    the in-process executors (via :class:`~.executor.ThreadFanout`), so
+    the engine — and everything layered on it — never branches on the
+    concurrency mode.  Additionally exposes :meth:`call` (one IPC
+    round-trip, used by :class:`ShmShardReplica`), :meth:`kill_worker`
+    (the chaos harness's SIGKILL hook), and :meth:`pool_info`.
+
+    Args:
+        store: the engine's shared-memory slab store.
+        workers: worker processes; ``None``/0 picks
+            ``min(shards, cpu_count)``, and the pool never exceeds the
+            shard count (an idle worker would own nothing).
+        obs: optional observability facade — feeds the IPC round-trip
+            histogram, the worker-restart counter, and pool gauges.
+        start_method: multiprocessing start method; default prefers
+            ``fork`` (instant start, inherited attachments) and falls
+            back to the platform default.
+        poll_interval: how often a blocked round-trip re-checks worker
+            liveness, in seconds.
+        ipc_reads: when True, queries are routed through the owning
+            worker like writes are.  The default (False) serves reads
+            as zero-copy gathers on the parent's own mapping of the
+            slab — the gather is C-level numpy that releases the GIL,
+            so the thread fan-out genuinely parallelises it, and no
+            read ever pays a pipe round-trip.  IPC reads exist for
+            crash-semantics tests and as the mode a remote shard store
+            would use; one round-trip costs more than a small gather,
+            so they lose on latency by design.
+    """
+
+    #: Max pipelined (unacknowledged) writes per lane before a
+    #: :meth:`post` self-fences — bounds pipe growth on write bursts.
+    pipeline_window = 64
+
+    #: Buffered deltas per shard before :meth:`write` ships them to the
+    #: owning worker in one message.  Shipping wakes the worker — on a
+    #: busy box that preempts the parent for a full scheduling quantum
+    #: — so the batch size trades one wake-up against a slightly longer
+    #: ledger for readers to fold.
+    ship_threshold = 16
+
+    def __init__(
+        self,
+        store: shm.ShardSlabStore,
+        workers: int | None = None,
+        obs=None,
+        start_method: str | None = None,
+        poll_interval: float = 0.05,
+        ipc_reads: bool = False,
+    ) -> None:
+        if store.count < 1:
+            raise ConfigurationError("ProcessExecutor needs at least one shard")
+        if workers is None or workers <= 0:
+            workers = min(store.count, os.cpu_count() or 1)
+        self.workers = max(1, min(workers, store.count))
+        self.ipc_reads = bool(ipc_reads)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.store = store
+        self._manifests = store.manifest()
+        self._poll_interval = poll_interval
+        if start_method is None:
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lanes = [
+            _Lane(index, tuple(range(index, store.count, self.workers)))
+            for index in range(self.workers)
+        ]
+        #: Per-shard ledger of posted-but-unapplied delta batches, as
+        #: ``(batch number, updates)`` in posting order, plus the
+        #: per-shard posted-batch counter.  The worker's ``applied``
+        #: header counts the same batches from the other side, which is
+        #: what lets :meth:`read_many` correct a gather without waiting.
+        self._ledgers = [deque() for _ in range(store.count)]
+        self._posted = [0] * store.count
+        #: Per-shard deltas not yet shipped to the owning worker.  They
+        #: never left the parent, so a worker crash cannot lose them —
+        #: the respawned worker receives them with the next shipment.
+        self._buffers: list[list] = [[] for _ in range(store.count)]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(2, self.workers), thread_name_prefix="repro-ipc"
+        )
+        self._register_instruments()
+        for lane in self._lanes:
+            with lane._lock:
+                self._locked_spawn(lane, initial=True)
+
+    def _register_instruments(self) -> None:
+        """Pre-create the pool's metric families (no-ops when disabled)."""
+        metrics = self.obs.metrics
+        self._obs_ipc_seconds = metrics.histogram(
+            "repro_engine_ipc_seconds",
+            "Round-trip latency of one worker IPC call, per op.",
+            labels=("op",),
+        )
+        self._obs_restarts = metrics.counter(
+            "repro_engine_worker_restarts_total",
+            "Worker processes respawned after dying mid-service.",
+            labels=("worker",),
+        )
+        self._obs_pool_workers = metrics.gauge(
+            "repro_engine_pool_workers",
+            "Worker processes in the shard pool.",
+        )
+        self._obs_pool_alive = metrics.gauge(
+            "repro_engine_pool_alive_workers",
+            "Shard-pool workers currently alive.",
+        )
+        self._obs_pool_workers.set(self.workers)
+        self._obs_pool_alive.set(self.workers)
+
+    # ------------------------------------------------------------------
+    # Lane lifecycle (every helper runs with the lane's lock held)
+    # ------------------------------------------------------------------
+
+    def _locked_spawn(self, lane: _Lane, initial: bool = False) -> None:
+        """(Re)start ``lane``'s worker; caller holds the lane lock.
+
+        The parent closes its copy of the child end immediately so a
+        dead worker's pipe reads EOF instead of blocking forever.
+        """
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(lane.worker_index, self._manifests, lane.owned, child_conn),
+            daemon=True,
+            name=f"repro-shard-worker-{lane.worker_index}",
+        )
+        process.start()
+        child_conn.close()
+        lane.process = process
+        lane.conn = parent_conn
+        if not initial:
+            lane.restarts += 1
+            self._obs_restarts.labels(worker=str(lane.worker_index)).inc()
+
+    def _locked_mark_dead(self, lane: _Lane) -> None:
+        """Reap a crashed worker; caller holds the lane lock."""
+        if lane.conn is not None:
+            try:
+                lane.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            lane.conn = None
+        if lane.process is not None:
+            lane.process.join(timeout=1.0)
+            lane.process = None
+
+    def _locked_receive(self, lane: _Lane) -> tuple:
+        """Next reply on ``lane``'s pipe; caller holds the lane lock.
+
+        Polls in small increments so a worker that died without closing
+        the pipe (should not happen, but belt and braces) still fails
+        the call instead of hanging it.
+        """
+        while True:
+            if lane.conn.poll(self._poll_interval):
+                return lane.conn.recv()
+            if lane.process is None or not lane.process.is_alive():
+                raise EOFError(f"worker {lane.worker_index} exited mid-call")
+
+    def _locked_drain(self, lane: _Lane) -> None:
+        """Collect outstanding pipelined acks; caller holds the lane lock.
+
+        A dead pipe here hands recovery to :meth:`_locked_abandon`: the
+        parent replays every posted-but-unapplied batch from its ledger
+        into the slab, so the death is only surfaced (as
+        :class:`~repro.exceptions.WorkerCrashedError`, on this fencing
+        operation — the pipeline window is what defers the report) when
+        the worker died mid-apply and left a torn batch.
+        """
+        while lane.pending:
+            try:
+                status, reply = self._locked_receive(lane)
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                lost = self._locked_abandon(lane)
+                self._locked_mark_dead(lane)
+                if lost:
+                    raise WorkerCrashedError(
+                        f"worker {lane.worker_index} died mid-apply; "
+                        f"{lost} delta batch(es) torn beyond replay"
+                    ) from error
+                # Every outstanding batch was replayed into the slab by
+                # the abandon — the fence this drain was serving is
+                # semantically satisfied, so the death stays silent
+                # until the next operation respawns the lane.
+                return
+            lane.pending -= 1
+            if status != "ok":
+                raise StructureError(
+                    f"pipelined write on worker {lane.worker_index} "
+                    f"failed: {reply}"
+                )
+
+    def _locked_abandon(self, lane: _Lane) -> int:
+        """Reconcile the write ledgers after losing ``lane`` mid-flight;
+        caller holds the lane lock.  Returns the number of delta
+        batches that could *not* be recovered.
+
+        Each owned shard's ``applied`` header is ground truth for what
+        reached the slab, and the dead worker was the shard's only
+        writer — so the parent now folds the posted-but-unapplied
+        ledger suffix into the slab itself, making recovery **exact**
+        whenever the seq header is even.  A seq left odd means the
+        worker died *mid-apply*: the slab holds a torn batch, replay
+        cannot be trusted, and every outstanding batch for that shard
+        counts as lost (the seq is bumped even so zero-copy readers
+        stop treating the slab as in-flux; callers surface the loss as
+        :class:`~repro.exceptions.WorkerCrashedError`).
+        """
+        lane.pending = 0
+        lost = 0
+        for index in lane.owned:
+            header = self.store.header(index)
+            ledger = self._ledgers[index]
+            applied = int(header[shm.HEADER_APPLIED])
+            if int(header[shm.HEADER_SEQ]) & 1:
+                header[shm.HEADER_SEQ] += 1
+                lost += sum(1 for number, _ in ledger if number > applied)
+                self._posted[index] = applied
+            elif applied < self._posted[index]:
+                # Replay under the same seqlock discipline the worker
+                # used, so concurrent zero-copy readers retry around it.
+                header[shm.HEADER_SEQ] += 1
+                for number, payload in ledger:
+                    if number > applied:
+                        shm.slab_apply_deltas(self.store.view(index), payload)
+                        applied += 1
+                header[shm.HEADER_APPLIED] = applied
+                header[shm.HEADER_SEQ] += 1
+                self._posted[index] = applied
+            ledger.clear()
+        return lost
+
+    def _locked_respawn_if_dead(self, lane: _Lane) -> None:
+        """Respawn a dead ``lane``; caller holds the lane lock.
+
+        Silent when every outstanding write could be recovered (the
+        slab plus the parent's ledger replay hold the exact state, so
+        the fresh worker answers exactly), loud when the worker died
+        mid-apply — the torn batch cannot be replayed, and pretending
+        otherwise would serve wrong sums.
+        """
+        if lane.process is not None and lane.process.is_alive():
+            return
+        lost = self._locked_abandon(lane)
+        self._locked_mark_dead(lane)
+        self._locked_spawn(lane)
+        if lost:
+            raise WorkerCrashedError(
+                f"worker {lane.worker_index} died mid-apply; "
+                f"{lost} delta batch(es) torn beyond replay"
+            )
+
+    # ------------------------------------------------------------------
+    # IPC entry points
+    # ------------------------------------------------------------------
+
+    def lane_of(self, shard_index: int) -> int:
+        """Worker index owning ``shard_index``."""
+        return shard_index % self.workers
+
+    def map(self, fn, items):
+        """Fan ``fn`` out over ``items``.
+
+        In direct-read mode each sub-query is a fence plus one C-level
+        slab gather — a few microseconds — so thread dispatch (two
+        orders of magnitude more) is pure overhead and the fan-out runs
+        inline.  With ``ipc_reads`` each item blocks on a worker pipe
+        releasing the GIL, which is exactly what the thread pool is
+        for.
+        """
+        if not self.ipc_reads:
+            return [fn(item) for item in items]
+        return super().map(fn, items)
+
+    def call(self, shard_index: int, op: str, payload):
+        """One round-trip to the worker owning ``shard_index``.
+
+        A dead lane is respawned *before* the attempt — the slab store
+        holds the state, so a fresh worker answers exactly — and a lane
+        that dies *during* the attempt surfaces as
+        :class:`~repro.exceptions.WorkerCrashedError` for the
+        resilience layer to retry (by which point the next attempt's
+        respawn has clean state to serve from).
+
+        Pipelined write acks queued ahead of this call are collected
+        *behind* the send: the pipe is FIFO, so the worker applies
+        every posted delta before answering, and the fence plus the
+        operation cost one blocking round-trip instead of two.
+        """
+        lane = self._lanes[shard_index % self.workers]
+        obs = self.obs
+        start = obs.clock.now() if obs.enabled else 0.0
+        with lane._lock:
+            self._locked_respawn_if_dead(lane)
+            try:
+                lane.conn.send((op, shard_index, payload))
+                self._locked_drain(lane)
+                status, reply = self._locked_receive(lane)
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
+                self._locked_abandon(lane)
+                self._locked_mark_dead(lane)
+                raise WorkerCrashedError(
+                    f"worker {lane.worker_index} died serving shard "
+                    f"{shard_index} mid-{op}"
+                ) from error
+        if obs.enabled:
+            self._obs_ipc_seconds.labels(op=op).observe(obs.clock.now() - start)
+        if status != "ok":
+            raise StructureError(
+                f"worker op {op!r} on shard {shard_index} failed: {reply}"
+            )
+        return reply
+
+    def post(self, shard_index: int, op: str, payload) -> None:
+        """Pipelined one-way send to the worker owning ``shard_index``.
+
+        The ack is *not* awaited — it is collected by the next
+        :meth:`fence` / :meth:`call` / :meth:`flush` touching the lane
+        (or here, once :data:`pipeline_window` sends are outstanding).
+        This hides the worker's wake-up latency behind the parent's own
+        work, which is what makes writes cheap on a busy box; the price
+        is that a worker death with a send in flight surfaces on the
+        fencing operation instead of this one.
+        """
+        lane = self._lanes[shard_index % self.workers]
+        obs = self.obs
+        start = obs.clock.now() if obs.enabled else 0.0
+        with lane._lock:
+            self._locked_respawn_if_dead(lane)
+            if lane.pending >= self.pipeline_window:
+                self._locked_drain(lane)
+            try:
+                lane.conn.send((op, shard_index, payload))
+            except (BrokenPipeError, ConnectionResetError, OSError) as error:
+                self._locked_abandon(lane)
+                self._locked_mark_dead(lane)
+                raise WorkerCrashedError(
+                    f"worker {lane.worker_index} died accepting shard "
+                    f"{shard_index} {op}"
+                ) from error
+            lane.pending += 1
+            if op == "apply":
+                self._posted[shard_index] += 1
+                self._ledgers[shard_index].append(
+                    (self._posted[shard_index], payload)
+                )
+        if obs.enabled:
+            self._obs_ipc_seconds.labels(op=f"{op}_post").observe(
+                obs.clock.now() - start
+            )
+
+    def write(self, shard_index: int, updates: Sequence[tuple]) -> None:
+        """Record deltas destined for ``shard_index``'s owning worker.
+
+        In direct-read mode the deltas are buffered parent-side and
+        shipped :data:`ship_threshold` at a time — every shipment wakes
+        the worker, which on a loaded box preempts the parent for a
+        scheduling quantum, so per-write shipping would make "writes
+        ship as deltas" cost more than applying them.  Readers stay
+        exact throughout: :meth:`read_many` folds both the buffer and
+        the shipped-but-unapplied ledger into every gather.  With
+        ``ipc_reads`` the buffer would stall remote queries, so deltas
+        ship immediately.
+        """
+        if not updates:
+            return
+        if self.ipc_reads:
+            self.post(shard_index, "apply", list(updates))
+            return
+        buffer = self._buffers[shard_index]
+        buffer.extend(updates)
+        if len(buffer) >= self.ship_threshold:
+            self._ship(shard_index)
+
+    def _ship(self, shard_index: int) -> None:
+        """Send ``shard_index``'s buffered deltas as one apply batch."""
+        buffer = self._buffers[shard_index]
+        if not buffer:
+            return
+        batch = list(buffer)
+        del buffer[:]
+        try:
+            self.post(shard_index, "apply", batch)
+        except WorkerCrashedError:
+            # The batch never reached the worker — keep it for the
+            # respawned one so nothing silently drops.
+            buffer[:0] = batch
+            raise
+
+    def fence(self, shard_index: int) -> None:
+        """Make ``shard_index``'s slab current: ship buffered deltas,
+        then wait for every pipelined write on its lane.
+
+        The unlocked fast path is safe: the engine lock already
+        excludes writers while reads fan out, so the buffer and
+        ``pending`` cannot rise concurrently — only fall, and draining
+        is lock-protected.
+        """
+        self._ship(shard_index)
+        lane = self._lanes[shard_index % self.workers]
+        if not lane.pending:
+            return
+        with lane._lock:
+            self._locked_respawn_if_dead(lane)
+            self._locked_drain(lane)
+
+    def pending_writes(self, shard_index: int) -> bool:
+        """True while writes for ``shard_index`` have not reached its
+        slab — buffered parent-side or shipped but unacknowledged
+        (unlocked snapshot — see :meth:`fence` for why that is safe
+        under the engine lock)."""
+        if self._buffers[shard_index]:
+            return True
+        return self._lanes[shard_index % self.workers].pending > 0
+
+    def read_many(self, shard_index: int, queries: Sequence[tuple]) -> list:
+        """Zero-copy consistent batch read of ``shard_index``'s slab.
+
+        Never waits on the worker: the gather is bracketed by the
+        shard's seqlock (an even, unchanged ``seq`` proves no apply
+        tore it), and the ``applied`` counter says which posted delta
+        batches the slab already held — the rest are folded in from the
+        parent's own ledger, which is exact because the parent posted
+        them.  Only a gather that keeps colliding with an in-progress
+        apply falls back to one fence.
+        """
+        store = self.store
+        header = store.header(shard_index)
+        ledger = self._ledgers[shard_index]
+        lane = self._lanes[shard_index % self.workers]
+        for _ in range(4):
+            seq_before = int(header[shm.HEADER_SEQ])
+            if seq_before & 1:
+                break
+            applied = int(header[shm.HEADER_APPLIED])
+            values = store.range_sum_many(shard_index, queries)
+            if int(header[shm.HEADER_SEQ]) != seq_before:
+                continue
+            if ledger:
+                with lane._lock:
+                    while ledger and ledger[0][0] <= applied:
+                        ledger.popleft()
+                    pending = [updates for _, updates in ledger]
+                if pending:
+                    values = _fold_pending(values, queries, pending)
+            buffer = self._buffers[shard_index]
+            if buffer:
+                values = _fold_pending(values, queries, [buffer])
+            return values
+        # The worker is mid-apply (or kept winning the race): one fence
+        # settles the pipeline, after which the slab alone is exact.
+        self.fence(shard_index)
+        return store.range_sum_many(shard_index, queries)
+
+    def flush(self) -> None:
+        """Ship every buffered delta and collect every outstanding ack.
+
+        The engine calls this before bulk slab rewrites
+        (``from_array`` on a live store) and on ``close()`` so no
+        stale delta can race a reload or outlive the pool.
+        """
+        for index in range(self.store.count):
+            self._ship(index)
+        for lane in self._lanes:
+            if not lane.pending:
+                continue
+            with lane._lock:
+                self._locked_drain(lane)
+
+    def kill_worker(self, shard_index: int) -> bool:
+        """SIGKILL the worker owning ``shard_index`` (chaos hook).
+
+        Joins the corpse before returning so the very next call
+        deterministically observes the death.  Returns False when the
+        worker was already down.
+        """
+        lane = self._lanes[shard_index % self.workers]
+        with lane._lock:
+            process = lane.process
+            if process is None or not process.is_alive():
+                return False
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(timeout=5.0)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def pool_info(self) -> dict:
+        """Live pool snapshot: one row per lane plus rollups."""
+        lanes = []
+        alive = 0
+        for lane in self._lanes:
+            with lane._lock:
+                is_alive = lane.process is not None and lane.process.is_alive()
+                lanes.append(
+                    {
+                        "worker": lane.worker_index,
+                        "shards": list(lane.owned),
+                        "pid": lane.process.pid if lane.process is not None else None,
+                        "alive": is_alive,
+                        "restarts": lane.restarts,
+                        "pending_acks": lane.pending,
+                    }
+                )
+            alive += is_alive
+        if self.obs.enabled:
+            self._obs_pool_alive.set(alive)
+        return {
+            "executor": "process",
+            "workers": self.workers,
+            "alive": alive,
+            "restarts": sum(row["restarts"] for row in lanes),
+            "start_method": self._ctx.get_start_method(),
+            "ipc_reads": self.ipc_reads,
+            "buffered_deltas": sum(len(buf) for buf in self._buffers),
+            "lanes": lanes,
+        }
+
+    def shutdown(self) -> None:
+        """Stop every worker, then the fan-out threads (idempotent)."""
+        try:
+            self.flush()
+        except (WorkerCrashedError, StructureError):
+            pass
+        for lane in self._lanes:
+            with lane._lock:
+                if lane.process is None:
+                    continue
+                if lane.process.is_alive():
+                    try:
+                        # Drain pipelined acks so the stop handshake
+                        # reads its own reply, not a queued write ack.
+                        self._locked_drain(lane)
+                        lane.conn.send(("stop", -1, None))
+                        if lane.conn.poll(1.0):
+                            lane.conn.recv()
+                    except (
+                        BrokenPipeError,
+                        EOFError,
+                        OSError,
+                        WorkerCrashedError,
+                        StructureError,
+                    ):
+                        pass
+                lane.pending = 0
+                if lane.process is not None:
+                    lane.process.join(timeout=2.0)
+                    if lane.process.is_alive():  # pragma: no cover - stuck
+                        lane.process.terminate()
+                        lane.process.join(timeout=1.0)
+                    lane.process = None
+                if lane.conn is not None:
+                    try:
+                        lane.conn.close()
+                    except OSError:  # pragma: no cover - already closed
+                        pass
+                    lane.conn = None
+        self._pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProcessExecutor(workers={self.workers}, "
+            f"shards={self.store.count})"
+        )
+
+
+class _LocalSlabReader:
+    """Executor-free direct-slab reader for the fallback degradation path.
+
+    When a shard's worker is down and the policy says ``fallback``, the
+    engine recomputes the failed sub-queries in the request thread; this
+    reader answers them through the pool's ledger-corrected zero-copy
+    read, degrading to a raw slab gather when even that surfaces the
+    crash (the degradation path is already serving through a failure,
+    so best-available beats raising twice).
+    """
+
+    __slots__ = ("_pool", "_index", "_dtype")
+
+    def __init__(self, pool: "ProcessExecutor", index: int, dtype) -> None:
+        self._pool = pool
+        self._index = index
+        self._dtype = dtype
+
+    def _read(self, queries: list) -> list:
+        try:
+            return self._pool.read_many(self._index, queries)
+        except WorkerCrashedError:
+            return self._pool.store.range_sum_many(self._index, queries)
+
+    def range_sum(self, low, high):
+        return self._dtype.type(self._read([(low, high)])[0])
+
+    def range_sum_many(self, ranges: Sequence) -> list:
+        return [
+            self._dtype.type(value) for value in self._read(list(ranges))
+        ]
+
+
+class ShmShardReplica(RangeSumMethod):
+    """Parent-side proxy for a shard whose slab lives in shared memory.
+
+    Implements the :class:`~repro.methods.base.RangeSumMethod` surface
+    the engine drives — ``range_sum`` / ``range_sum_many`` / ``add`` /
+    ``add_many``.  Writes always ship as compact ``(cell, delta)``
+    tuples to the owning worker via :meth:`ProcessExecutor.call`
+    (combined per cell first, same as every method's batch write
+    path); the worker is the shard's single writer.  Reads are served
+    as zero-copy inclusion-exclusion gathers off the parent's own
+    mapping of the slab — correct because the engine lock excludes
+    writers while a read fans out — unless the pool was built with
+    ``ipc_reads=True``, in which case they round-trip through the
+    owning worker like writes do.
+    """
+
+    name = "shm-replica"
+    batch_crossover = 1  # one IPC round-trip either way: always batch
+
+    def __init__(
+        self,
+        pool: ProcessExecutor,
+        shard_index: int,
+        shape: Sequence[int],
+        dtype=np.int64,
+    ) -> None:
+        super().__init__(shape, dtype=dtype)
+        self._pool = pool
+        self._shard_index = shard_index
+
+    # -- writes --------------------------------------------------------
+
+    def add(self, cell, delta) -> None:
+        cell = geometry.normalize_cell(cell, self.shape)
+        if delta == 0:
+            return
+        self.stats.cell_writes += 1
+        self._pool.write(self._shard_index, [(cell, self._native(delta))])
+
+    def add_many(self, updates: Sequence[tuple]) -> None:
+        combined = self._combined_updates(updates)
+        if not combined:
+            return
+        self.stats.cell_writes += len(combined)
+        self._pool.write(
+            self._shard_index,
+            [(cell, self._native(delta)) for cell, delta in combined],
+        )
+
+    # -- reads ---------------------------------------------------------
+
+    def prefix_sum(self, cell):
+        cell = geometry.normalize_cell(cell, self.shape)
+        return self.range_sum((0,) * self.dims, cell)
+
+    def range_sum(self, low, high):
+        low_cell, high_cell = geometry.normalize_range(low, high, self.shape)
+        self.stats.cell_reads += 1 << self.dims
+        if self._pool.ipc_reads:
+            values = self._pool.call(
+                self._shard_index, "query_many", [(low_cell, high_cell)]
+            )
+        else:
+            values = self._pool.read_many(
+                self._shard_index, [(low_cell, high_cell)]
+            )
+        return self.dtype.type(values[0])
+
+    def range_sum_many(self, ranges: Sequence) -> list:
+        queries = [self._query_bounds(item) for item in ranges]
+        if not queries:
+            return []
+        self._use_batch_path(len(queries))
+        self.stats.cell_reads += len(queries) << self.dims
+        if self._pool.ipc_reads:
+            values = self._pool.call(self._shard_index, "query_many", queries)
+        else:
+            values = self._pool.read_many(self._shard_index, queries)
+        return [self.dtype.type(value) for value in values]
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def memory_cells(self) -> int:
+        """Cells in the shard's slab (stored once, in shared memory)."""
+        return int(np.prod(self.shape))
+
+    def fallback_target(self) -> _LocalSlabReader:
+        """Direct parent-side reader the degradation path can use when
+        this shard's worker is unreachable."""
+        return _LocalSlabReader(self._pool, self._shard_index, self.dtype)
+
+    def _native(self, delta):
+        """Delta as a plain Python number (minimal pickle payload)."""
+        return self.dtype.type(delta).item()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShmShardReplica(shard={self._shard_index}, shape={self.shape})"
+        )

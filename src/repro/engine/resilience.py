@@ -40,6 +40,7 @@ from ..exceptions import (
     CircuitOpenError,
     ConfigurationError,
     InjectedFaultError,
+    WorkerCrashedError,
 )
 
 __all__ = [
@@ -400,6 +401,14 @@ class FaultInjector:
       is how a hung sub-operation looks to a deadline budget.  On a
       :class:`~repro.obs.clock.ManualClock` the "hang" is virtual and
       the test stays instant.
+    * **worker kill** (``kill_rate``) — SIGKILL the pool worker owning
+      the shard (when the wrapped executor exposes ``kill_worker``,
+      i.e. the process executor) and fail the call with
+      :class:`~repro.exceptions.WorkerCrashedError`, exactly as a
+      mid-query death surfaces.  The process genuinely dies: the next
+      attempt respawns it against the shared-memory slabs, so recovery
+      is exact.  On executors without workers to kill the error is
+      still raised, simulating the crash.
     * **scripts** — a ``{shard_index: FaultScript}`` mapping for exact
       fail-N-then-recover sequences (overrides the random draws for
       that shard while active).
@@ -420,12 +429,14 @@ class FaultInjector:
         latency_seconds: float = 0.005,
         hang_rate: float = 0.0,
         hang_seconds: float = 0.1,
+        kill_rate: float = 0.0,
         scripts: dict[int, FaultScript] | None = None,
     ) -> None:
         for name, rate in (
             ("fault_rate", fault_rate),
             ("latency_rate", latency_rate),
             ("hang_rate", hang_rate),
+            ("kill_rate", kill_rate),
         ):
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(
@@ -439,9 +450,10 @@ class FaultInjector:
         self.latency_seconds = latency_seconds
         self.hang_rate = hang_rate
         self.hang_seconds = hang_seconds
+        self.kill_rate = kill_rate
         self.scripts = dict(scripts or {})
         #: Tally of injected events by kind, for soak reports.
-        self.injected = {"fault": 0, "latency": 0, "hang": 0, "script": 0}
+        self.injected = {"fault": 0, "latency": 0, "hang": 0, "kill": 0, "script": 0}
         self.calls = 0
 
     @property
@@ -475,7 +487,17 @@ class FaultInjector:
         if draw < self.hang_rate + self.fault_rate:
             self.injected["fault"] += 1
             raise InjectedFaultError(f"transient fault on shard {shard}")
-        if draw < self.hang_rate + self.fault_rate + self.latency_rate:
+        if draw < self.hang_rate + self.fault_rate + self.kill_rate:
+            self.injected["kill"] += 1
+            killer = getattr(self._inner, "kill_worker", None)
+            if killer is not None and shard is not None:
+                killer(shard)
+            raise WorkerCrashedError(
+                f"injected worker kill while serving shard {shard}"
+            )
+        if draw < (
+            self.hang_rate + self.fault_rate + self.kill_rate + self.latency_rate
+        ):
             self.injected["latency"] += 1
             self._clock.sleep(self.latency_seconds)
 

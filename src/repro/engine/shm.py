@@ -1,0 +1,317 @@
+"""Shared-memory shard store: per-shard prefix-sum slabs, zero-copy attach.
+
+The process executor (see :mod:`repro.engine.process`) cannot ship the
+per-shard tree structures to its workers — pickling a DDC per request
+would cost more than the query it parallelises.  Instead every shard's
+payload is flattened into the one representation the paper's family of
+structures shares: a contiguous, C-ordered **prefix-sum slab** (HAMS97),
+living in a :mod:`multiprocessing.shared_memory` segment.  That buys:
+
+* **zero-copy attach** — workers map the segment by name and serve
+  queries straight off the parent's pages, no serialisation ever;
+* **O(2^d) reads** — a range sum is an inclusion-exclusion gather of at
+  most ``2^d`` corners (one fancy-index per sub-query batch), which is
+  the cache-conscious flat layout Pibiri & Venturini identify as the
+  dominant prefix-sum lever;
+* **compact write deltas** — a point update is a suffix-rectangle
+  ``+=`` on the slab, so a delta ships as just ``(cell, delta)``;
+* **crash-proof state** — the slab outlives the worker process, so a
+  respawned worker reattaches and answers exactly, with no rebuild.
+
+:class:`ShardSlabStore` is the owner-side registry (allocation, bulk
+load, direct reads for the fallback degradation path, teardown); the
+module-level :func:`slab_range_sum_many` / :func:`slab_apply_deltas`
+helpers are the shared math, called on the parent's views here and on
+the workers' attached views in ``process.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from .. import geometry
+from .sharding import ShardPlan
+
+__all__ = [
+    "HEADER_APPLIED",
+    "HEADER_SEQ",
+    "ShardSlabStore",
+    "attach_slab",
+    "build_prefix",
+    "slab_range_sum_many",
+    "slab_apply_deltas",
+]
+
+#: One manifest entry: ``(segment name, slab shape, numpy dtype string)``.
+#: Plain tuples so the whole manifest pickles cheaply to spawned workers.
+SlabManifest = tuple[str, tuple[int, ...], str]
+
+_SEGMENT_IDS = itertools.count()
+
+#: Each segment opens with a small int64 header ahead of the slab:
+#: ``seq`` is a classic single-writer seqlock counter (odd while the
+#: owning worker is mid-apply, bumped to even after), ``applied`` counts
+#: delta batches folded into the slab so far.  Together they let the
+#: parent read the slab without ever blocking on the worker: an even,
+#: unchanged ``seq`` brackets a consistent gather, and ``applied`` tells
+#: the parent which of its posted-but-unacknowledged batches the gather
+#: already includes.  (Relies on aligned 8-byte stores being atomic —
+#: true on every platform CPython's shared_memory supports.)
+HEADER_SEQ = 0
+HEADER_APPLIED = 1
+_HEADER_COUNT = 2
+_HEADER_DTYPE = np.dtype(np.int64)
+_HEADER_NBYTES = _HEADER_COUNT * _HEADER_DTYPE.itemsize
+
+
+def build_prefix(values: np.ndarray, out: np.ndarray) -> None:
+    """Fill ``out`` with the inclusive prefix sums of ``values`` in place.
+
+    Same math as ``PrefixSumCube.from_array``: one in-place ``cumsum``
+    per axis turns the raw slab into the HAMS97 prefix array.
+    """
+    np.copyto(out, values, casting="unsafe")
+    for axis in range(out.ndim):
+        np.cumsum(out, axis=axis, out=out)
+
+
+def slab_range_sum_many(slab: np.ndarray, ranges: Sequence[tuple]) -> list:
+    """Answer local range sums against a prefix slab, one fancy gather.
+
+    Every query contributes its non-empty inclusion-exclusion corners to
+    a single flattened index array, so the whole batch costs one numpy
+    gather regardless of batch size.  Coordinates are trusted: callers
+    (the engine's shard decomposition) have already normalised them to
+    the slab's local space.  Returns plain Python numbers so replies
+    pickle minimally across the IPC pipe.
+    """
+    signs_per_query: list[list[int]] = []
+    corners: list[tuple] = []
+    for low, high in ranges:
+        signs: list[int] = []
+        for sign, corner in geometry.inclusion_exclusion_corners(
+            tuple(low), tuple(high)
+        ):
+            if corner is None:
+                continue
+            signs.append(sign)
+            corners.append(corner)
+        signs_per_query.append(signs)
+    if corners:
+        index = tuple(
+            np.fromiter(
+                (corner[axis] for corner in corners),
+                dtype=np.intp,
+                count=len(corners),
+            )
+            for axis in range(slab.ndim)
+        )
+        gathered = slab[index]
+    zero = slab.dtype.type(0)
+    out: list = []
+    position = 0
+    for signs in signs_per_query:
+        total = zero
+        for sign in signs:
+            value = gathered[position]
+            position += 1
+            total = total + value if sign > 0 else total - value
+        out.append(total.item())
+    return out
+
+
+def slab_apply_deltas(slab: np.ndarray, updates: Sequence[tuple]) -> None:
+    """Apply point-update deltas to a prefix slab in place.
+
+    A point update at ``cell`` adds its delta to every prefix covering
+    the cell — the suffix rectangle ``slab[c0:, c1:, ...]`` — which is
+    exactly ``PrefixSumCube.add`` vectorised over the shared mapping.
+    """
+    for cell, delta in updates:
+        region = tuple(slice(int(coordinate), None) for coordinate in cell)
+        slab[region] += delta
+
+
+def attach_slab(manifest: SlabManifest) -> tuple:
+    """Map an existing segment by name; returns ``(segment, header, view)``.
+
+    Worker-side entry point.  The attach is untracked: the owner process
+    unlinks segments deterministically in :meth:`ShardSlabStore.destroy`,
+    and letting each worker's resource tracker also claim the name would
+    double-unlink and warn at interpreter exit (``track=`` exists only
+    from Python 3.13, hence the fallback unregister).
+    """
+    name, shape, dtype_str = manifest
+    try:
+        segment = shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        # Pre-3.13 attach always registers with a resource tracker.  A
+        # *forked* worker shares the owner's tracker, so the extra
+        # registration is a harmless duplicate and unregistering would
+        # strip the owner's own entry (double-unregister noise at
+        # destroy time).  A *spawned* worker starts its own tracker —
+        # there the registration must go, or the tracker unlinks the
+        # live segment when the worker is killed.
+        fresh_tracker = not _tracker_running()
+        segment = shared_memory.SharedMemory(name=name)
+        if fresh_tracker:
+            _untrack(segment)
+    header = np.ndarray(_HEADER_COUNT, dtype=_HEADER_DTYPE, buffer=segment.buf)
+    view = np.ndarray(
+        shape,
+        dtype=np.dtype(dtype_str),
+        buffer=segment.buf,
+        offset=_HEADER_NBYTES,
+    )
+    return segment, header, view
+
+
+def _tracker_running() -> bool:
+    """True when this process already has a live resource tracker."""
+    try:  # pragma: no cover - interpreter-internals dependent
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_fd", None) is not None  # noqa: SLF001
+    except Exception:  # noqa: BLE001 - conservative default
+        return True
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Remove an attached segment from this process's resource tracker."""
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # noqa: BLE001 - best-effort hygiene only
+        pass
+
+
+class ShardSlabStore:
+    """Owner-side registry of per-shard prefix-sum slabs in shared memory.
+
+    Built once at plan time: one segment per shard, shaped by the plan's
+    leading-dimension slab, zero-filled (an all-zero array has an
+    all-zero prefix).  The store is the single owner — workers attach
+    read-write views by name but never allocate or unlink.
+
+    Args:
+        plan: the engine's shard plan; one segment per shard span.
+        dtype: slab value dtype (must support exact add/subtract).
+    """
+
+    def __init__(self, plan: ShardPlan, dtype=np.int64) -> None:
+        self.plan = plan
+        self.dtype = np.dtype(dtype)
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._headers: list[np.ndarray] = []
+        self._views: list[np.ndarray] = []
+        self._closed = False
+        token = f"{os.getpid():x}-{next(_SEGMENT_IDS):x}"
+        try:
+            for index in range(plan.count):
+                shape = plan.shard_shape(index)
+                nbytes = int(np.prod(shape)) * self.dtype.itemsize
+                segment = shared_memory.SharedMemory(
+                    name=f"repro-slab-{token}-{index}",
+                    create=True,
+                    size=_HEADER_NBYTES + max(1, nbytes),
+                )
+                header = np.ndarray(
+                    _HEADER_COUNT, dtype=_HEADER_DTYPE, buffer=segment.buf
+                )
+                header[...] = 0
+                view = np.ndarray(
+                    shape,
+                    dtype=self.dtype,
+                    buffer=segment.buf,
+                    offset=_HEADER_NBYTES,
+                )
+                view[...] = 0
+                self._segments.append(segment)
+                self._headers.append(header)
+                self._views.append(view)
+        except BaseException:
+            self.destroy()
+            raise
+
+    @property
+    def count(self) -> int:
+        """Number of shard slabs."""
+        return self.plan.count
+
+    def manifest(self) -> list[SlabManifest]:
+        """Picklable attach instructions, one entry per shard."""
+        return [
+            (segment.name, tuple(view.shape), view.dtype.str)
+            for segment, view in zip(self._segments, self._views)
+        ]
+
+    def view(self, index: int) -> np.ndarray:
+        """The owner's live view of shard ``index``'s slab."""
+        return self._views[index]
+
+    def header(self, index: int) -> np.ndarray:
+        """The owner's live view of shard ``index``'s seqlock header
+        (``[HEADER_SEQ, HEADER_APPLIED]``)."""
+        return self._headers[index]
+
+    def load_array(self, array: np.ndarray) -> None:
+        """Recompute every slab from ``array`` (bulk load, in place).
+
+        Attached workers observe the new contents immediately — the
+        pages are shared — so callers must bump shard epochs themselves
+        to invalidate any cached results.
+        """
+        array = np.asarray(array)
+        for index in range(self.plan.count):
+            build_prefix(array[self.plan.slab(index)], self._views[index])
+
+    def range_sum(self, index: int, low: tuple, high: tuple):
+        """Direct (no-IPC) local range sum — the fallback read path."""
+        return slab_range_sum_many(self._views[index], [(low, high)])[0]
+
+    def range_sum_many(self, index: int, ranges: Sequence[tuple]) -> list:
+        """Direct (no-IPC) batch of local range sums."""
+        return slab_range_sum_many(self._views[index], ranges)
+
+    def apply_deltas(self, index: int, updates: Sequence[tuple]) -> None:
+        """Direct (no-IPC) delta application — owner-side write path."""
+        slab_apply_deltas(self._views[index], updates)
+
+    def memory_cells(self) -> int:
+        """Total cells stored across all slabs."""
+        return sum(int(view.size) for view in self._views)
+
+    def destroy(self) -> None:
+        """Close and unlink every segment (idempotent).
+
+        Workers must be stopped (or tolerant of a vanished mapping)
+        before the owner destroys the store; the engine's ``close()``
+        shuts the pool down first.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._views = []
+        self._headers = []
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - platform dependent
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardSlabStore(shards={self.plan.count}, dtype={self.dtype}, "
+            f"cells={0 if self._closed else self.memory_cells()})"
+        )

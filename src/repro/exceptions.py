@@ -21,6 +21,7 @@ __all__ = [
     "DeadlineExceededError",
     "CircuitOpenError",
     "ShardFailedError",
+    "WorkerCrashedError",
     "InjectedFaultError",
     "RaceGuardError",
     "LockOrderViolationError",
@@ -90,6 +91,18 @@ class CircuitOpenError(ResilienceError):
 
 class ShardFailedError(ResilienceError):
     """A shard sub-operation failed after exhausting its retry budget."""
+
+
+class WorkerCrashedError(ResilienceError):
+    """A shard-pool worker process died during (or before) a sub-operation.
+
+    Raised parent-side by :class:`~repro.engine.process.ProcessExecutor`
+    when the owning worker's pipe breaks mid-call.  The shard's state
+    lives in the shared-memory slab store, so the failure is transient:
+    the next attempt respawns the worker, which reattaches and answers
+    exactly — which is why the resilient fan-out treats this like any
+    other retryable shard failure.
+    """
 
 
 class InjectedFaultError(ResilienceError):

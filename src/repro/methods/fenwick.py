@@ -44,7 +44,7 @@ class FenwickCube(RangeSumMethod):
     #: The per-level gather visits every level *combination* regardless
     #: of batch size — prod_i log2(n_i) vectorised reads — so small
     #: batches are much cheaper as plain path walks.
-    batch_crossover = 64
+    batch_crossover = 256
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)

@@ -25,7 +25,7 @@ class NaiveArray(RangeSumMethod):
     # The cumulative-pass batch path only amortizes its cube-wide cumsum
     # once the batch is big enough, regardless of what the logical cell
     # cost model says.
-    batch_crossover = 8
+    batch_crossover = 64
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)

@@ -25,8 +25,9 @@ class PrefixSumCube(RangeSumMethod):
 
     name = "ps"
     #: A scalar prefix query is one indexed read; the vectorised gather
-    #: only wins once its numpy setup is spread over a few dozen queries.
-    batch_crossover = 32
+    #: only wins once its numpy setup is spread over a few hundred
+    #: queries (a scalar read is already near-free, so the bar is high).
+    batch_crossover = 256
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)

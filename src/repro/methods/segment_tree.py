@@ -58,7 +58,7 @@ class SegmentTreeCube(RangeSumMethod):
     name = "segtree"
     #: Like the Fenwick gather, the padded canonical-cover gather visits
     #: every level combination regardless of batch size.
-    batch_crossover = 64
+    batch_crossover = 256
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
