@@ -1,0 +1,209 @@
+"""Slab-tree descent microbench: per-level gathers and batch range sums.
+
+The vector backend's claim is architectural: the paper's b-ary descent,
+restated as one fancy-index gather per level slab over a contiguous
+buffer, beats the pointer walk by constants — not by answering a
+different question.  This bench pins that claim down at two zoom
+levels:
+
+* **per-level gathers** — for the largest batch, each level slab's
+  :meth:`~repro.core.slab_tree.SlabTree.gather_level` is timed in
+  isolation, so the artifact shows where descent time actually goes
+  (root-most slabs are tiny and cache-resident; the leaf-level slab is
+  the big one) and any regression localises to a level;
+* **end-to-end batches** — ``range_sum_many`` on the vector backend vs
+  the same batch answered by the pure-python reference
+  :class:`~repro.core.ddc.DynamicDataCube` (its adaptive batch path,
+  i.e. the best the reference can do), swept over batch size x query
+  locality.
+
+Results land in ``benchmarks/results/descent.json`` and the headline
+artifact ``BENCH_descent.json`` at the repository root.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run a tiny configuration (CI smoke).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.artifacts import make_document
+from repro.core.slab_tree import expand_corners, kernel_backend
+from repro.methods import build_method
+from repro.workloads import clustered, query_stream
+
+from conftest import report, write_root_artifact
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+N = 32 if SMOKE else 256
+SHAPE = (N, N)
+BATCH_SIZES = [4, 64] if SMOKE else [16, 64, 256]
+LOCALITIES = ["uniform", "zipf"]
+REPS = 1 if SMOKE else 5
+#: Each query spans this fraction of every axis (anchored at a cell from
+#: the locality-shaped stream), so zipf batches share descent paths the
+#: way the path-sharing benches' query streams do.
+EXTENT = 0.125
+
+
+def _ranges(cells: list, shape: tuple) -> list:
+    """Inclusive ranges anchored at locality-shaped cells."""
+    spans = [max(1, int(size * EXTENT)) for size in shape]
+    out = []
+    for cell in cells:
+        low = tuple(
+            min(cell[axis], shape[axis] - spans[axis])
+            for axis in range(len(shape))
+        )
+        high = tuple(low[axis] + spans[axis] - 1 for axis in range(len(shape)))
+        out.append((low, high))
+    return out
+
+
+def _best(fn, reps: int) -> float:
+    best = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_descent_gathers(benchmark):
+    data = clustered(SHAPE, seed=90)
+
+    def measure():
+        vector = build_method("vector", data)
+        # Force the batched descent: this bench times the kernel, never
+        # the adaptive fallback.
+        vector.batch_crossover_override = 1
+        reference = build_method("ddc", data)
+        tree = vector.tree
+        rows = []
+        level_rows = []
+        for locality in LOCALITIES:
+            for batch in BATCH_SIZES:
+                cells = query_stream(
+                    SHAPE, batch, locality=locality, seed=91 + batch
+                )
+                ranges = _ranges(cells, SHAPE)
+                # Warm both paths (first-touch numpy setup; the
+                # reference's adaptive warm-up also calibrates its
+                # crossover outside the timed region).
+                vector_results = vector.range_sum_many(ranges)
+                reference_results = reference.range_sum_many(ranges)
+                assert [int(v) for v in vector_results] == [
+                    int(v) for v in reference_results
+                ], f"vector/reference mismatch ({locality}, batch={batch})"
+                vector_seconds = _best(
+                    lambda: vector.range_sum_many(ranges), REPS
+                )
+                ddc_seconds = _best(
+                    lambda: reference.range_sum_many(ranges), REPS
+                )
+                rows.append(
+                    {
+                        "shape": list(SHAPE),
+                        "locality": locality,
+                        "batch": batch,
+                        "kernel": kernel_backend(),
+                        "levels": tree.level_count,
+                        "vector_seconds": vector_seconds,
+                        "ddc_seconds": ddc_seconds,
+                        "speedup_vs_ddc": (
+                            ddc_seconds / vector_seconds
+                            if vector_seconds
+                            else None
+                        ),
+                        "queries_per_second": (
+                            batch / vector_seconds if vector_seconds else None
+                        ),
+                    }
+                )
+                if batch == BATCH_SIZES[-1]:
+                    # Per-level probe: the corner-expanded coordinate
+                    # batch every range query actually gathers with.
+                    lows = np.asarray(
+                        [low for low, _ in ranges], dtype=np.int64
+                    )
+                    highs = np.asarray(
+                        [high for _, high in ranges], dtype=np.int64
+                    )
+                    corners, _, _ = expand_corners(lows, highs)
+                    for index, layout in enumerate(tree.level_layout()):
+                        seconds = _best(
+                            lambda: tree.gather_level(index, corners), REPS
+                        )
+                        level_rows.append(
+                            {
+                                "locality": locality,
+                                "batch": batch,
+                                "level": index,
+                                "combo": layout["combo"],
+                                "slab_cells": layout["cells"],
+                                "gather_seconds": seconds,
+                                "coords": int(corners.shape[0]),
+                            }
+                        )
+        return rows, level_rows
+
+    rows, level_rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines = [
+        f"slab-tree descent vs pure-python DDC, {N}x{N} clustered cube "
+        f"(kernel: {kernel_backend()})",
+        f"{'locality':<8} {'batch':>6} {'vector s':>10} {'ddc s':>10} "
+        f"{'speedup':>8} {'q/s':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['locality']:<8} {row['batch']:>6} "
+            f"{row['vector_seconds']:>10.6f} {row['ddc_seconds']:>10.6f} "
+            f"{row['speedup_vs_ddc']:>8.1f} {row['queries_per_second']:>12,.0f}"
+        )
+    lines.append("")
+    lines.append(
+        f"per-level gathers at batch={BATCH_SIZES[-1]} "
+        f"(corner-expanded coordinates)"
+    )
+    lines.append(
+        f"{'locality':<8} {'level':>5} {'combo':<10} {'slab cells':>10} "
+        f"{'gather s':>10}"
+    )
+    for row in level_rows:
+        lines.append(
+            f"{row['locality']:<8} {row['level']:>5} "
+            f"{str(row['combo']):<10} {row['slab_cells']:>10,} "
+            f"{row['gather_seconds']:>10.7f}"
+        )
+    document = make_document(
+        "descent",
+        rows,
+        level_gathers=level_rows,
+        kernel=kernel_backend(),
+    )
+    report("descent", "\n".join(lines), data=document)
+    write_root_artifact("BENCH_descent.json", document)
+
+    # Every level slab contributed a timing row for every locality.
+    levels = rows[0]["levels"]
+    assert len(level_rows) == levels * len(LOCALITIES)
+    if not SMOKE:
+        # Acceptance: the vectorised descent answers a 64-query batch at
+        # least 5x faster than the pure-python reference — under both
+        # localities, so the win is the kernel, not workload skew.
+        for locality in LOCALITIES:
+            row = next(
+                r
+                for r in rows
+                if r["locality"] == locality and r["batch"] == 64
+            )
+            assert row["speedup_vs_ddc"] >= 5.0, (
+                f"vector descent only {row['speedup_vs_ddc']:.1f}x over the "
+                f"reference at {locality} batch=64"
+            )

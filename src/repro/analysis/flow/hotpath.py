@@ -45,6 +45,10 @@ HOT_FUNCTIONS = frozenset(
         "_range_walk",
         "_descend",
         "_box_contribution",
+        "_walk_under",
+        "prefix_one",
+        "add_one",
+        "gather_level",
     }
 )
 

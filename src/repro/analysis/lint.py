@@ -31,8 +31,11 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   a ``for``): the batch engine's whole point is shared work, and a
   hidden scalar loop silently forfeits it while looking batched.  The
   base-class defaults in ``methods/base.py`` are the sanctioned
-  fallback and are exempt; adaptive crossovers that deliberately take
-  the scalar path for small batches carry an explanatory ``noqa``.
+  fallback and are exempt, and so is any loop lexically inside an
+  ``if not self._use_batch_path(...):`` branch — that guard is the
+  adaptive-crossover contract choosing the scalar path deliberately.
+  Fallbacks taken through any other condition carry an explanatory
+  ``noqa``.
 * **REP007 unguarded-engine-state** — inside ``src/repro/engine/``, the
   shared mutable serving state (the ``_epochs`` list, the ``_cache``,
   and the ``_breakers`` circuit-breaker list) must only be mutated —
@@ -347,6 +350,35 @@ _LOOP_NODES = (
 )
 
 
+def _is_crossover_guard(test: ast.expr) -> bool:
+    """True when an ``if`` test consults the adaptive batch crossover.
+
+    ``if not self._use_batch_path(count): <scalar loop>`` is the
+    documented fallback contract (see ``methods/base.py``): the guard
+    *is* the evidence the scalar loop was chosen deliberately, so REP006
+    sanctions any loop lexically inside that branch.
+    """
+    for node in ast.walk(test):
+        if isinstance(node, ast.Call) and (
+            _self_attr(node.func) == "_use_batch_path"
+        ):
+            return True
+    return False
+
+
+def _crossover_fallback_loops(method: ast.FunctionDef) -> set[int]:
+    """ids of loop nodes inside ``not self._use_batch_path`` branches."""
+    sanctioned: set[int] = set()
+    for node in ast.walk(method):
+        if not isinstance(node, ast.If) or not _is_crossover_guard(node.test):
+            continue
+        for child in node.body:
+            for sub in ast.walk(child):
+                if isinstance(sub, _LOOP_NODES):
+                    sanctioned.add(id(sub))
+    return sanctioned
+
+
 def _check_batch_loops(
     tree: ast.Module, module_path: Path
 ) -> Iterable[tuple[int, str, str]]:
@@ -364,8 +396,11 @@ def _check_batch_loops(
             if not method.name.endswith("_many"):
                 continue
             scalar = method.name[: -len("_many")]
+            sanctioned = _crossover_fallback_loops(method)
             for loop in ast.walk(method):
                 if not isinstance(loop, _LOOP_NODES):
+                    continue
+                if id(loop) in sanctioned:
                     continue
                 flagged = False
                 for node in ast.walk(loop):

@@ -292,6 +292,106 @@ def _command_bench_batch(args) -> int:
     return 0
 
 
+def _command_bench_descent(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .core.slab_tree import expand_corners, kernel_backend
+    from .methods.registry import build_method
+    from .workloads import clustered, query_stream
+
+    shape = tuple(args.shape)
+    data = clustered(shape, seed=args.seed)
+    vector = build_method("vector", data)
+    vector.batch_crossover_override = 1
+    reference = build_method("ddc", data)
+    cells = query_stream(
+        shape, args.batch, locality=args.locality, seed=args.seed + 1
+    )
+    spans = [max(1, int(size * args.extent)) for size in shape]
+    ranges = [
+        (
+            low := tuple(
+                min(cell[axis], shape[axis] - spans[axis])
+                for axis in range(len(shape))
+            ),
+            tuple(low[axis] + spans[axis] - 1 for axis in range(len(shape))),
+        )
+        for cell in cells
+    ]
+
+    vector_results = vector.range_sum_many(ranges)
+    reference_results = reference.range_sum_many(ranges)
+    if [int(v) for v in vector_results] != [int(v) for v in reference_results]:
+        raise SystemExit(
+            "vector/reference mismatch — the slab-tree descent disagrees "
+            "with the pure-python DDC"
+        )
+    vector_seconds = ddc_seconds = None
+    for _ in range(args.reps):
+        start = time.perf_counter()
+        vector.range_sum_many(ranges)
+        elapsed = time.perf_counter() - start
+        if vector_seconds is None or elapsed < vector_seconds:
+            vector_seconds = elapsed
+        start = time.perf_counter()
+        reference.range_sum_many(ranges)
+        elapsed = time.perf_counter() - start
+        if ddc_seconds is None or elapsed < ddc_seconds:
+            ddc_seconds = elapsed
+
+    tree = vector.tree
+    lows = np.asarray([low for low, _ in ranges], dtype=np.int64)
+    highs = np.asarray([high for _, high in ranges], dtype=np.int64)
+    corners, _, _ = expand_corners(lows, highs)
+    print(
+        f"{'locality':<8} {'batch':>6} {'kernel':<7} {'vector s':>10} "
+        f"{'ddc s':>10} {'speedup':>8}"
+    )
+    print(
+        f"{args.locality:<8} {args.batch:>6} {kernel_backend():<7} "
+        f"{vector_seconds:>10.6f} {ddc_seconds:>10.6f} "
+        f"{ddc_seconds / vector_seconds:>8.1f}"
+    )
+    print(f"\nper-level gathers over {corners.shape[0]} corner coordinates:")
+    for index, layout in enumerate(tree.level_layout()):
+        best = None
+        for _ in range(args.reps):
+            start = time.perf_counter()
+            tree.gather_level(index, corners)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        print(
+            f"  level {index} combo={layout['combo']} "
+            f"cells={layout['cells']:,} gather={best:.7f}s"
+        )
+
+    row = {
+        "shape": list(shape),
+        "locality": args.locality,
+        "batch": args.batch,
+        "kernel": kernel_backend(),
+        "levels": tree.level_count,
+        "vector_seconds": vector_seconds,
+        "ddc_seconds": ddc_seconds,
+        "speedup_vs_ddc": (
+            ddc_seconds / vector_seconds if vector_seconds else None
+        ),
+        "queries_per_second": (
+            args.batch / vector_seconds if vector_seconds else None
+        ),
+    }
+    _merge_artifact_row(
+        Path(args.json),
+        "descent",
+        row,
+        ("shape", "locality", "batch"),
+    )
+    return 0
+
+
 def _run_serving_stream(target, events) -> list:
     """Replay a read/write event stream against one serving target.
 
@@ -959,6 +1059,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON artifact path (rows are merged per method/shape/locality/batch)",
     )
     bench_batch.set_defaults(handler=_command_bench_batch)
+
+    bench_descent = commands.add_parser(
+        "bench-descent",
+        help="measure the slab-tree batched descent vs the pure-python DDC",
+    )
+    bench_descent.add_argument(
+        "--shape", type=int, nargs="+", default=[256, 256], help="cube shape"
+    )
+    bench_descent.add_argument(
+        "--batch", type=int, default=64, help="range queries per batch"
+    )
+    bench_descent.add_argument(
+        "--locality", default="zipf", choices=("uniform", "zipf")
+    )
+    bench_descent.add_argument(
+        "--extent",
+        type=float,
+        default=0.125,
+        help="per-axis query span as a fraction of the cube side",
+    )
+    bench_descent.add_argument(
+        "--reps", type=int, default=5, help="timed repetitions (best kept)"
+    )
+    bench_descent.add_argument("--seed", type=int, default=0)
+    bench_descent.add_argument(
+        "--json",
+        default="BENCH_descent.json",
+        help="JSON artifact path (rows merged per shape/locality/batch)",
+    )
+    bench_descent.set_defaults(handler=_command_bench_descent)
 
     bench_engine = commands.add_parser(
         "bench-engine",

@@ -41,6 +41,12 @@ from .overlay import ArrayOverlay, TreeOverlay
 
 __all__ = ["DynamicDataCube"]
 
+#: Cover-bucket size below which a batch traversal reads overlay row
+#: values as individual walks instead of one batched secondary descent —
+#: the shared descent's bucket bookkeeping only amortises over larger
+#: groups (measured on the batch-query throughput bench at 256x256).
+_ROW_MANY_MIN = 16
+
 
 class _Node:
     """Internal primary-tree node: 2^d lazy children with lazy overlays."""
@@ -72,10 +78,11 @@ class DynamicDataCube(RangeSumMethod):
     name = "ddc"
     #: Below this batch size the per-node bucketing and contribution
     #: cache of the path-sharing traversal cost more than they share.
-    #: Set by the worst locality: uniform batches share few paths and
-    #: only break even near 128 (zipf wins from ~16, but the crossover
-    #: cannot see locality), per BENCH_batch_queries.json.
-    batch_crossover = 128
+    #: Calibrated at first use: uniform batches share few paths, so
+    #: the measured break-even lands far above zipf's (~16 vs ~128 on
+    #: the reference machine) and the probe picks the machine-local
+    #: value instead of a constant tuned elsewhere.
+    batch_crossover = "auto"
     _overlay_class = TreeOverlay
 
     def __init__(
@@ -283,11 +290,19 @@ class DynamicDataCube(RangeSumMethod):
     def _prefix_walk(self, cell: Sequence[int] | int):
         """One Figure 10 descent; returns ``(value, levels walked)``."""
         cell = geometry.normalize_cell(cell, self.shape)
-        node = self._root
-        if node is None:
+        if self._root is None:
             return self._zero(), 0
-        side = self._capacity
-        anchor = (0,) * self.dims
+        return self._walk_under(self._root, self._capacity, (0,) * self.dims, cell)
+
+    def _walk_under(self, node, side: int, anchor: tuple, cell: tuple):
+        """Scalar Figure 10 descent from an arbitrary subtree position.
+
+        Shared by the scalar entry point (from the root) and the batch
+        traversal, which drops to this walk the moment a cover bucket
+        narrows to a single query — from there down the bucketed
+        bookkeeping (cover dicts, read caches, position lists) is pure
+        overhead over the plain descent.
+        """
         acc = 0
         depth = 0
         while isinstance(node, _Node):
@@ -390,20 +405,25 @@ class DynamicDataCube(RangeSumMethod):
                     (0,) * self.dims, offsets
                 )
             return out
+        if len(cells) == 1:
+            return [self._walk_under(node, side, anchor, cells[0])[0]]
         self.stats.node_visits += 1
         self.stats.touch(node)
         half = side // 2
-        by_cover: dict[int, list[int]] = {}
+        by_cover: dict[int, tuple[list[int], list]] = {}
         for position, cell in enumerate(cells):
             cover = self._covering_mask(cell, anchor, half)
-            by_cover.setdefault(cover, []).append(position)
+            entry = by_cover.get(cover)
+            if entry is None:
+                by_cover[cover] = entry = ([], [])
+            entry[0].append(position)
+            entry[1].append(cell)
         out = [0] * len(cells)
         # Contributions already read at this node, shared across covers:
         # ``(mask, None)`` for a subtotal, ``(mask, group, cross)`` for a
         # row-sum value.
         cache: dict = {}
-        for cover, positions in by_cover.items():
-            group_cells = [cells[position] for position in positions]
+        for cover, (positions, group_cells) in by_cover.items():
             if cover:
                 submask = (cover - 1) & cover
                 while True:
@@ -449,6 +469,23 @@ class DynamicDataCube(RangeSumMethod):
             return
         box_anchor = self._child_anchor(anchor, mask, half)
         group = (complete & -complete).bit_length() - 1
+        if len(group_cells) < _ROW_MANY_MIN:
+            # Small buckets: read each distinct row value as a plain
+            # walk the moment it is first needed — the cache still
+            # dedupes, and the batched secondary descent's bucket
+            # bookkeeping costs more than a handful of walks.
+            for position, cell in zip(positions, group_cells):
+                offsets = tuple(
+                    min(cell[axis] - box_anchor[axis], half - 1)
+                    for axis in range(self.dims)
+                )
+                cross = offsets[:group] + offsets[group + 1 :]
+                key = (mask, group, cross)
+                value = cache.get(key)
+                if value is None:
+                    value = cache[key] = overlay.row_value(group, cross)
+                out[position] += value
+            return
         per_query_keys = []
         missing: list[tuple] = []
         seen: set = set()

@@ -169,6 +169,9 @@ class KeyedBcTree:
             order.setdefault(key, []).append(position)
         if not order:
             return []
+        if len(order) == 1:
+            value = self.prefix_sum(next(iter(order)))
+            return [value] * len(keys)
         distinct = sorted(order)
         values = self._prefix_many(self._root, distinct)
         for key, value in zip(distinct, values):

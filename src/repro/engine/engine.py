@@ -141,7 +141,14 @@ class ShardedEngine(RangeSumMethod):
             from .process import ProcessExecutor, ShmShardReplica
             from .shm import ShardSlabStore
 
-            self._store = ShardSlabStore(self.plan, dtype=self.dtype)
+            # Slab-native methods (``slab_kernel = "vector"``) swap the
+            # per-query corner loop for the batched slab-tree gather in
+            # every worker; pointer methods keep the scalar kernel.
+            self._store = ShardSlabStore(
+                self.plan,
+                dtype=self.dtype,
+                kernel=getattr(shard_cls, "slab_kernel", "scalar"),
+            )
             self._process_pool = ProcessExecutor(
                 self._store, workers=workers, obs=self.obs,
                 ipc_reads=ipc_reads,

@@ -82,6 +82,7 @@ def _pool_worker_main(
     manifests: list,
     owned: tuple,
     conn,
+    kernel: str = "scalar",
 ) -> None:
     """Serve slab operations for this worker's shards (child process).
 
@@ -91,6 +92,7 @@ def _pool_worker_main(
     ``("error", detail)``; an unreadable pipe means the parent is gone
     and the loop exits.
     """
+    read_kernel = shm.get_read_kernel(kernel)
     segments = {}
     headers = {}
     views = {}
@@ -112,7 +114,7 @@ def _pool_worker_main(
             try:
                 if op == "query_many":
                     _, index, ranges = message
-                    reply = shm.slab_range_sum_many(views[index], ranges)
+                    reply = read_kernel(views[index], ranges)
                 elif op == "apply":
                     _, index, updates = message
                     # Single-writer seqlock: odd seq brackets the
@@ -154,10 +156,12 @@ def _fold_pending(values: list, queries: Sequence[tuple], batches) -> list:
         extra = 0
         for updates in batches:
             for cell, delta in updates:
-                if all(
-                    lower <= coordinate <= upper
-                    for lower, coordinate, upper in zip(low, cell, high)
-                ):
+                inside = True
+                for axis, coordinate in enumerate(cell):
+                    if not low[axis] <= coordinate <= high[axis]:
+                        inside = False
+                        break
+                if inside:
                     extra += delta
         if extra:
             values[position] += extra
@@ -319,7 +323,13 @@ class ProcessExecutor(ThreadFanout):
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_pool_worker_main,
-            args=(lane.worker_index, self._manifests, lane.owned, child_conn),
+            args=(
+                lane.worker_index,
+                self._manifests,
+                lane.owned,
+                child_conn,
+                self.store.kernel_name,
+            ),
             daemon=True,
             name=f"repro-shard-worker-{lane.worker_index}",
         )

@@ -35,6 +35,8 @@ from typing import Sequence
 import numpy as np
 
 from .. import geometry
+from ..core.slab_tree import slab_range_many
+from ..exceptions import ConfigurationError
 from .sharding import ShardPlan
 
 __all__ = [
@@ -43,7 +45,9 @@ __all__ = [
     "ShardSlabStore",
     "attach_slab",
     "build_prefix",
+    "get_read_kernel",
     "slab_range_sum_many",
+    "slab_range_sum_many_vector",
     "slab_apply_deltas",
 ]
 
@@ -125,6 +129,89 @@ def slab_range_sum_many(slab: np.ndarray, ranges: Sequence[tuple]) -> list:
     return out
 
 
+def slab_range_sum_many_vector(slab: np.ndarray, ranges: Sequence[tuple]) -> list:
+    """Branch-free batched read kernel: the slab-tree corner gather.
+
+    Same contract as :func:`slab_range_sum_many`, but the per-query
+    Python corner construction is replaced by the vectorised
+    inclusion-exclusion expansion from :mod:`repro.core.slab_tree` —
+    one corner tensor, one gather, one signed reduction for the whole
+    batch.  Single queries (the engine's per-event read path) take a
+    pure-integer fast path that never builds an array at all.
+    """
+    count = len(ranges)
+    if count == 1:
+        low, high = ranges[0]
+        return [_range_sum_single(slab, low, high)]
+    dims = slab.ndim
+    lows = np.empty((count, dims), dtype=np.int64)
+    highs = np.empty((count, dims), dtype=np.int64)
+    for position, (low, high) in enumerate(ranges):
+        lows[position] = low
+        highs[position] = high
+    return slab_range_many(slab, lows, highs).tolist()
+
+
+def _range_sum_single(slab: np.ndarray, low: tuple, high: tuple) -> object:
+    """One inclusion-exclusion read with integer-only corner arithmetic.
+
+    Corner values come out through ``ndarray.item`` on a logical
+    (C-order) flat index — one Python number per read, no intermediate
+    array scalars — so the engine's per-event miss path stays cheap.
+    """
+    dims = slab.ndim
+    shape = slab.shape
+    stride = 1
+    strides = [1] * dims
+    for axis in range(dims - 1, -1, -1):
+        strides[axis] = stride
+        stride *= shape[axis]
+    item = slab.item
+    total = 0
+    for mask in range(1 << dims):
+        index = 0
+        sign = 1
+        valid = True
+        for axis in range(dims):
+            if (mask >> axis) & 1:
+                coordinate = low[axis] - 1
+                if coordinate < 0:
+                    valid = False
+                    break
+                sign = -sign
+            else:
+                coordinate = high[axis]
+            index += coordinate * strides[axis]
+        if not valid:
+            continue
+        if sign > 0:
+            total += item(index)
+        else:
+            total -= item(index)
+    return total
+
+
+#: Read-kernel registry: ``scalar`` is the original per-query corner
+#: construction; ``vector`` is the slab-tree batched corner gather.  A
+#: method class can nominate its kernel via a ``slab_kernel`` class
+#: attribute (see :class:`~repro.methods.vector.VectorSlabCube`).
+_READ_KERNELS = {
+    "scalar": slab_range_sum_many,
+    "vector": slab_range_sum_many_vector,
+}
+
+
+def get_read_kernel(name: str):
+    """Resolve a slab read kernel by name (``scalar`` / ``vector``)."""
+    try:
+        return _READ_KERNELS[name]
+    except KeyError:
+        known = ", ".join(sorted(_READ_KERNELS))
+        raise ConfigurationError(
+            f"unknown slab read kernel {name!r}; known kernels: {known}"
+        ) from None
+
+
 def slab_apply_deltas(slab: np.ndarray, updates: Sequence[tuple]) -> None:
     """Apply point-update deltas to a prefix slab in place.
 
@@ -202,10 +289,16 @@ class ShardSlabStore:
     Args:
         plan: the engine's shard plan; one segment per shard span.
         dtype: slab value dtype (must support exact add/subtract).
+        kernel: read-kernel name (``"scalar"`` or ``"vector"``); the
+            engine derives it from the shard method's ``slab_kernel``
+            class attribute so slab-native methods get the batched
+            corner gather in workers and on the owner side alike.
     """
 
-    def __init__(self, plan: ShardPlan, dtype=np.int64) -> None:
+    def __init__(self, plan: ShardPlan, dtype=np.int64, kernel: str = "scalar") -> None:
         self.plan = plan
+        self.kernel_name = kernel
+        self._kernel = get_read_kernel(kernel)
         self.dtype = np.dtype(dtype)
         self._segments: list[shared_memory.SharedMemory] = []
         self._headers: list[np.ndarray] = []
@@ -273,11 +366,11 @@ class ShardSlabStore:
 
     def range_sum(self, index: int, low: tuple, high: tuple):
         """Direct (no-IPC) local range sum — the fallback read path."""
-        return slab_range_sum_many(self._views[index], [(low, high)])[0]
+        return self._kernel(self._views[index], [(low, high)])[0]
 
     def range_sum_many(self, index: int, ranges: Sequence[tuple]) -> list:
         """Direct (no-IPC) batch of local range sums."""
-        return slab_range_sum_many(self._views[index], ranges)
+        return self._kernel(self._views[index], ranges)
 
     def apply_deltas(self, index: int, updates: Sequence[tuple]) -> None:
         """Direct (no-IPC) delta application — owner-side write path."""

@@ -63,6 +63,19 @@ def normalize_cell(cell: Sequence[int] | int, shape: Shape) -> Cell:
     A bare integer is accepted for one-dimensional cubes.  Raises
     :class:`DimensionMismatchError` or :class:`OutOfBoundsError`.
     """
+    # Fast path for the serving loops: a tuple of plain ints needs no
+    # rebuilding, only the bounds check.  (``type is int`` deliberately
+    # excludes bool and numpy integers — those take the coercing path.)
+    if type(cell) is tuple and len(cell) == len(shape):
+        for coordinate, size in zip(cell, shape):
+            if type(coordinate) is not int:
+                break
+            if not 0 <= coordinate < size:
+                raise OutOfBoundsError(
+                    f"cell {cell} out of bounds for shape {shape}"
+                )
+        else:
+            return cell
     if isinstance(cell, int):
         cell = (cell,)
     cell = tuple(int(c) for c in cell)

@@ -6,6 +6,7 @@ from .naive import NaiveArray
 from .prefix_sum import PrefixSumCube
 from .relative_prefix_sum import RelativePrefixSumCube
 from .segment_tree import SegmentTreeCube
+from .vector import VectorSlabCube
 from .registry import (
     METHODS,
     build_method,
@@ -23,6 +24,7 @@ __all__ = [
     "RelativePrefixSumCube",
     "SegmentTreeCube",
     "FenwickCube",
+    "VectorSlabCube",
     "METHODS",
     "method_class",
     "create_method",

@@ -52,27 +52,37 @@ def masked_path_gather(
     ``axis_paths`` holds, per axis, an ``(indices, mask)`` pair of
     ``(count, width)`` arrays: row ``q`` of ``indices`` lists the tree
     coordinates query ``q`` must visit along that axis, padded to
-    ``width`` with zeros, and ``mask`` marks the valid slots.  For every
-    combination of one slot per axis the function gathers the addressed
-    cells for the whole batch at once, so the Python-level loop runs
-    over *levels* (O(log^d n) combinations) while each gather is
-    vectorised over all ``count`` queries — the batched equivalent of
-    the nested per-query path walks in the Fenwick and segment trees.
+    ``width`` with zeros, and ``mask`` marks the valid slots.  The
+    per-axis paths are folded into one flat index tensor of shape
+    ``(count, prod(widths))`` — every (query, level-combination) pair at
+    once — so the whole batch costs a single fancy-index gather plus a
+    masked row reduction, with no Python-level loop over level
+    combinations at all.  (An earlier revision looped over the
+    ``O(log^d n)`` combinations with one small gather each; the loop's
+    constant dominated at moderate batch sizes.)
     """
-    from itertools import product
-
-    result = np.zeros(count, dtype=dtype)
-    for combo in product(*[range(indices.shape[1]) for indices, _ in axis_paths]):
-        valid = np.ones(count, dtype=bool)
-        gather_index = []
-        for axis, slot in enumerate(combo):
-            indices, mask = axis_paths[axis]
-            valid &= mask[:, slot]
-            gather_index.append(indices[:, slot])
-        if not valid.any():
-            continue
-        result += np.where(valid, tree[tuple(gather_index)], 0)
-    return result
+    strides = []
+    stride = 1
+    for size in reversed(tree.shape):
+        strides.append(stride)
+        stride *= size
+    strides.reverse()
+    flat_index: np.ndarray | None = None
+    valid: np.ndarray | None = None
+    for axis, (indices, mask) in enumerate(axis_paths):
+        scaled = indices.astype(np.intp, copy=False) * strides[axis]
+        if flat_index is None or valid is None:
+            flat_index = scaled
+            valid = mask
+        else:
+            flat_index = (
+                flat_index[:, :, None] + scaled[:, None, :]
+            ).reshape(count, -1)
+            valid = (valid[:, :, None] & mask[:, None, :]).reshape(count, -1)
+    if flat_index is None or valid is None:
+        return np.zeros(count, dtype=dtype)
+    gathered = tree.reshape(-1)[flat_index]
+    return np.where(valid, gathered, 0).sum(axis=1, dtype=dtype)
 
 
 class RangeSumMethod(ABC):
@@ -90,10 +100,15 @@ class RangeSumMethod(ABC):
     #: Batches strictly smaller than this take the scalar path.  The
     #: shared-work machinery (vectorised gathers, path-sharing descents)
     #: has per-call setup costs that a tiny batch never amortises — the
-    #: small-batch regression the throughput benchmark exposed — so each
-    #: method declares the batch size at which its batch path starts to
-    #: win.  1 means "always batch".
-    batch_crossover: ClassVar[int] = 1
+    #: small-batch regression the throughput benchmark exposed.  1 means
+    #: "always batch"; the sentinel ``"auto"`` resolves the threshold
+    #: through the one-shot calibration probe in
+    #: :mod:`repro.methods.crossover` (measured on this machine, cached
+    #: per class), replacing the old hand-tuned per-class constants.
+    #: Instances can pin a value via :attr:`batch_crossover_override`
+    #: (the benchmarks use it to time the batch path regardless of the
+    #: adaptive decision).
+    batch_crossover: ClassVar[int | str] = 1
 
     #: Observability wiring (see :mod:`repro.obs`).  The class-level
     #: default is the shared disabled facade, so an unwired structure
@@ -110,6 +125,12 @@ class RangeSumMethod(ABC):
         #: (shared-work machinery) or ``"scalar"`` (per-query fallback,
         #: chosen below :attr:`batch_crossover`).  Benchmarks record it.
         self.last_batch_path: str = "batch"
+        #: Per-instance crossover pin.  ``None`` defers to the class
+        #: policy (a literal threshold or the calibrated ``"auto"``
+        #: probe); an int forces that threshold — set it to 1 to force
+        #: the batch path, e.g. when auditing what the batch kernel
+        #: *would* do below the adaptive crossover.
+        self.batch_crossover_override: int | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -253,7 +274,7 @@ class RangeSumMethod(ABC):
         scalar loop (with an explanatory ``noqa: REP006``) when it
         returns False.
         """
-        use_batch = count >= type(self).batch_crossover
+        use_batch = count >= self._effective_crossover()
         self.last_batch_path = "batch" if use_batch else "scalar"
         obs = self.obs
         if obs.enabled:
@@ -261,6 +282,25 @@ class RangeSumMethod(ABC):
                 method=self.name, path=self.last_batch_path
             ).inc()
         return use_batch
+
+    def _effective_crossover(self) -> int:
+        """The batch/scalar threshold in force for this instance.
+
+        Resolution order: the per-instance
+        :attr:`batch_crossover_override` pin, then the class policy —
+        a literal int, or ``"auto"``, which defers to the one-shot
+        timing probe in :mod:`repro.methods.crossover` (measured once
+        per class and dimensionality, then cached).
+        """
+        override = self.batch_crossover_override
+        if override is not None:
+            return override
+        configured = type(self).batch_crossover
+        if configured == "auto":
+            from .crossover import calibrated_crossover
+
+            return calibrated_crossover(type(self), self.dims)
+        return int(configured)
 
     def prefix_sum_many(self, cells: Sequence) -> list:
         """Batch form of :meth:`prefix_sum`: one result per input cell.

@@ -1,0 +1,160 @@
+"""One-shot batch-crossover calibration probe.
+
+Every method has a batch size below which its shared-work batch path
+(vectorised gathers, path-sharing descents) loses to the plain scalar
+loop — the per-call setup never amortises.  Earlier revisions pinned
+that threshold per class with hand-tuned constants measured on one
+machine; this module replaces them with a measured decision: the first
+time a method with ``batch_crossover = "auto"`` dispatches a batch, a
+small probe cube is built, both paths are timed at a few geometric
+batch sizes, and the smallest size where the batch path wins becomes
+the class's crossover on this machine.  The result is cached per
+``(class, dims)``, so the probe runs once per process — a few
+milliseconds, paid on the first batch call, never on the hot path.
+
+The probe is observable and overridable:
+
+* ``REPRO_BATCH_CROSSOVER=<int>`` pins every auto-calibrated method to
+  one threshold (deterministic CI runs, A/B experiments);
+* :func:`calibration_report` returns the measured table so benchmarks
+  can record *why* a crossover landed where it did;
+* per-instance ``batch_crossover_override`` bypasses the probe
+  entirely (the benchmarks use it to audit the batch path below the
+  crossover).
+
+Timing uses the observability clock wrapper, never ``time.*`` directly
+(project rule REP008).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..obs.clock import MonotonicClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import RangeSumMethod
+
+__all__ = [
+    "PROBE_BATCH_SIZES",
+    "calibrated_crossover",
+    "calibration_report",
+    "reset_calibration",
+]
+
+#: Geometric ladder of batch sizes the probe times both paths at.
+PROBE_BATCH_SIZES = (4, 16, 64, 256)
+
+#: Probe cube side per axis — big enough that tree descents have real
+#: depth, small enough that the probe costs milliseconds.
+_PROBE_SIDE = 32
+
+_REPS = 2
+
+_CACHE: dict[tuple[type, int], int] = {}
+_REPORT: dict[tuple[str, int], list[dict[str, Any]]] = {}
+
+_CLOCK = MonotonicClock()
+
+
+def reset_calibration() -> None:
+    """Drop every cached probe result (tests re-calibrate after this)."""
+    _CACHE.clear()
+    _REPORT.clear()
+
+
+def calibration_report() -> dict[str, list[dict[str, Any]]]:
+    """Measured probe rows per calibrated ``"<method>/<dims>d"`` key."""
+    return {
+        f"{name}/{dims}d": rows for (name, dims), rows in sorted(_REPORT.items())
+    }
+
+
+def calibrated_crossover(cls: "type[RangeSumMethod]", dims: int) -> int:
+    """The measured batch/scalar threshold for ``cls`` at ``dims`` axes.
+
+    Returns the smallest probed batch size whose batch path beat the
+    scalar loop (and every larger probed size also did); if the batch
+    path never won, one past the largest probed size — i.e. batches up
+    to 256 stay scalar, larger ones are trusted to amortise.
+    """
+    pinned = os.environ.get("REPRO_BATCH_CROSSOVER")
+    if pinned:
+        return max(1, int(pinned))
+    key = (cls, dims)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    # Publish a provisional threshold before probing: the probe itself
+    # issues *_many calls, and the instance-level override it sets must
+    # not recurse into calibration.
+    _CACHE[key] = PROBE_BATCH_SIZES[-1]
+    try:
+        crossover, rows = _probe(cls, dims)
+    except Exception:  # pragma: no cover - probe must never break serving
+        del _CACHE[key]
+        raise
+    _CACHE[key] = crossover
+    _REPORT[(cls.name, dims)] = rows
+    return crossover
+
+
+def _probe(cls: "type[RangeSumMethod]", dims: int) -> tuple[int, list[dict[str, Any]]]:
+    """Time both paths on a probe cube; returns (crossover, rows)."""
+    rng = np.random.default_rng(1729)
+    shape = (_PROBE_SIDE,) * dims
+    data = rng.integers(0, 10, size=shape)
+    method = cls.from_array(data)
+    rows: list[dict[str, Any]] = []
+    crossover = PROBE_BATCH_SIZES[-1] + 1
+    for size in reversed(PROBE_BATCH_SIZES):
+        cells = [
+            tuple(int(value) for value in row)
+            for row in rng.integers(0, _PROBE_SIDE, size=(size, dims))
+        ]
+        batch_seconds = _time_path(method, cells, force_batch=True)
+        scalar_seconds = _time_path(method, cells, force_batch=False)
+        rows.append(
+            {
+                "batch": size,
+                "batch_seconds": batch_seconds,
+                "scalar_seconds": scalar_seconds,
+                "batch_wins": batch_seconds <= scalar_seconds,
+            }
+        )
+        if batch_seconds <= scalar_seconds:
+            crossover = size
+        else:
+            # Sizes below a loss would only be noisier; stop descending.
+            break
+    rows.reverse()
+    return crossover, rows
+
+
+def _time_path(
+    method: "RangeSumMethod", cells: list[tuple[int, ...]], force_batch: bool
+) -> float:
+    """Best-of-reps wall time for one path over one probe batch."""
+    best = float("inf")
+    if force_batch:
+        method.batch_crossover_override = 1
+        try:
+            method.prefix_sum_many(cells)  # warm-up: first-touch setup
+            for _ in range(_REPS):
+                start = _CLOCK.now()
+                method.prefix_sum_many(cells)
+                best = min(best, _CLOCK.now() - start)
+        finally:
+            method.batch_crossover_override = None
+        return best
+    for cell in cells:
+        method.prefix_sum(cell)
+    for _ in range(_REPS):
+        start = _CLOCK.now()
+        for cell in cells:
+            method.prefix_sum(cell)
+        best = min(best, _CLOCK.now() - start)
+    return best

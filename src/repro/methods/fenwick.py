@@ -43,8 +43,9 @@ class FenwickCube(RangeSumMethod):
     name = "fenwick"
     #: The per-level gather visits every level *combination* regardless
     #: of batch size — prod_i log2(n_i) vectorised reads — so small
-    #: batches are much cheaper as plain path walks.
-    batch_crossover = 256
+    #: batches are much cheaper as plain path walks; the probe measures
+    #: where the gather starts to win.
+    batch_crossover = "auto"
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -123,7 +124,7 @@ class FenwickCube(RangeSumMethod):
             lengths *= masks.sum(axis=1)
         self.stats.cell_reads += int(lengths.sum())
         result = masked_path_gather(self._tree, axis_paths, count, self.dtype)
-        return [self.dtype.type(value) for value in result]
+        return list(result)
 
     def add_many(self, updates) -> None:
         """Adaptive batch update.

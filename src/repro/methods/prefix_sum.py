@@ -25,9 +25,9 @@ class PrefixSumCube(RangeSumMethod):
 
     name = "ps"
     #: A scalar prefix query is one indexed read; the vectorised gather
-    #: only wins once its numpy setup is spread over a few hundred
-    #: queries (a scalar read is already near-free, so the bar is high).
-    batch_crossover = 256
+    #: only wins once its numpy setup is spread over enough queries (a
+    #: scalar read is already near-free, so the measured bar is high).
+    batch_crossover = "auto"
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -56,12 +56,11 @@ class PrefixSumCube(RangeSumMethod):
             return []
         if not self._use_batch_path(len(normalized)):
             return [self.prefix_sum(cell) for cell in normalized]  # noqa: REP006 — adaptive crossover: a tiny batch of O(1) scalar reads beats the gather setup
-        index = tuple(
-            np.array([cell[axis] for cell in normalized], dtype=np.intp)
-            for axis in range(self.dims)
-        )
+        coords = np.array(normalized, dtype=np.intp)
         self.stats.cell_reads += len(normalized)
-        return [self.dtype.type(value) for value in self._prefix[index]]
+        # Iterating the gathered vector yields numpy scalars of the
+        # prefix dtype already — no per-value reconversion loop.
+        return list(self._prefix[tuple(coords.T)])
 
     def add(self, cell: Sequence[int] | int, delta) -> None:
         """The cascading update of Figure 5.

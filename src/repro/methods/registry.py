@@ -16,6 +16,7 @@ from .naive import NaiveArray
 from .prefix_sum import PrefixSumCube
 from .relative_prefix_sum import RelativePrefixSumCube
 from .segment_tree import SegmentTreeCube
+from .vector import VectorSlabCube
 
 __all__ = [
     "METHODS",
@@ -33,6 +34,7 @@ METHODS: dict[str, type[RangeSumMethod]] = {
     RelativePrefixSumCube.name: RelativePrefixSumCube,
     FenwickCube.name: FenwickCube,
     SegmentTreeCube.name: SegmentTreeCube,
+    VectorSlabCube.name: VectorSlabCube,
 }
 
 

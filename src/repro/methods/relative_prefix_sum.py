@@ -57,8 +57,8 @@ class RelativePrefixSumCube(RangeSumMethod):
 
     name = "rps"
     #: Each query needs 2^d component reads, so the gathers amortise
-    #: sooner than for the plain prefix-sum cube.
-    batch_crossover = 8
+    #: sooner than for the plain prefix-sum cube (the probe lands low).
+    batch_crossover = "auto"
 
     def __init__(
         self,

@@ -57,8 +57,8 @@ class SegmentTreeCube(RangeSumMethod):
 
     name = "segtree"
     #: Like the Fenwick gather, the padded canonical-cover gather visits
-    #: every level combination regardless of batch size.
-    batch_crossover = 256
+    #: every level combination regardless of batch size; calibrated.
+    batch_crossover = "auto"
 
     def __init__(self, shape: Sequence[int], dtype=np.int64) -> None:
         super().__init__(shape, dtype)
@@ -146,7 +146,7 @@ class SegmentTreeCube(RangeSumMethod):
             lengths *= mask.sum(axis=1)
         self.stats.cell_reads += int(lengths.sum())
         result = masked_path_gather(self._tree, axis_paths, count, self.dtype)
-        return [self.dtype.type(value) for value in result]
+        return list(result)
 
     def prefix_sum_many(self, cells: Sequence) -> list:
         """Batch prefix queries as origin-anchored batch range queries."""

@@ -28,7 +28,18 @@ def lock_sanitizer():
     return LockSanitizer(ManualClock(), strict=True)
 
 
-@pytest.fixture(params=["naive", "ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"])
+@pytest.fixture(
+    params=[
+        "naive",
+        "ps",
+        "rps",
+        "fenwick",
+        "segtree",
+        "basic-ddc",
+        "ddc",
+        "vector",
+    ]
+)
 def method_name(request) -> str:
     """Every registered range-sum method name."""
     return request.param
@@ -37,7 +48,16 @@ def method_name(request) -> str:
 def pytest_configure(config) -> None:
     # Guard: the parametrised fixture above must stay in sync with the
     # registry; failing loudly here beats silently skipping a method.
-    expected = {"naive", "ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"}
+    expected = {
+        "naive",
+        "ps",
+        "rps",
+        "fenwick",
+        "segtree",
+        "basic-ddc",
+        "ddc",
+        "vector",
+    }
     assert expected == set(method_names()), (
         "method registry changed; update the method_name fixture"
     )

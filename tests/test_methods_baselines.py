@@ -49,6 +49,7 @@ class TestRegistry:
             "ps",
             "rps",
             "segtree",
+            "vector",
         ]
 
     def test_unknown_method(self):

@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 
 from repro.methods import NaiveArray, method_class
 
-CHALLENGERS = ["ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc"]
+CHALLENGERS = ["ps", "rps", "fenwick", "segtree", "basic-ddc", "ddc", "vector"]
 
 
 @st.composite
