@@ -54,7 +54,9 @@ Rules (suppress a line with ``# noqa: REPxxx``):
   the same gate, pass ``defer_to_flow=True`` and its path-sensitive
   REP009 supersedes it.
 * **REP008 direct-clock** — hot-path modules (``src/repro/core/``,
-  ``src/repro/methods/``, ``src/repro/engine/``) must not call
+  ``src/repro/methods/``, ``src/repro/engine/``, plus
+  ``src/repro/obs/remote.py``, which runs inside pool workers) must
+  not call
   ``time.time`` / ``time.perf_counter`` / ``time.monotonic`` (or their
   ``_ns`` variants) or ``time.sleep`` directly; all timestamps and
   sleeps flow through the injected observability clock
@@ -592,11 +594,27 @@ _CLOCK_FUNCTIONS = frozenset(
 #: Directory names marking the instrumented hot paths.
 _HOT_PATH_DIRS = frozenset({"core", "methods", "engine"})
 
+#: Individual observability modules that are themselves on the hot path.
+#: ``obs/remote.py`` runs inside pool workers (the shared-memory metric
+#: shard writes on every op), so its timestamps must flow through the
+#: injected clock exactly like engine code.
+_HOT_PATH_FILES = frozenset({("obs", "remote.py")})
+
+
+def _on_hot_path(module_path: Path) -> bool:
+    if _HOT_PATH_DIRS & set(module_path.parts):
+        return True
+    parts = module_path.parts
+    return any(
+        len(parts) >= len(suffix) and tuple(parts[-len(suffix):]) == suffix
+        for suffix in _HOT_PATH_FILES
+    )
+
 
 def _check_direct_clock(
     tree: ast.Module, module_path: Path
 ) -> Iterable[tuple[int, str, str]]:
-    if not _HOT_PATH_DIRS & set(module_path.parts):
+    if not _on_hot_path(module_path):
         return
     imported: set[str] = set()
     for node in ast.walk(tree):

@@ -41,7 +41,13 @@ Examples::
     python -m repro metrics --format json
 
     # same replay, printing the N slowest span trees + slow-query log
-    python -m repro trace --slowest 3 --slow-ms 0.5
+    # (optionally also as a chrome://tracing / Perfetto document)
+    python -m repro trace --slowest 3 --slow-ms 0.5 --chrome trace.json
+
+    # live serving dashboard: per-worker latency tables harvested from
+    # the pool's shared-memory metric shards + the SLO verdict
+    python -m repro top --executor process --iterations 3
+    python -m repro top --executor process --once   # CI smoke mode
 
     # deterministic fault-injection soak: inject transient faults into
     # >= 20% of shard sub-operations and cross-check every answer
@@ -539,9 +545,16 @@ def _traced_replay(args):
         executor=args.executor,
         cache_size=args.cache,
         obs=obs,
+        ipc_reads=getattr(args, "ipc_reads", False),
     )
     engine.reset_stats()
     _run_serving_stream(engine, events)
+    if engine.process_pool is not None:
+        # Ship any still-buffered write deltas so the workers' final
+        # apply timings are published, then pull every worker's metric
+        # shard into the parent registry before it renders.
+        engine.process_pool.flush()
+    engine.harvest_worker_metrics()
     pool = engine.pool_info()
     engine.close()
     return obs, engine, events, pool
@@ -613,7 +626,7 @@ def _command_metrics(args) -> int:
 
 
 def _command_trace(args) -> int:
-    from .obs import render_span_tree, sorted_by_duration
+    from .obs import render_span_tree, sorted_by_duration, write_chrome_trace
 
     obs, _engine, events, _pool = _traced_replay(args)
     roots = sorted_by_duration(obs.tracer.finished_roots())[: args.slowest]
@@ -632,7 +645,147 @@ def _command_trace(args) -> int:
     for record in log.slowest(args.slowest):
         print()
         print(record.render())
+    if args.chrome:
+        written = write_chrome_trace(args.chrome, obs.tracer.finished_roots())
+        print(f"\nwrote {written} span event(s) -> {args.chrome}")
     return 0
+
+
+def _render_top_frame(obs, engine, watchdog, frame: int) -> str:
+    """One ``repro top`` dashboard frame as a multi-line string."""
+    lines = [f"repro top — frame {frame} — {engine!r}"]
+    requests = obs.metrics.get("repro_engine_request_seconds")
+    if requests is not None:
+        lines.append(
+            f"{'op':<16} {'count':>8} {'p50us':>9} {'p95us':>9} {'p99us':>9}"
+        )
+        for labels, child in sorted(
+            requests.samples(), key=lambda pair: sorted(pair[0].items())
+        ):
+            if child.count == 0:
+                continue
+            p50, p95, p99 = (
+                child.quantile(q) * 1e6 for q in (0.5, 0.95, 0.99)
+            )
+            lines.append(
+                f"{labels.get('op', '?'):<16} {child.count:>8} "
+                f"{p50:>9.1f} {p95:>9.1f} {p99:>9.1f}"
+            )
+    info = engine.cache_info()
+    lines.append(
+        f"cache: {info['hits']} hits / {info['misses']} misses "
+        f"(hit rate {info['hit_rate']:.2%}), "
+        f"{info['size']}/{info['capacity']} entries"
+    )
+    pool = engine.pool_info()
+    if pool is not None:
+        telemetry = pool.get("telemetry")
+        extra = (
+            f", {telemetry['harvests']} harvest(s), "
+            f"{telemetry['torn_snapshots']} torn snapshot(s)"
+            if telemetry
+            else ""
+        )
+        lines.append(
+            f"pool:  {pool['alive']}/{pool['workers']} worker(s) alive, "
+            f"{pool['restarts']} restart(s){extra}"
+        )
+        gather = obs.metrics.get("repro_worker_gather_seconds")
+        apply_ = obs.metrics.get("repro_worker_apply_seconds")
+        ops = obs.metrics.get("repro_worker_ops_total")
+
+        def _by_worker(family, pick):
+            out: dict[str, float] = {}
+            if family is None:
+                return out
+            for labels, child in family.samples():
+                worker = labels.get("worker")
+                if worker is not None:
+                    out[worker] = out.get(worker, 0.0) + pick(child)
+            return out
+
+        gather_p95 = _by_worker(
+            gather, lambda c: c.quantile(0.95) if c.count else 0.0
+        )
+        apply_p95 = _by_worker(
+            apply_, lambda c: c.quantile(0.95) if c.count else 0.0
+        )
+        op_totals = _by_worker(ops, lambda c: c.value)
+        workers = sorted(
+            set(gather_p95) | set(apply_p95) | set(op_totals), key=str
+        )
+        if workers:
+            lines.append(
+                f"{'worker':<8} {'gather p95us':>13} {'apply p95us':>12} "
+                f"{'ops':>8}"
+            )
+            for worker in workers:
+                lines.append(
+                    f"{worker:<8} {gather_p95.get(worker, 0.0) * 1e6:>13.1f} "
+                    f"{apply_p95.get(worker, 0.0) * 1e6:>12.1f} "
+                    f"{op_totals.get(worker, 0.0):>8.0f}"
+                )
+    lines.append(watchdog.render())
+    return "\n".join(lines)
+
+
+def _command_top(args) -> int:
+    """Live serving dashboard: replay traffic, harvest, render, repeat.
+
+    Each frame replays one event stream (a fresh seed per frame, so the
+    workload keeps moving), harvests the pool workers' shared-memory
+    metric shards, and prints request/cache/worker tables plus the SLO
+    verdict.  ``--once`` renders a single frame and exits — the CI smoke
+    mode.  Exit code: 0 while the last frame's SLO verdict is healthy,
+    1 otherwise.
+    """
+    import time
+
+    from .engine import ShardedEngine
+    from .obs import Observability, SloWatchdog
+    from .workloads import clustered, read_write_stream
+
+    shape = tuple(args.shape)
+    data = clustered(shape, seed=args.seed)
+    obs = Observability()
+    engine = ShardedEngine.from_array(
+        data,
+        shards=args.shards,
+        method=args.method,
+        workers=args.workers or None,
+        executor=args.executor,
+        cache_size=args.cache,
+        obs=obs,
+        ipc_reads=getattr(args, "ipc_reads", False),
+    )
+    watchdog = SloWatchdog(
+        obs,
+        harvest=engine.harvest_worker_metrics,
+        rules=None,
+    )
+    frames = 1 if args.once else max(1, args.iterations)
+    try:
+        for frame in range(1, frames + 1):
+            events = read_write_stream(
+                shape,
+                args.events,
+                mix=args.mix,
+                locality=args.locality,
+                seed=args.seed + frame,
+            )
+            _run_serving_stream(engine, events)
+            if engine.process_pool is not None:
+                engine.process_pool.flush()
+            watchdog.check()
+            print(_render_top_frame(obs, engine, watchdog, frame))
+            if frame < frames:
+                print()
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        engine.close()
+    return 0 if watchdog.healthy else 1
 
 
 def _command_analyze(args) -> int:
@@ -1106,7 +1259,12 @@ def build_parser() -> argparse.ArgumentParser:
         "trace",
         help="replay a serving workload and print the slowest span trees",
     )
-    for sub in (bench_engine, serve_stats, metrics, trace):
+    top = commands.add_parser(
+        "top",
+        help="live serving dashboard: replay, harvest worker metrics, "
+        "render request/cache/worker tables and the SLO verdict",
+    )
+    for sub in (bench_engine, serve_stats, metrics, trace, top):
         sub.add_argument("--method", default="ddc", choices=method_names())
         sub.add_argument(
             "--shape", type=int, nargs="+", default=[256, 256], help="cube shape"
@@ -1139,6 +1297,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache", type=int, default=1024, help="result-cache capacity"
         )
         sub.add_argument("--seed", type=int, default=0)
+    for sub in (serve_stats, metrics, trace, top):
+        sub.add_argument(
+            "--ipc-reads",
+            action="store_true",
+            dest="ipc_reads",
+            help="process executor only: route reads through the worker "
+            "pipes (worker spans then appear in harvested traces)",
+        )
     bench_engine.add_argument(
         "--pool", type=int, default=32, help="distinct read queries in the stream"
     )
@@ -1173,7 +1339,31 @@ def build_parser() -> argparse.ArgumentParser:
         dest="slow_ms",
         help="slow-query log latency threshold in milliseconds",
     )
+    trace.add_argument(
+        "--chrome",
+        default=None,
+        help="also write the finished traces as a chrome://tracing / "
+        "Perfetto JSON document",
+    )
     trace.set_defaults(handler=_command_trace)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between dashboard frames",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=5,
+        help="frames to render before exiting",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render exactly one frame and exit (CI smoke mode)",
+    )
+    top.set_defaults(handler=_command_top)
 
     chaos = commands.add_parser(
         "chaos",

@@ -48,6 +48,7 @@ from ..exceptions import (
 from ..methods.base import RangeSumMethod
 from ..methods.registry import method_class
 from ..obs import NULL_OBS
+from ..obs.metrics import NULL_INSTRUMENT
 from .cache import MISS, EpochLruCache
 from .executor import ThreadedExecutor, make_executor
 from .resilience import CircuitBreaker, Deadline, PartialResult, ResiliencePolicy
@@ -175,18 +176,25 @@ class ShardedEngine(RangeSumMethod):
             shard.obs = self.obs
         if executor is not None:
             self._executor = executor
+            self.executor_kind = "custom"
         elif executor_kind == "process":
             self._executor = self._process_pool
+            self.executor_kind = "process"
         elif executor_kind == "thread":
             self._executor = ThreadedExecutor(workers if workers and workers >= 2 else 2)
+            self.executor_kind = "thread"
         elif executor_kind == "serial":
             self._executor = make_executor(None)
+            self.executor_kind = "serial"
         else:
             # Default selection, with one refinement: a single-shard plan
             # has nothing to fan out, so a thread pool would be pure
             # dispatch overhead — degrade to the serial executor.
             self._executor = make_executor(
                 workers if self.plan.count > 1 else None
+            )
+            self.executor_kind = (
+                "thread" if self._executor.workers > 1 else "serial"
             )
         self._lock = threading.RLock()
         self._epochs = [0] * self.plan.count
@@ -203,7 +211,26 @@ class ShardedEngine(RangeSumMethod):
         self._register_engine_instruments()
 
     def _register_engine_instruments(self) -> None:
-        """Pre-create the engine's metric families (no-ops when disabled)."""
+        """Pre-create the engine's metric families.
+
+        Disabled mode binds every handle to the shared
+        :data:`~repro.obs.metrics.NULL_INSTRUMENT` instead of minting
+        per-engine null children — NULL_OBS stays allocation-free.
+        """
+        if not self.obs.enabled:
+            self._obs_request_seconds = NULL_INSTRUMENT
+            self._obs_shard_seconds = NULL_INSTRUMENT
+            self._obs_cache_lookups = NULL_INSTRUMENT
+            self._obs_fanout_wait = NULL_INSTRUMENT
+            self._obs_cache_entries = NULL_INSTRUMENT
+            self._obs_shard_epoch = NULL_INSTRUMENT
+            self._obs_retries = NULL_INSTRUMENT
+            self._obs_timeouts = NULL_INSTRUMENT
+            self._obs_breaker_transitions = NULL_INSTRUMENT
+            self._obs_breaker_state = NULL_INSTRUMENT
+            self._obs_degraded = NULL_INSTRUMENT
+            self._obs_backoff = NULL_INSTRUMENT
+            return
         metrics = self.obs.metrics
         self._obs_request_seconds = metrics.histogram(
             "repro_engine_request_seconds",
@@ -441,7 +468,10 @@ class ShardedEngine(RangeSumMethod):
         self._obs_cache_lookups.labels(result=outcome).inc()
         self._obs_request_seconds.labels(op="range_sum").observe(elapsed)
         if ops is not None:
-            obs.slow_log.consider(span, ops, elapsed, op="range_sum", cache=outcome)
+            obs.slow_log.consider(
+                span, ops, elapsed, op="range_sum", cache=outcome,
+                executor=self.executor_kind,
+            )
         return value
 
     def prefix_sum_many(self, cells: Sequence) -> list:
@@ -493,6 +523,7 @@ class ShardedEngine(RangeSumMethod):
                 op="range_sum_many",
                 queries=len(queries),
                 cache_hits=hits,
+                executor=self.executor_kind,
             )
         return results
 
@@ -559,7 +590,9 @@ class ShardedEngine(RangeSumMethod):
                 total = total + shard.range_sum(local_low, local_high)
             else:
                 shard_start = obs.clock.now()
-                with obs.span("shard.range_sum", shard=index):
+                with obs.span(
+                    "shard.range_sum", shard=index, **self._lane_attr(index)
+                ):
                     total = total + shard.range_sum(local_low, local_high)
                 self._obs_shard_seconds.labels(
                     shard=str(index), op="range_sum"
@@ -621,6 +654,7 @@ class ShardedEngine(RangeSumMethod):
                 parent=parent,
                 shard=shard_index,
                 queries=len(sub_queries),
+                **self._lane_attr(shard_index),
             ) as shard_span:
                 values = compute(shard, sub_queries)
                 delta = shard.stats.diff(before)
@@ -832,6 +866,14 @@ class ShardedEngine(RangeSumMethod):
                 self._obs_degraded.labels(mode="partial").inc()
         return missing_by_key
 
+    def _lane_attr(self, shard_index: int) -> dict:
+        """``{"worker": lane}`` in process mode, else empty — span
+        attribute naming the pool lane that owns a shard, so slow-query
+        records and Chrome traces can attribute work to workers."""
+        if self._process_pool is None:
+            return {}
+        return {"worker": self._process_pool.lane_of(shard_index)}
+
     def _note_breaker(self, shard_index: int, before: str, after: str) -> None:
         """Emit breaker transition/state instruments on a state change."""
         if before == after or not self.obs.enabled:
@@ -879,6 +921,17 @@ class ShardedEngine(RangeSumMethod):
         if self._process_pool is None:
             return None
         return self._process_pool.pool_info()
+
+    def harvest_worker_metrics(self) -> dict | None:
+        """Merge the workers' shared-memory metric shards into the
+        parent registry (see :class:`~repro.obs.remote.MetricsHarvester`).
+
+        Returns the harvest summary dict, or None outside process mode
+        or when remote worker metrics are disabled.
+        """
+        if self._process_pool is None:
+            return None
+        return self._process_pool.harvest()
 
     @property
     def epochs(self) -> tuple[int, ...]:

@@ -71,6 +71,16 @@ from .. import geometry
 from ..exceptions import ConfigurationError, StructureError, WorkerCrashedError
 from ..methods.base import RangeSumMethod
 from ..obs import NULL_OBS
+from ..obs.clock import MonotonicClock
+from ..obs.metrics import NULL_INSTRUMENT
+from ..obs.remote import (
+    MetricsHarvester,
+    WorkerMetricsShard,
+    graft_spans,
+    span_payload,
+    worker_metrics_layout,
+)
+from ..obs.trace import Span
 from . import shm
 from .executor import ThreadFanout
 
@@ -83,16 +93,48 @@ def _pool_worker_main(
     owned: tuple,
     conn,
     kernel: str = "scalar",
+    telemetry=None,
 ) -> None:
     """Serve slab operations for this worker's shards (child process).
 
     One blocking request/reply loop per worker: the parent serialises
     access per lane, so no concurrency exists inside a worker and the
-    slab math needs no locks.  Replies are ``("ok", value)`` or
-    ``("error", detail)``; an unreadable pipe means the parent is gone
-    and the loop exits.
+    slab math needs no locks.  Requests are ``(op, index, payload)`` or
+    ``(op, index, payload, trace_ctx)`` when the parent propagates a
+    trace context; replies are ``("ok", value)``, ``("ok", value,
+    spans)`` for traced ops, or ``("error", detail)``.  An unreadable
+    pipe means the parent is gone and the loop exits.
+
+    ``telemetry`` is the harvester's ``(layout, segment name)`` pair:
+    when present the worker attaches its shared-memory metrics shard
+    (see :mod:`repro.obs.remote`) and publishes gather/apply timings
+    and op tallies lock-free — the parent harvests them on demand, and
+    they survive this process being SIGKILLed.
     """
     read_kernel = shm.get_read_kernel(kernel)
+    clock = MonotonicClock()
+    shard_metrics = None
+    gather_seconds = apply_seconds = apply_batch = None
+    op_tallies = {}
+    if telemetry is not None:
+        layout, segment_name = telemetry
+        try:
+            shard_metrics = WorkerMetricsShard(layout, segment_name)
+        except (FileNotFoundError, OSError):  # pragma: no cover - races teardown
+            shard_metrics = None
+    if shard_metrics is not None:
+        gather_seconds = shard_metrics.histogram("repro_worker_gather_seconds")
+        apply_seconds = shard_metrics.histogram("repro_worker_apply_seconds")
+        apply_batch = shard_metrics.histogram("repro_worker_apply_batch_updates")
+        op_tallies = {
+            op: shard_metrics.counter("repro_worker_ops_total", op=op)
+            for op in ("query_many", "apply", "ping")
+        }
+        from ..core.slab_tree import kernel_backend
+
+        shard_metrics.gauge("repro_worker_kernel_numba").set(
+            1.0 if kernel == "vector" and kernel_backend() == "numba" else 0.0
+        )
     segments = {}
     headers = {}
     views = {}
@@ -111,12 +153,42 @@ def _pool_worker_main(
             if op == "stop":
                 conn.send(("ok", None))
                 break
+            trace_ctx = message[3] if len(message) > 3 else None
+            timed = shard_metrics is not None or trace_ctx is not None
+            spans = None
             try:
                 if op == "query_many":
-                    _, index, ranges = message
+                    index, ranges = message[1], message[2]
+                    op_start = clock.now() if timed else 0.0
                     reply = read_kernel(views[index], ranges)
+                    elapsed = clock.now() - op_start if timed else 0.0
+                    if shard_metrics is not None:
+                        gather_seconds.observe(elapsed)
+                        op_tallies["query_many"].inc()
+                    if trace_ctx is not None:
+                        spans = [
+                            span_payload(
+                                "worker.query_many",
+                                0.0,
+                                elapsed,
+                                {
+                                    "worker": worker_index,
+                                    "shard": index,
+                                    "queries": len(ranges),
+                                },
+                                [
+                                    span_payload(
+                                        "worker.gather",
+                                        0.0,
+                                        elapsed,
+                                        {"kernel": kernel},
+                                    )
+                                ],
+                            )
+                        ]
                 elif op == "apply":
-                    _, index, updates = message
+                    index, updates = message[1], message[2]
+                    op_start = clock.now() if timed else 0.0
                     # Single-writer seqlock: odd seq brackets the
                     # in-place suffix adds so the parent's zero-copy
                     # readers can detect (and retry around) a torn
@@ -128,14 +200,36 @@ def _pool_worker_main(
                     header[shm.HEADER_APPLIED] += 1
                     header[shm.HEADER_SEQ] += 1
                     reply = len(updates)
+                    elapsed = clock.now() - op_start if timed else 0.0
+                    if shard_metrics is not None:
+                        apply_seconds.observe(elapsed)
+                        apply_batch.observe(float(len(updates)))
+                        op_tallies["apply"].inc()
+                    if trace_ctx is not None:
+                        spans = [
+                            span_payload(
+                                "worker.apply",
+                                0.0,
+                                elapsed,
+                                {
+                                    "worker": worker_index,
+                                    "shard": index,
+                                    "updates": len(updates),
+                                },
+                            )
+                        ]
                 elif op == "ping":
                     reply = worker_index
+                    if shard_metrics is not None:
+                        op_tallies["ping"].inc()
                 else:
                     raise ConfigurationError(f"unknown worker op {op!r}")
-                conn.send(("ok", reply))
+                conn.send(("ok", reply, spans) if spans else ("ok", reply))
             except Exception as error:  # noqa: BLE001 - reported to parent
                 conn.send(("error", f"{type(error).__name__}: {error}"))
     finally:
+        if shard_metrics is not None:
+            shard_metrics.close()
         for segment in segments.values():
             try:
                 segment.close()
@@ -281,13 +375,36 @@ class ProcessExecutor(ThreadFanout):
         self._pool = ThreadPoolExecutor(
             max_workers=max(2, self.workers), thread_name_prefix="repro-ipc"
         )
+        #: Per-worker telemetry segments + parent-side merge state.  The
+        #: harvester owns the segments (workers only attach), so a
+        #: SIGKILLed worker's last-published slots stay harvestable and
+        #: its respawn resumes the same slots.
+        self._harvester = None
+        if self.obs.enabled and getattr(self.obs, "remote_worker_metrics", False):
+            self._harvester = MetricsHarvester(worker_metrics_layout(), self.workers)
         self._register_instruments()
         for lane in self._lanes:
             with lane._lock:
                 self._locked_spawn(lane, initial=True)
 
     def _register_instruments(self) -> None:
-        """Pre-create the pool's metric families (no-ops when disabled)."""
+        """Pre-create the pool's metric families.
+
+        Routed through the same ``obs.enabled`` predicate the hot paths
+        use: with ``NULL_OBS`` every ``_obs_*`` attribute is the shared
+        :data:`~repro.obs.metrics.NULL_INSTRUMENT`, so disabled mode
+        allocates no families at all (instrumented call sites keep
+        their shape and no-op).
+        """
+        if not self.obs.enabled:
+            self._obs_ipc_seconds = NULL_INSTRUMENT
+            self._obs_restarts = NULL_INSTRUMENT
+            self._obs_pool_workers = NULL_INSTRUMENT
+            self._obs_pool_alive = NULL_INSTRUMENT
+            self._obs_gather_by_worker = [NULL_INSTRUMENT] * self.workers
+            self._obs_seqlock_rounds_by_worker = [NULL_INSTRUMENT] * self.workers
+            self._obs_seqlock_retries_by_worker = [NULL_INSTRUMENT] * self.workers
+            return
         metrics = self.obs.metrics
         self._obs_ipc_seconds = metrics.histogram(
             "repro_engine_ipc_seconds",
@@ -309,6 +426,34 @@ class ProcessExecutor(ThreadFanout):
         )
         self._obs_pool_workers.set(self.workers)
         self._obs_pool_alive.set(self.workers)
+        # Shared with the harvester's worker-side observations: in
+        # direct-read mode the parent executes the gather on behalf of
+        # the owning lane, so both sides feed one family keyed by the
+        # ``worker`` label.  Children are resolved per lane up front to
+        # keep the zero-copy read path free of per-call dict building.
+        gather = metrics.histogram(
+            "repro_worker_gather_seconds",
+            "Slab read-kernel gather latency inside pool workers",
+            labels=("worker",),
+        )
+        rounds = metrics.histogram(
+            "repro_worker_seqlock_retry_rounds",
+            "Torn seqlock gather attempts per zero-copy batch read, "
+            "by owning worker.",
+            labels=("worker",),
+            buckets=(1.0, 2.0, 3.0, 4.0),
+        )
+        retries = metrics.counter(
+            "repro_worker_seqlock_retries_total",
+            "Zero-copy gathers retried because an apply tore the seqlock.",
+            labels=("worker",),
+        )
+        workers = [str(index) for index in range(self.workers)]
+        self._obs_gather_by_worker = [gather.labels(worker=w) for w in workers]
+        self._obs_seqlock_rounds_by_worker = [rounds.labels(worker=w) for w in workers]
+        self._obs_seqlock_retries_by_worker = [
+            retries.labels(worker=w) for w in workers
+        ]
 
     # ------------------------------------------------------------------
     # Lane lifecycle (every helper runs with the lane's lock held)
@@ -321,6 +466,11 @@ class ProcessExecutor(ThreadFanout):
         dead worker's pipe reads EOF instead of blocking forever.
         """
         parent_conn, child_conn = self._ctx.Pipe()
+        telemetry = (
+            self._harvester.worker_telemetry(lane.worker_index)
+            if self._harvester is not None
+            else None
+        )
         process = self._ctx.Process(
             target=_pool_worker_main,
             args=(
@@ -329,6 +479,7 @@ class ProcessExecutor(ThreadFanout):
                 lane.owned,
                 child_conn,
                 self.store.kernel_name,
+                telemetry,
             ),
             daemon=True,
             name=f"repro-shard-worker-{lane.worker_index}",
@@ -378,7 +529,8 @@ class ProcessExecutor(ThreadFanout):
         """
         while lane.pending:
             try:
-                status, reply = self._locked_receive(lane)
+                message = self._locked_receive(lane)
+                status, reply = message[0], message[1]
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
                 lost = self._locked_abandon(lane)
                 self._locked_mark_dead(lane)
@@ -495,16 +647,28 @@ class ProcessExecutor(ThreadFanout):
         *behind* the send: the pipe is FIFO, so the worker applies
         every posted delta before answering, and the fence plus the
         operation cost one blocking round-trip instead of two.
+
+        When a traced span is open on the calling thread, its
+        ``(trace_id, span_id)`` context rides along as a fourth message
+        element; the worker's ack then carries its own spans, which are
+        re-based onto this side's timeline (the send timestamp) and
+        grafted under the calling span — one trace tree across the
+        process boundary.
         """
         lane = self._lanes[shard_index % self.workers]
         obs = self.obs
-        start = obs.clock.now() if obs.enabled else 0.0
+        enabled = obs.enabled
+        start = obs.clock.now() if enabled else 0.0
+        trace_ctx = obs.tracer.current_context() if enabled else None
         with lane._lock:
             self._locked_respawn_if_dead(lane)
             try:
-                lane.conn.send((op, shard_index, payload))
+                if trace_ctx is not None:
+                    lane.conn.send((op, shard_index, payload, trace_ctx))
+                else:
+                    lane.conn.send((op, shard_index, payload))
                 self._locked_drain(lane)
-                status, reply = self._locked_receive(lane)
+                message = self._locked_receive(lane)
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as error:
                 self._locked_abandon(lane)
                 self._locked_mark_dead(lane)
@@ -512,8 +676,13 @@ class ProcessExecutor(ThreadFanout):
                     f"worker {lane.worker_index} died serving shard "
                     f"{shard_index} mid-{op}"
                 ) from error
-        if obs.enabled:
+        status, reply = message[0], message[1]
+        if enabled:
             self._obs_ipc_seconds.labels(op=op).observe(obs.clock.now() - start)
+            if len(message) > 2 and message[2]:
+                parent_span = obs.tracer.current()
+                if isinstance(parent_span, Span):
+                    graft_spans(obs.tracer, parent_span, message[2], start)
         if status != "ok":
             raise StructureError(
                 f"worker op {op!r} on shard {shard_index} failed: {reply}"
@@ -637,14 +806,27 @@ class ProcessExecutor(ThreadFanout):
         header = store.header(shard_index)
         ledger = self._ledgers[shard_index]
         lane = self._lanes[shard_index % self.workers]
+        obs = self.obs
+        enabled = obs.enabled
+        worker = lane.worker_index
+        retries = 0
         for _ in range(4):
             seq_before = int(header[shm.HEADER_SEQ])
             if seq_before & 1:
                 break
             applied = int(header[shm.HEADER_APPLIED])
+            gather_start = obs.clock.now() if enabled else 0.0
             values = store.range_sum_many(shard_index, queries)
             if int(header[shm.HEADER_SEQ]) != seq_before:
+                retries += 1
                 continue
+            if enabled:
+                self._obs_gather_by_worker[worker].observe(
+                    obs.clock.now() - gather_start
+                )
+                self._obs_seqlock_rounds_by_worker[worker].observe(float(retries))
+                if retries:
+                    self._obs_seqlock_retries_by_worker[worker].inc(retries)
             if ledger:
                 with lane._lock:
                     while ledger and ledger[0][0] <= applied:
@@ -658,6 +840,9 @@ class ProcessExecutor(ThreadFanout):
             return values
         # The worker is mid-apply (or kept winning the race): one fence
         # settles the pipeline, after which the slab alone is exact.
+        if enabled:
+            self._obs_seqlock_rounds_by_worker[worker].observe(4.0)
+            self._obs_seqlock_retries_by_worker[worker].inc(max(retries, 1))
         self.fence(shard_index)
         return store.range_sum_many(shard_index, queries)
 
@@ -696,6 +881,20 @@ class ProcessExecutor(ThreadFanout):
     # Introspection / lifecycle
     # ------------------------------------------------------------------
 
+    def harvest(self) -> dict | None:
+        """Merge worker shared-memory telemetry into the parent registry.
+
+        Returns the harvester's summary dict, or ``None`` when remote
+        worker metrics are off (disabled obs, or
+        ``remote_worker_metrics=False``).  Safe to call at any moment —
+        including with workers dead — because the parent owns the
+        segments and merging is delta-based (see
+        :class:`~repro.obs.remote.MetricsHarvester`).
+        """
+        if self._harvester is None:
+            return None
+        return self._harvester.harvest(self.obs.metrics)
+
     def pool_info(self) -> dict:
         """Live pool snapshot: one row per lane plus rollups."""
         lanes = []
@@ -716,6 +915,16 @@ class ProcessExecutor(ThreadFanout):
             alive += is_alive
         if self.obs.enabled:
             self._obs_pool_alive.set(alive)
+        telemetry = None
+        if self._harvester is not None:
+            telemetry = {
+                "harvests": self._harvester.harvests,
+                "torn_snapshots": self._harvester.torn_snapshots,
+                "updates_published": sum(
+                    self._harvester.updates_published(index)
+                    for index in range(self.workers)
+                ),
+            }
         return {
             "executor": "process",
             "workers": self.workers,
@@ -724,6 +933,7 @@ class ProcessExecutor(ThreadFanout):
             "start_method": self._ctx.get_start_method(),
             "ipc_reads": self.ipc_reads,
             "buffered_deltas": sum(len(buf) for buf in self._buffers),
+            "telemetry": telemetry,
             "lanes": lanes,
         }
 
@@ -767,6 +977,12 @@ class ProcessExecutor(ThreadFanout):
                         pass
                     lane.conn = None
         self._pool.shutdown(wait=True)
+        if self._harvester is not None:
+            # Take one last merge so metrics published after the final
+            # explicit harvest are not lost, then release the segments.
+            self._harvester.harvest(self.obs.metrics)
+            self._harvester.destroy()
+            self._harvester = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

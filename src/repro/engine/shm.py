@@ -37,6 +37,7 @@ import numpy as np
 from .. import geometry
 from ..core.slab_tree import slab_range_many
 from ..exceptions import ConfigurationError
+from ..shmutil import attach_segment
 from .sharding import ShardPlan
 
 __all__ = [
@@ -227,27 +228,13 @@ def slab_apply_deltas(slab: np.ndarray, updates: Sequence[tuple]) -> None:
 def attach_slab(manifest: SlabManifest) -> tuple:
     """Map an existing segment by name; returns ``(segment, header, view)``.
 
-    Worker-side entry point.  The attach is untracked: the owner process
-    unlinks segments deterministically in :meth:`ShardSlabStore.destroy`,
-    and letting each worker's resource tracker also claim the name would
-    double-unlink and warn at interpreter exit (``track=`` exists only
-    from Python 3.13, hence the fallback unregister).
+    Worker-side entry point.  The attach is untracked (see
+    :func:`repro.shmutil.attach_segment`): the owner process unlinks
+    segments deterministically in :meth:`ShardSlabStore.destroy`, so the
+    worker's resource tracker must not also claim the name.
     """
     name, shape, dtype_str = manifest
-    try:
-        segment = shared_memory.SharedMemory(name=name, track=False)
-    except TypeError:  # pragma: no cover - Python < 3.13
-        # Pre-3.13 attach always registers with a resource tracker.  A
-        # *forked* worker shares the owner's tracker, so the extra
-        # registration is a harmless duplicate and unregistering would
-        # strip the owner's own entry (double-unregister noise at
-        # destroy time).  A *spawned* worker starts its own tracker —
-        # there the registration must go, or the tracker unlinks the
-        # live segment when the worker is killed.
-        fresh_tracker = not _tracker_running()
-        segment = shared_memory.SharedMemory(name=name)
-        if fresh_tracker:
-            _untrack(segment)
+    segment = attach_segment(name)
     header = np.ndarray(_HEADER_COUNT, dtype=_HEADER_DTYPE, buffer=segment.buf)
     view = np.ndarray(
         shape,
@@ -256,26 +243,6 @@ def attach_slab(manifest: SlabManifest) -> tuple:
         offset=_HEADER_NBYTES,
     )
     return segment, header, view
-
-
-def _tracker_running() -> bool:
-    """True when this process already has a live resource tracker."""
-    try:  # pragma: no cover - interpreter-internals dependent
-        from multiprocessing import resource_tracker
-
-        return getattr(resource_tracker._resource_tracker, "_fd", None) is not None  # noqa: SLF001
-    except Exception:  # noqa: BLE001 - conservative default
-        return True
-
-
-def _untrack(segment: shared_memory.SharedMemory) -> None:
-    """Remove an attached segment from this process's resource tracker."""
-    try:  # pragma: no cover - interpreter-version dependent
-        from multiprocessing import resource_tracker
-
-        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
-    except Exception:  # noqa: BLE001 - best-effort hygiene only
-        pass
 
 
 class ShardSlabStore:

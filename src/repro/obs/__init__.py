@@ -44,6 +44,16 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from .export import chrome_trace_document, export_unified, write_chrome_trace
+from .remote import (
+    MetricsHarvester,
+    RemoteMetricsLayout,
+    WorkerMetricsShard,
+    graft_spans,
+    span_payload,
+    worker_metrics_layout,
+)
+from .slo import ErrorBudgetSlo, LatencySlo, SloStatus, SloWatchdog, default_slo_rules
 from .slowlog import NullSlowQueryLog, SlowQueryLog, SlowQueryRecord
 from .trace import (
     NULL_SPAN,
@@ -76,6 +86,20 @@ __all__ = [
     "SlowQueryLog",
     "SlowQueryRecord",
     "NullSlowQueryLog",
+    "RemoteMetricsLayout",
+    "WorkerMetricsShard",
+    "MetricsHarvester",
+    "worker_metrics_layout",
+    "span_payload",
+    "graft_spans",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "export_unified",
+    "SloWatchdog",
+    "SloStatus",
+    "LatencySlo",
+    "ErrorBudgetSlo",
+    "default_slo_rules",
 ]
 
 
@@ -103,6 +127,10 @@ class Observability:
             ignored when ``slow_log`` is passed explicitly.
         slow_query_ops: op-count threshold for the default slow log.
         slow_sample_rate: sampling probability for the default slow log.
+        remote_worker_metrics: when True (the default) a process-backed
+            engine allocates per-worker shared-memory metric shards and
+            a harvester (see :mod:`repro.obs.remote`); False keeps
+            observability parent-only.
     """
 
     def __init__(
@@ -115,8 +143,10 @@ class Observability:
         slow_query_seconds: float = 0.0,
         slow_query_ops: int | None = None,
         slow_sample_rate: float = 1.0,
+        remote_worker_metrics: bool = True,
     ) -> None:
         self.enabled = True
+        self.remote_worker_metrics = remote_worker_metrics
         self.clock = clock if clock is not None else MonotonicClock()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = (
@@ -174,6 +204,7 @@ class Observability:
         """
         obs = cls.__new__(cls)
         obs.enabled = False
+        obs.remote_worker_metrics = False
         obs.clock = MonotonicClock()
         obs.metrics = NullRegistry()
         obs.tracer = NullTracer()
@@ -188,6 +219,15 @@ class Observability:
     def span(self, name: str, **attributes):
         """Open a span on the tracer (see :meth:`Tracer.span`)."""
         return self.tracer.span(name, **attributes)
+
+    def export_unified(self, engine=None, slo=None) -> dict:
+        """One snapshot, every encoding (see :func:`repro.obs.export.export_unified`).
+
+        Pass the engine to harvest worker metrics and include pool
+        state; pass an :class:`~repro.obs.slo.SloWatchdog` to include a
+        fresh health verdict.
+        """
+        return export_unified(self, engine=engine, slo=slo)
 
     def enable(self) -> None:
         """Turn instrumentation on (components must be real, not null)."""

@@ -360,6 +360,15 @@ class MetricsRegistry:
         """Get or create a histogram family (idempotent per name)."""
         return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
 
+    def get(self, name: str) -> _Family | None:
+        """The registered family called ``name``, or ``None``.
+
+        Read-only lookup for consumers that must not create families as
+        a side effect — the SLO evaluator and the remote harvester both
+        need "is this metric present yet" semantics.
+        """
+        return self._families.get(name)
+
     def collect(self) -> list[_Family]:
         """Every registered family, sorted by name."""
         return [self._families[name] for name in sorted(self._families)]
@@ -459,6 +468,9 @@ class NullRegistry:
         buckets: Sequence[float] | None = None,
     ):
         return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
 
     def collect(self) -> list:
         return []

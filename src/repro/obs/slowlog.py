@@ -41,12 +41,38 @@ class SlowQueryRecord:
     ops: OpCounter
     #: Wall seconds the query took (from the injected clock).
     seconds: float
-    #: Free-form context (operation name, batch size, ...).
+    #: Free-form context (operation name, executor kind, batch size, ...).
     attributes: dict = field(default_factory=dict)
+
+    def _collect(self, key: str) -> list:
+        """Distinct values of one span attribute across the whole tree."""
+        values: list = []
+        if isinstance(self.span, Span):
+            for node in self.span.walk():
+                value = node.attributes.get(key)
+                if value is not None and value not in values:
+                    values.append(value)
+        return values
+
+    @property
+    def shards(self) -> list:
+        """Shard indices touched while serving (from the span tree)."""
+        return self._collect("shard")
+
+    @property
+    def workers(self) -> list:
+        """Pool-worker lanes involved, if any (process executor only)."""
+        return self._collect("worker")
 
     def render(self) -> str:
         """Multi-line rendering: headline, ops line, span tree."""
         extras = ", ".join(f"{k}={v}" for k, v in self.attributes.items())
+        shards = self.shards
+        workers = self.workers
+        if shards:
+            extras += f"{', ' if extras else ''}shards={shards}"
+        if workers:
+            extras += f", workers={workers}"
         lines = [
             f"slow query: {self.seconds * 1e3:.3f}ms"
             + (f" ({extras})" if extras else ""),

@@ -21,6 +21,7 @@ injected clock (see :mod:`repro.obs.clock` and lint rule REP008).
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import deque
 from typing import Iterator, Sequence
@@ -42,16 +43,28 @@ _UNSET = object()
 
 
 class Span:
-    """One named, timed, attributed region of a trace."""
+    """One named, timed, attributed region of a trace.
 
-    __slots__ = ("name", "start", "end", "attributes", "children")
+    ``trace_id`` identifies the whole request tree (every span under one
+    root shares it); ``span_id`` is unique per span within a tracer.
+    Together they form the propagation context that crosses the process
+    boundary (see :mod:`repro.obs.remote`): the parent ships
+    ``(trace_id, span_id)`` with an IPC request, and worker-side spans
+    returning in the ack re-parent under that span id.
+    """
 
-    def __init__(self, name: str, start: float) -> None:
+    __slots__ = ("name", "start", "end", "attributes", "children", "trace_id", "span_id")
+
+    def __init__(
+        self, name: str, start: float, trace_id: int = 0, span_id: int = 0
+    ) -> None:
         self.name = name
         self.start = start
         self.end: float | None = None
         self.attributes: dict[str, object] = {}
         self.children: list["Span"] = []
+        self.trace_id = trace_id
+        self.span_id = span_id
 
     def set(self, **attributes) -> None:
         """Attach attributes (merging over earlier values)."""
@@ -88,6 +101,8 @@ class _NullSpan:
     duration = 0.0
     attributes: dict = {}
     children: tuple = ()
+    trace_id = 0
+    span_id = 0
 
     def set(self, **attributes) -> None:
         pass
@@ -173,6 +188,10 @@ class Tracer:
         self._sample_lock = threading.Lock()
         self._roots_seen = 0
         self._null_handle = _NullHandle(self)
+        # ``itertools.count.__next__`` is atomic under the GIL, so span
+        # ids can be drawn from executor threads without the lock.
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Span creation
@@ -193,7 +212,8 @@ class Tracer:
             return self._null_handle
         if parent is None and not self._sample_root():
             return self._null_handle
-        span = Span(name, self.clock.now())
+        trace_id = parent.trace_id if parent is not None else next(self._trace_ids)
+        span = Span(name, self.clock.now(), trace_id, next(self._span_ids))
         if attributes:
             span.attributes.update(attributes)
         if parent is not None:
@@ -204,6 +224,20 @@ class Tracer:
         """The calling thread's innermost open span, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_context(self) -> tuple[int, int] | None:
+        """The propagation context ``(trace_id, span_id)`` of the
+        calling thread's innermost *recorded* span, or ``None`` when no
+        span is open or the trace is unsampled.  This is the wire format
+        shipped across the IPC boundary with worker requests."""
+        span = self.current()
+        if isinstance(span, Span):
+            return (span.trace_id, span.span_id)
+        return None
+
+    def next_span_id(self) -> int:
+        """Allocate a fresh span id (used when grafting foreign spans)."""
+        return next(self._span_ids)
 
     def _stack(self) -> list:
         stack = getattr(self._local, "stack", None)
@@ -252,6 +286,12 @@ class NullTracer:
 
     def current(self):
         return None
+
+    def current_context(self):
+        return None
+
+    def next_span_id(self) -> int:
+        return 0
 
     def finished_roots(self) -> list:
         return []

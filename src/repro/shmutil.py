@@ -1,0 +1,67 @@
+"""Shared-memory segment hygiene helpers used by every shm owner/attacher.
+
+Two subsystems map ``multiprocessing.shared_memory`` segments across the
+worker-pool boundary: the shard slab store (:mod:`repro.engine.shm`) and
+the per-worker telemetry shards (:mod:`repro.obs.remote`).  Both need
+the same attach discipline — map an existing segment by name *without*
+registering it with the attaching process's resource tracker, because
+the segment has exactly one owner (the parent) who unlinks it
+deterministically.  Letting every attacher's tracker also claim the
+name would double-unlink and warn at interpreter exit, or worse, unlink
+a live segment when a spawned worker is killed.
+
+This module is deliberately dependency-free (no engine or obs imports)
+so both sides can share it without an import cycle.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+__all__ = ["attach_segment"]
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment by name, untracked.
+
+    The attach is untracked: the owner process unlinks segments
+    deterministically, and letting each attacher's resource tracker
+    also claim the name would double-unlink and warn at interpreter
+    exit (``track=`` exists only from Python 3.13, hence the fallback
+    unregister).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        # Pre-3.13 attach always registers with a resource tracker.  A
+        # *forked* worker shares the owner's tracker, so the extra
+        # registration is a harmless duplicate and unregistering would
+        # strip the owner's own entry (double-unregister noise at
+        # destroy time).  A *spawned* worker starts its own tracker —
+        # there the registration must go, or the tracker unlinks the
+        # live segment when the worker is killed.
+        fresh_tracker = not _tracker_running()
+        segment = shared_memory.SharedMemory(name=name)
+        if fresh_tracker:
+            _untrack(segment)
+        return segment
+
+
+def _tracker_running() -> bool:
+    """True when this process already has a live resource tracker."""
+    try:  # pragma: no cover - interpreter-internals dependent
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_fd", None) is not None  # noqa: SLF001
+    except Exception:  # noqa: BLE001 - conservative default
+        return True
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Remove an attached segment from this process's resource tracker."""
+    try:  # pragma: no cover - interpreter-version dependent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # noqa: BLE001 - best-effort hygiene only
+        pass
