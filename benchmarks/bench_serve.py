@@ -1,0 +1,512 @@
+"""Closed-loop load generator for the HTTP serving front-end.
+
+Drives :class:`~repro.serve.CubeServer` with N concurrent asyncio
+clients — each a persistent connection issuing one request at a time
+(closed loop), or an arrival timer firing at a fixed rate over a
+connection pool (open loop).  Reads draw from a zipf-skewed pool of hot
+ranges and tenants are zipf-skewed too, so the workload exercises both
+the single-flight coalescer (identical hot reads collide in flight) and
+the per-tenant admission path.  The write fraction keeps bumping shard
+epochs, so reads keep missing the engine cache and coalescing stays
+load-bearing rather than an artifact of a warmed cache.
+
+Per row the artifact records request latency quantiles (p50/p99),
+throughput, the coalesce hit rate (followers / reads, from the
+``coalesced`` response flag), admission counts (429s, 503s), and shed
+responses.  Results land in ``benchmarks/results/serve_load.json`` and
+the headline artifact ``BENCH_serve.json`` at the repository root.
+
+Two entry points:
+
+* pytest (``REPRO_BENCH_SMOKE=1`` for the CI-sized run) boots the
+  server in-process and generates the artifact;
+* ``python benchmarks/bench_serve.py --url http://host:port ...`` drives
+  an external ``repro serve`` process — the CI smoke job uses
+  ``--verify`` to check every response against a locally rebuilt cube.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the tiny configuration (CI smoke).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import random
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.artifacts import make_document  # noqa: E402
+from repro.serve import AdmissionPolicy, ServeClient  # noqa: E402
+from repro.workloads import clustered, random_ranges  # noqa: E402
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SHAPE = (32, 32) if SMOKE else (64, 64)
+SEED = 0
+POOL_SIZE = 16 if SMOKE else 32
+TENANTS = 4 if SMOKE else 8
+ZIPF_S = 1.1
+READ_MIX = 0.9
+#: Closed-loop concurrency levels per mode.  The full run must include
+#: the >= 1000-client row — the PR's headline claim.
+CLIENT_COUNTS = [64] if SMOKE else [256, 1000]
+REQUESTS_PER_CLIENT = 4 if SMOKE else 6
+
+
+def zipf_weights(n: int, s: float) -> list[float]:
+    weights = [1.0 / (i + 1) ** s for i in range(n)]
+    total = sum(weights)
+    return [w / total for w in weights]
+
+
+def zipf_pick(rng: random.Random, cumulative: list[float]) -> int:
+    x = rng.random()
+    for index, bound in enumerate(cumulative):
+        if x < bound:
+            return index
+    return len(cumulative) - 1
+
+
+def _cumulative(weights: list[float]) -> list[float]:
+    out, running = [], 0.0
+    for w in weights:
+        running += w
+        out.append(running)
+    return out
+
+
+def build_pool(shape, seed: int):
+    """The hot read pool: ``(low, high)`` tuples, zipf-ranked."""
+    return [
+        (tuple(q.low), tuple(q.high))
+        for q in random_ranges(shape, POOL_SIZE, seed=seed)
+    ]
+
+
+def expected_values(shape, seed: int, pool) -> dict:
+    """Ground-truth range sums for --verify (read-only runs)."""
+    data = clustered(shape, seed=seed)
+    out = {}
+    for low, high in pool:
+        slices = tuple(slice(lo, hi + 1) for lo, hi in zip(low, high))
+        out[(low, high)] = int(data[slices].sum())
+    return out
+
+
+class LoadStats:
+    """Tally shared by every client coroutine of one run."""
+
+    def __init__(self) -> None:
+        self.latencies: list[float] = []
+        self.reads = 0
+        self.writes = 0
+        self.coalesced = 0
+        self.shed_responses = 0
+        self.partial = 0
+        self.status: dict[int, int] = {}
+        self.throttled = 0       # 429
+        self.rejected = 0        # 503
+        self.dropped = 0         # open loop: no free connection at fire time
+        self.mismatches = 0
+
+    def record(self, latency: float, response, *, read: bool, expect=None) -> None:
+        self.latencies.append(latency)
+        self.status[response.status] = self.status.get(response.status, 0) + 1
+        if response.status == 429:
+            self.throttled += 1
+            return
+        if response.status == 503:
+            self.rejected += 1
+            return
+        body = response.body if isinstance(response.body, dict) else {}
+        if read:
+            self.reads += 1
+            if body.get("coalesced"):
+                self.coalesced += 1
+            if body.get("partial"):
+                self.partial += 1
+        else:
+            self.writes += 1
+        if body.get("shed"):
+            self.shed_responses += 1
+        if expect is not None and body.get("value") != expect:
+            self.mismatches += 1
+
+    def quantile(self, q: float) -> float:
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+async def closed_loop(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    read_mix: float,
+    pool,
+    seed: int,
+    codec: str = "json",
+    expected: dict | None = None,
+    shape=SHAPE,
+) -> tuple[LoadStats, float]:
+    """N clients, each one request in flight at a time."""
+    stats = LoadStats()
+    tenant_cum = _cumulative(zipf_weights(TENANTS, ZIPF_S))
+    pool_cum = _cumulative(zipf_weights(len(pool), ZIPF_S))
+
+    async def one_client(index: int) -> None:
+        rng = random.Random(seed * 100_003 + index)
+        tenant = f"tenant-{zipf_pick(rng, tenant_cum)}"
+        client = ServeClient(host, port, codec=codec, tenant=tenant)
+        try:
+            for _ in range(requests_per_client):
+                read = rng.random() < read_mix
+                start = time.perf_counter()
+                if read:
+                    low, high = pool[zipf_pick(rng, pool_cum)]
+                    response = await client.query(low, high)
+                    expect = expected.get((low, high)) if expected else None
+                else:
+                    cell = tuple(rng.randrange(n) for n in shape)
+                    response = await client.update(cell, 0)
+                    expect = None
+                stats.record(
+                    time.perf_counter() - start,
+                    response,
+                    read=read,
+                    expect=expect,
+                )
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    await asyncio.gather(*[one_client(i) for i in range(clients)])
+    return stats, time.perf_counter() - start
+
+
+async def open_loop(
+    host: str,
+    port: int,
+    *,
+    rate: float,
+    duration: float,
+    connections: int,
+    read_mix: float,
+    pool,
+    seed: int,
+    codec: str = "json",
+    shape=SHAPE,
+) -> tuple[LoadStats, float]:
+    """Fixed arrival rate over a bounded connection pool.
+
+    An arrival finding no free connection is *dropped* and counted —
+    the open-loop overload signal the closed loop cannot produce.
+    """
+    stats = LoadStats()
+    tenant_cum = _cumulative(zipf_weights(TENANTS, ZIPF_S))
+    pool_cum = _cumulative(zipf_weights(len(pool), ZIPF_S))
+    idle: asyncio.Queue = asyncio.Queue()
+    for index in range(connections):
+        idle.put_nowait(
+            ServeClient(host, port, codec=codec, tenant=f"tenant-{index % TENANTS}")
+        )
+    rng = random.Random(seed)
+    inflight: set[asyncio.Task] = set()
+
+    async def fire(client: ServeClient) -> None:
+        read = rng.random() < read_mix
+        start = time.perf_counter()
+        if read:
+            low, high = pool[zipf_pick(rng, pool_cum)]
+            response = await client.query(low, high)
+        else:
+            cell = tuple(rng.randrange(n) for n in shape)
+            response = await client.update(cell, 0)
+        stats.record(time.perf_counter() - start, response, read=read)
+        idle.put_nowait(client)
+
+    interval = 1.0 / rate
+    start = time.perf_counter()
+    deadline = start + duration
+    next_fire = start
+    while time.perf_counter() < deadline:
+        now = time.perf_counter()
+        if now < next_fire:
+            await asyncio.sleep(next_fire - now)
+        next_fire += interval
+        try:
+            client = idle.get_nowait()
+        except asyncio.QueueEmpty:
+            stats.dropped += 1
+            continue
+        task = asyncio.create_task(fire(client))
+        inflight.add(task)
+        task.add_done_callback(inflight.discard)
+    if inflight:
+        await asyncio.gather(*inflight, return_exceptions=True)
+    elapsed = time.perf_counter() - start
+    while not idle.empty():
+        await idle.get_nowait().close()
+    return stats, elapsed
+
+
+def make_row(
+    arrival: str, clients: int, stats: LoadStats, elapsed: float, codec: str
+) -> dict:
+    total = len(stats.latencies)
+    return {
+        "arrival": arrival,
+        "clients": clients,
+        "codec": codec,
+        "read_mix": READ_MIX,
+        "locality": "zipf",
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "rps": round(total / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(stats.quantile(0.50) * 1e3, 3),
+        "p99_ms": round(stats.quantile(0.99) * 1e3, 3),
+        "coalesce_hit_rate": (
+            round(stats.coalesced / stats.reads, 4) if stats.reads else 0.0
+        ),
+        "coalesced": stats.coalesced,
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "throttled_429": stats.throttled,
+        "rejected_503": stats.rejected,
+        "dropped": stats.dropped,
+        "shed_responses": stats.shed_responses,
+        "partial_responses": stats.partial,
+        "mismatches": stats.mismatches,
+    }
+
+
+def render_rows(rows: list[dict]) -> str:
+    header = (
+        f"{'arrival':<8} {'clients':>7} {'reqs':>6} {'rps':>8} "
+        f"{'p50ms':>8} {'p99ms':>8} {'coalesce':>9} {'429':>5} {'503':>5} "
+        f"{'shed':>6}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row['arrival']:<8} {row['clients']:>7} {row['requests']:>6} "
+            f"{row['rps']:>8.1f} {row['p50_ms']:>8.3f} {row['p99_ms']:>8.3f} "
+            f"{row['coalesce_hit_rate']:>9.2%} {row['throttled_429']:>5} "
+            f"{row['rejected_503']:>5} {row['shed_responses']:>6}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pytest entry point — boots the server in-process
+# ----------------------------------------------------------------------
+
+
+def test_serve_load(benchmark=None):
+    from repro.engine import ShardedEngine
+    from repro.engine.resilience import ResiliencePolicy
+    from repro.serve import CubeServer
+
+    pool = build_pool(SHAPE, SEED)
+    expected = expected_values(SHAPE, SEED, pool)
+    rows: list[dict] = []
+
+    async def run() -> None:
+        engine = ShardedEngine.from_array(
+            clustered(SHAPE, seed=SEED),
+            shards=4,
+            resilience=ResiliencePolicy(degradation="strict"),
+        )
+        server = CubeServer(
+            engine,
+            policy=AdmissionPolicy(max_concurrency=32, max_queue=4096),
+        )
+        await server.start()
+        try:
+            # Read-only correctness pass against the untouched cube.
+            stats, elapsed = await closed_loop(
+                server.host,
+                server.port,
+                clients=min(CLIENT_COUNTS),
+                requests_per_client=REQUESTS_PER_CLIENT,
+                read_mix=1.0,
+                pool=pool,
+                seed=SEED,
+                expected=expected,
+            )
+            assert stats.mismatches == 0, (
+                f"{stats.mismatches} response(s) disagreed with the "
+                f"locally computed range sums"
+            )
+            # The measured mixed-workload rows.
+            for clients in CLIENT_COUNTS:
+                stats, elapsed = await closed_loop(
+                    server.host,
+                    server.port,
+                    clients=clients,
+                    requests_per_client=REQUESTS_PER_CLIENT,
+                    read_mix=READ_MIX,
+                    pool=pool,
+                    seed=SEED + clients,
+                )
+                rows.append(make_row("closed", clients, stats, elapsed, "json"))
+            if not SMOKE:
+                stats, elapsed = await open_loop(
+                    server.host,
+                    server.port,
+                    rate=500.0,
+                    duration=4.0,
+                    connections=256,
+                    read_mix=READ_MIX,
+                    pool=pool,
+                    seed=SEED,
+                )
+                rows.append(make_row("open", 256, stats, elapsed, "json"))
+        finally:
+            await server.stop()
+            engine.close()
+
+    asyncio.run(run())
+    assert rows and all(row["requests"] > 0 for row in rows)
+    assert any(row["coalesce_hit_rate"] > 0 for row in rows), (
+        "zipf-skewed concurrent reads produced zero coalesced responses"
+    )
+    document = make_document(
+        "serve_load",
+        rows=rows,
+        shape=list(SHAPE),
+        pool_size=POOL_SIZE,
+        tenants=TENANTS,
+        zipf_s=ZIPF_S,
+        smoke=SMOKE,
+    )
+    from conftest import report, write_root_artifact
+
+    report("serve_load", render_rows(rows), data=document)
+    write_root_artifact("BENCH_serve.json", document)
+
+
+# ----------------------------------------------------------------------
+# CLI entry point — drives an external ``repro serve`` process
+# ----------------------------------------------------------------------
+
+
+def _parse_url(url: str) -> tuple[str, int]:
+    from urllib.parse import urlsplit
+
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    if split.hostname is None or split.port is None:
+        raise SystemExit(f"--url must look like http://host:port, got {url!r}")
+    return split.hostname, split.port
+
+
+async def _wait_ready(host: str, port: int, timeout: float) -> None:
+    deadline = time.perf_counter() + timeout
+    last: Exception | None = None
+    while time.perf_counter() < deadline:
+        client = ServeClient(host, port)
+        try:
+            response = await client.healthz()
+            if response.status in (200, 503):
+                return
+        except (ConnectionError, OSError) as exc:
+            last = exc
+        finally:
+            await client.close()
+        await asyncio.sleep(0.1)
+    raise SystemExit(f"server at {host}:{port} never became ready: {last}")
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--url", required=True, help="http://host:port")
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument(
+        "--requests", type=int, default=200, help="total request floor"
+    )
+    parser.add_argument("--read-mix", type=float, default=READ_MIX)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="read-only run; check every value against a local rebuild "
+        "of the server's --shape/--seed cube",
+    )
+    parser.add_argument("--shape", type=int, nargs="+", default=[64, 64])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--codec", default="json", choices=("json", "msgpack"))
+    parser.add_argument(
+        "--wait-ready", type=float, default=0.0, dest="wait_ready",
+        help="poll /healthz for up to this many seconds before starting",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.0,
+        help="soak mode: keep issuing closed-loop rounds for this long",
+    )
+    parser.add_argument("--json", default=None, help="write the rows here")
+    args = parser.parse_args(argv)
+
+    host, port = _parse_url(args.url)
+    shape = tuple(args.shape)
+    pool = build_pool(shape, args.seed)
+    expected = expected_values(shape, args.seed, pool) if args.verify else None
+    read_mix = 1.0 if args.verify else args.read_mix
+    per_client = max(1, math.ceil(args.requests / args.clients))
+
+    async def run() -> list[dict]:
+        if args.wait_ready > 0:
+            await _wait_ready(host, port, args.wait_ready)
+        rows = []
+        rounds = 0
+        deadline = time.perf_counter() + args.duration
+        while True:
+            stats, elapsed = await closed_loop(
+                host,
+                port,
+                clients=args.clients,
+                requests_per_client=per_client,
+                read_mix=read_mix,
+                pool=pool,
+                seed=args.seed + rounds,
+                codec=args.codec,
+                expected=expected,
+                shape=shape,
+            )
+            rows.append(
+                make_row("closed", args.clients, stats, elapsed, args.codec)
+            )
+            rounds += 1
+            if args.duration <= 0 or time.perf_counter() >= deadline:
+                break
+        return rows
+
+    rows = asyncio.run(run())
+    print(render_rows(rows))
+    total_mismatches = sum(row["mismatches"] for row in rows)
+    if args.json:
+        document = make_document(
+            "serve_load", rows=rows, shape=list(shape), verify=args.verify
+        )
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=2)
+            handle.write("\n")
+    if args.verify and total_mismatches:
+        print(f"FAIL: {total_mismatches} mismatched response value(s)")
+        return 1
+    if args.verify:
+        print(
+            f"verified {sum(row['reads'] for row in rows)} responses "
+            f"against the local cube: all exact"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

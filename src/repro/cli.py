@@ -742,7 +742,7 @@ def _command_top(args) -> int:
     import time
 
     from .engine import ShardedEngine
-    from .obs import Observability, SloWatchdog
+    from .obs import Observability, engine_watchdog, evaluate_health
     from .workloads import clustered, read_write_stream
 
     shape = tuple(args.shape)
@@ -758,12 +758,9 @@ def _command_top(args) -> int:
         obs=obs,
         ipc_reads=getattr(args, "ipc_reads", False),
     )
-    watchdog = SloWatchdog(
-        obs,
-        harvest=engine.harvest_worker_metrics,
-        rules=None,
-    )
+    watchdog = engine_watchdog(obs, engine)
     frames = 1 if args.once else max(1, args.iterations)
+    verdict = {"healthy": True}
     try:
         for frame in range(1, frames + 1):
             events = read_write_stream(
@@ -776,7 +773,9 @@ def _command_top(args) -> int:
             _run_serving_stream(engine, events)
             if engine.process_pool is not None:
                 engine.process_pool.flush()
-            watchdog.check()
+            # The same verdict path /healthz serves (SLO rules + open
+            # breakers) decides this command's exit code.
+            verdict = evaluate_health(watchdog, engine)
             print(_render_top_frame(obs, engine, watchdog, frame))
             if frame < frames:
                 print()
@@ -785,7 +784,85 @@ def _command_top(args) -> int:
         pass
     finally:
         engine.close()
-    return 0 if watchdog.healthy else 1
+    return 0 if verdict["healthy"] else 1
+
+
+def _command_serve(args) -> int:
+    """Serve a synthetic cube over HTTP until signalled (or --duration).
+
+    Builds a clustered cube from ``--shape``/``--seed`` — the load
+    generator can rebuild the same cube locally and verify responses
+    exactly — and serves it with coalescing, per-tenant token buckets,
+    and pressure-driven load shedding (see ``docs/serving.md``).  The
+    engine always carries a strict resilience policy so the shedding
+    path has a degradation axis to move along.  Prints one
+    ``listening on http://host:port`` line once the socket is bound.
+    """
+    import asyncio
+    import signal
+
+    import numpy as np
+
+    from .engine import ShardedEngine
+    from .engine.resilience import ResiliencePolicy
+    from .obs import Observability
+    from .serve import AdmissionPolicy, CubeServer
+    from .workloads import clustered
+
+    shape = tuple(args.shape)
+    # Serve a float cube: the wire format accepts fractional deltas, and
+    # an int-backed structure would silently truncate them.
+    data = np.asarray(clustered(shape, seed=args.seed), dtype=float)
+    obs = Observability()
+    engine = ShardedEngine.from_array(
+        data,
+        shards=args.shards,
+        method=args.method,
+        workers=args.workers or None,
+        executor=args.executor,
+        cache_size=args.cache,
+        obs=obs,
+        resilience=ResiliencePolicy(degradation="strict"),
+    )
+    policy = AdmissionPolicy(
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        shed_watermark=args.shed_watermark,
+    )
+
+    async def _run() -> None:
+        server = CubeServer(
+            engine, host=args.host, port=args.port, policy=policy, obs=obs
+        )
+        await server.start()
+        print(f"serving {engine!r}")
+        print(f"listening on {server.address}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        if args.duration > 0:
+            loop.call_later(args.duration, stop.set)
+        await stop.wait()
+        print("draining...", flush=True)
+        await server.stop()
+        stats = server.stats()
+        print(
+            f"served: coalesced {stats['coalesce_followers']} follower(s) "
+            f"onto {stats['coalesce_leaders']} leader(s), "
+            f"throttled {stats['throttled']}, "
+            f"shed {stats['overflow_rejected']}"
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        engine.close()
+    return 0
 
 
 def _command_analyze(args) -> int:
@@ -1364,6 +1441,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="render exactly one frame and exit (CI smoke mode)",
     )
     top.set_defaults(handler=_command_top)
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a cube over HTTP: /query /update /metrics /healthz "
+        "with coalescing, admission control, and load shedding",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8734, help="0 picks an ephemeral port"
+    )
+    serve.add_argument("--method", default="ddc", choices=method_names())
+    serve.add_argument(
+        "--shape", type=int, nargs="+", default=[64, 64], help="cube shape"
+    )
+    serve.add_argument("--shards", type=int, default=4, help="shard count")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="executor threads (0 = deterministic sequential fan-out)",
+    )
+    serve.add_argument(
+        "--executor",
+        default=None,
+        choices=("serial", "thread", "process"),
+        help="executor kind (default: auto)",
+    )
+    serve.add_argument(
+        "--cache", type=int, default=1024, help="result-cache capacity"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=0.0,
+        dest="tenant_rate",
+        help="tokens/second per tenant (0 disables throttling)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=int, default=8, dest="tenant_burst"
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        dest="max_concurrency",
+        help="engine calls in flight at once",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        dest="max_queue",
+        help="arrivals allowed to wait for a slot (beyond: 503)",
+    )
+    serve.add_argument(
+        "--shed-watermark",
+        type=float,
+        default=0.75,
+        dest="shed_watermark",
+        help="gate pressure at which strict degrades to partial",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = run until signalled)",
+    )
+    serve.set_defaults(handler=_command_serve)
 
     chaos = commands.add_parser(
         "chaos",

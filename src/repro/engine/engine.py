@@ -994,6 +994,31 @@ class ShardedEngine(RangeSumMethod):
         """Stored cells across all shards (the cache is not counted)."""
         return sum(shard.memory_cells() for shard in self._shards)
 
+    def set_degradation(self, mode: str) -> str:
+        """Swap the resilience policy's degradation mode at runtime.
+
+        The serving front-end's load shedder flips ``strict`` →
+        ``partial`` when admission pressure crosses its watermark and
+        back when it subsides, so slow shards stop holding answers
+        hostage exactly when capacity is scarce.  Returns the previous
+        mode.  The swap happens under the request lock, so an in-flight
+        read finishes under the policy it started with and the next
+        read sees the new mode.
+        """
+        if self.policy is None:
+            raise ConfigurationError(
+                "engine has no resilience policy to degrade"
+            )
+        from dataclasses import replace
+
+        with self._lock:
+            previous = self.policy.degradation
+            if mode != previous:
+                # replace() re-runs ResiliencePolicy.__post_init__, so an
+                # unknown mode raises ConfigurationError here.
+                self.policy = replace(self.policy, degradation=mode)
+        return previous
+
     def resilience_info(self) -> dict | None:
         """Policy summary plus live per-shard breaker state (None when
         no policy is attached)."""

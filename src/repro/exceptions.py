@@ -23,6 +23,9 @@ __all__ = [
     "ShardFailedError",
     "WorkerCrashedError",
     "InjectedFaultError",
+    "ServeError",
+    "BadRequestError",
+    "UnsupportedMediaTypeError",
     "RaceGuardError",
     "LockOrderViolationError",
     "UnguardedMutationError",
@@ -111,6 +114,20 @@ class InjectedFaultError(ResilienceError):
     Never raised by production code paths; exists so resilience tests
     can distinguish injected faults from genuine shard failures.
     """
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for serving front-end failures (see ``repro.serve``)."""
+
+
+class BadRequestError(ServeError, ValueError):
+    """A serving request is malformed: bad wire payload, unknown
+    operation, or cube-shape mismatch.  Maps to HTTP 400."""
+
+
+class UnsupportedMediaTypeError(ServeError, ValueError):
+    """A request asked for a wire codec the server does not have (e.g.
+    msgpack when the optional dependency is absent).  Maps to HTTP 415."""
 
 
 class RaceGuardError(ReproError, RuntimeError):

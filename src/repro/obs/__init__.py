@@ -53,7 +53,15 @@ from .remote import (
     span_payload,
     worker_metrics_layout,
 )
-from .slo import ErrorBudgetSlo, LatencySlo, SloStatus, SloWatchdog, default_slo_rules
+from .slo import (
+    ErrorBudgetSlo,
+    LatencySlo,
+    SloStatus,
+    SloWatchdog,
+    default_slo_rules,
+    engine_watchdog,
+    evaluate_health,
+)
 from .slowlog import NullSlowQueryLog, SlowQueryLog, SlowQueryRecord
 from .trace import (
     NULL_SPAN,
@@ -100,6 +108,8 @@ __all__ = [
     "LatencySlo",
     "ErrorBudgetSlo",
     "default_slo_rules",
+    "engine_watchdog",
+    "evaluate_health",
 ]
 
 

@@ -32,6 +32,8 @@ __all__ = [
     "ErrorBudgetSlo",
     "SloWatchdog",
     "default_slo_rules",
+    "engine_watchdog",
+    "evaluate_health",
 ]
 
 
@@ -242,3 +244,45 @@ class SloWatchdog:
         verdict = "HEALTHY" if self.healthy else "DEGRADED"
         lines.append(f"slo: {verdict} ({self.checks} checks)")
         return "\n".join(lines)
+
+
+def engine_watchdog(obs, engine, rules: Sequence | None = None) -> SloWatchdog:
+    """The one construction path for an engine-backed watchdog.
+
+    Wires the harvest hook to the engine's ``harvest_worker_metrics``
+    (a no-op outside process mode) so worker metrics are fresh for
+    every rule evaluation.  Both ``repro top`` and the serving
+    front-end's ``/healthz`` build their watchdog here.
+    """
+    return SloWatchdog(obs, rules=rules, harvest=engine.harvest_worker_metrics)
+
+
+def evaluate_health(watchdog: SloWatchdog, engine) -> dict:
+    """Run one health evaluation and return the full health document.
+
+    This is the *single* verdict path shared by ``repro top --once``
+    (exit code) and the serve ``/healthz`` endpoint (status code +
+    body), so the two surfaces cannot drift: one ``watchdog.check()``
+    over the shared rules, then the engine's live circuit-breaker
+    states folded in — any open breaker degrades the verdict even when
+    every SLO rule passes, because an open breaker means a shard is
+    being shed right now.
+
+    Returns the document a health endpoint serialises; ``healthy`` is
+    the boolean verdict, ``status`` is ``"ok"`` or ``"degraded"``.
+    """
+    watchdog.check()
+    document = watchdog.healthz()
+    info = engine.resilience_info()
+    if info is not None:
+        document["breakers"] = info["breakers"]
+        open_shards = sorted(
+            breaker["shard"]
+            for breaker in info["breakers"]
+            if breaker["state"] != "closed"
+        )
+        if open_shards:
+            document["status"] = "degraded"
+            document["open_breakers"] = open_shards
+    document["healthy"] = document["status"] == "ok"
+    return document

@@ -1,0 +1,46 @@
+"""HTTP serving front-end for the sharded engine.
+
+The roadmap's serving layer: :class:`CubeServer` speaks HTTP/1.1
+JSON/msgpack over a :class:`~repro.engine.ShardedEngine`, with
+single-flight coalescing of identical in-flight reads, per-tenant
+token-bucket admission, a global concurrency gate, and pressure-driven
+load shedding that degrades strict answers to partial ones before
+refusing work outright.  :class:`ServeClient` is the matching client
+used by the load generator, the CI smoke job, and the tests.
+
+See ``docs/serving.md`` for the wire format and operational semantics.
+"""
+
+from .admission import AdmissionPolicy, ConcurrencyGate, TenantBuckets, TokenBucket
+from .client import ServeClient, ServeResponse
+from .coalesce import SingleFlight
+from .server import CubeServer
+from .wire import (
+    Codec,
+    QueryRequest,
+    UpdateRequest,
+    available_codecs,
+    codec_for,
+    decode_query,
+    decode_update,
+    default_codec,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "Codec",
+    "ConcurrencyGate",
+    "CubeServer",
+    "QueryRequest",
+    "ServeClient",
+    "ServeResponse",
+    "SingleFlight",
+    "TenantBuckets",
+    "TokenBucket",
+    "UpdateRequest",
+    "available_codecs",
+    "codec_for",
+    "decode_query",
+    "decode_update",
+    "default_codec",
+]

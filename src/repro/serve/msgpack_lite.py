@@ -1,0 +1,225 @@
+"""Minimal pure-python MessagePack codec for the serving wire format.
+
+The serving front-end offers ``application/msgpack`` next to JSON.  When
+the real ``msgpack`` package is installed its C packer is used; this
+module is the dependency-free fallback so the binary wire format (and
+its parity tests) work everywhere the library does.  Only the subset the
+wire format needs is implemented — nil, bool, int, float, str, bin,
+array, map — and the encodings are the standard ones, so payloads packed
+here unpack with the real library and vice versa.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from ..exceptions import BadRequestError
+
+__all__ = ["packb", "unpackb"]
+
+_MAX_CONTAINER = 1 << 24  # sanity bound on decoded container sizes
+
+
+def _pack_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out.append(0xC0)
+    elif obj is True:
+        out.append(0xC3)
+    elif obj is False:
+        out.append(0xC2)
+    elif isinstance(obj, int):
+        _pack_int(obj, out)
+    elif isinstance(obj, float):
+        out.append(0xCB)
+        out += struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+        size = len(data)
+        if size < 32:
+            out.append(0xA0 | size)
+        elif size < 1 << 8:
+            out += struct.pack(">BB", 0xD9, size)
+        elif size < 1 << 16:
+            out += struct.pack(">BH", 0xDA, size)
+        else:
+            out += struct.pack(">BI", 0xDB, size)
+        out += data
+    elif isinstance(obj, (bytes, bytearray)):
+        size = len(obj)
+        if size < 1 << 8:
+            out += struct.pack(">BB", 0xC4, size)
+        elif size < 1 << 16:
+            out += struct.pack(">BH", 0xC5, size)
+        else:
+            out += struct.pack(">BI", 0xC6, size)
+        out += obj
+    elif isinstance(obj, (list, tuple)):
+        size = len(obj)
+        if size < 16:
+            out.append(0x90 | size)
+        elif size < 1 << 16:
+            out += struct.pack(">BH", 0xDC, size)
+        else:
+            out += struct.pack(">BI", 0xDD, size)
+        for item in obj:
+            _pack_into(item, out)
+    elif isinstance(obj, dict):
+        size = len(obj)
+        if size < 16:
+            out.append(0x80 | size)
+        elif size < 1 << 16:
+            out += struct.pack(">BH", 0xDE, size)
+        else:
+            out += struct.pack(">BI", 0xDF, size)
+        for key, value in obj.items():
+            _pack_into(key, out)
+            _pack_into(value, out)
+    else:
+        raise BadRequestError(
+            f"msgpack wire format cannot encode {type(obj).__name__}"
+        )
+
+
+def _pack_int(value: int, out: bytearray) -> None:
+    if 0 <= value < 0x80:
+        out.append(value)
+    elif -32 <= value < 0:
+        out.append(value & 0xFF)
+    elif 0 <= value < 1 << 8:
+        out += struct.pack(">BB", 0xCC, value)
+    elif 0 <= value < 1 << 16:
+        out += struct.pack(">BH", 0xCD, value)
+    elif 0 <= value < 1 << 32:
+        out += struct.pack(">BI", 0xCE, value)
+    elif 0 <= value < 1 << 64:
+        out += struct.pack(">BQ", 0xCF, value)
+    elif -(1 << 7) <= value < 0:
+        out += struct.pack(">Bb", 0xD0, value)
+    elif -(1 << 15) <= value < 0:
+        out += struct.pack(">Bh", 0xD1, value)
+    elif -(1 << 31) <= value < 0:
+        out += struct.pack(">Bi", 0xD2, value)
+    elif -(1 << 63) <= value < 0:
+        out += struct.pack(">Bq", 0xD3, value)
+    else:
+        raise BadRequestError("msgpack wire format integer out of 64-bit range")
+
+
+def packb(obj: Any) -> bytes:
+    """Serialise ``obj`` to MessagePack bytes."""
+    out = bytearray()
+    _pack_into(obj, out)
+    return bytes(out)
+
+
+class _Reader:
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.pos + count
+        if end > len(self.data):
+            raise BadRequestError("truncated msgpack payload")
+        chunk = self.data[self.pos:end]
+        self.pos = end
+        return chunk
+
+    def unpack(self, fmt: str, size: int):
+        return struct.unpack(fmt, self.take(size))[0]
+
+
+def _unpack_one(reader: _Reader) -> Any:
+    marker = reader.take(1)[0]
+    if marker < 0x80:  # positive fixint
+        return marker
+    if marker >= 0xE0:  # negative fixint
+        return marker - 0x100
+    if 0x80 <= marker < 0x90:  # fixmap
+        return _unpack_map(reader, marker & 0x0F)
+    if 0x90 <= marker < 0xA0:  # fixarray
+        return _unpack_array(reader, marker & 0x0F)
+    if 0xA0 <= marker < 0xC0:  # fixstr
+        return _decode_str(reader.take(marker & 0x1F))
+    if marker == 0xC0:
+        return None
+    if marker == 0xC2:
+        return False
+    if marker == 0xC3:
+        return True
+    if marker == 0xC4:
+        return reader.take(reader.unpack(">B", 1))
+    if marker == 0xC5:
+        return reader.take(reader.unpack(">H", 2))
+    if marker == 0xC6:
+        return reader.take(reader.unpack(">I", 4))
+    if marker == 0xCA:
+        return reader.unpack(">f", 4)
+    if marker == 0xCB:
+        return reader.unpack(">d", 8)
+    if marker == 0xCC:
+        return reader.unpack(">B", 1)
+    if marker == 0xCD:
+        return reader.unpack(">H", 2)
+    if marker == 0xCE:
+        return reader.unpack(">I", 4)
+    if marker == 0xCF:
+        return reader.unpack(">Q", 8)
+    if marker == 0xD0:
+        return reader.unpack(">b", 1)
+    if marker == 0xD1:
+        return reader.unpack(">h", 2)
+    if marker == 0xD2:
+        return reader.unpack(">i", 4)
+    if marker == 0xD3:
+        return reader.unpack(">q", 8)
+    if marker == 0xD9:
+        return _decode_str(reader.take(reader.unpack(">B", 1)))
+    if marker == 0xDA:
+        return _decode_str(reader.take(reader.unpack(">H", 2)))
+    if marker == 0xDB:
+        return _decode_str(reader.take(reader.unpack(">I", 4)))
+    if marker == 0xDC:
+        return _unpack_array(reader, reader.unpack(">H", 2))
+    if marker == 0xDD:
+        return _unpack_array(reader, reader.unpack(">I", 4))
+    if marker == 0xDE:
+        return _unpack_map(reader, reader.unpack(">H", 2))
+    if marker == 0xDF:
+        return _unpack_map(reader, reader.unpack(">I", 4))
+    raise BadRequestError(f"unsupported msgpack marker 0x{marker:02x}")
+
+
+def _decode_str(data: bytes) -> str:
+    try:
+        return data.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise BadRequestError("msgpack string is not valid UTF-8") from exc
+
+
+def _unpack_array(reader: _Reader, size: int) -> list:
+    if size > _MAX_CONTAINER:
+        raise BadRequestError("msgpack array too large")
+    return [_unpack_one(reader) for _ in range(size)]
+
+
+def _unpack_map(reader: _Reader, size: int) -> dict:
+    if size > _MAX_CONTAINER:
+        raise BadRequestError("msgpack map too large")
+    out = {}
+    for _ in range(size):
+        key = _unpack_one(reader)
+        out[key] = _unpack_one(reader)
+    return out
+
+
+def unpackb(data: bytes) -> Any:
+    """Deserialise one MessagePack value; trailing bytes are an error."""
+    reader = _Reader(bytes(data))
+    value = _unpack_one(reader)
+    if reader.pos != len(reader.data):
+        raise BadRequestError("trailing bytes after msgpack payload")
+    return value

@@ -87,6 +87,24 @@ def test_top_level_exports():
                 "sorted_by_duration",
             ],
         ),
+        (
+            "repro.serve",
+            [
+                "AdmissionPolicy",
+                "ConcurrencyGate",
+                "CubeServer",
+                "QueryRequest",
+                "ServeClient",
+                "ServeResponse",
+                "SingleFlight",
+                "TenantBuckets",
+                "TokenBucket",
+                "UpdateRequest",
+                "available_codecs",
+                "codec_for",
+                "default_codec",
+            ],
+        ),
         ("repro.artifacts", ["make_document", "load_document", "write_document", "upsert_row"]),
         ("repro.cli", ["main", "build_parser"]),
     ],
@@ -98,7 +116,7 @@ def test_documented_module_surface(module, names):
 
 
 def test_all_lists_are_importable():
-    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads", "repro.obs", "repro.artifacts", "repro.engine"):
+    for module in ("repro", "repro.core", "repro.methods", "repro.olap", "repro.storage", "repro.model", "repro.workloads", "repro.obs", "repro.artifacts", "repro.engine", "repro.serve"):
         imported = importlib.import_module(module)
         exported = getattr(imported, "__all__", [])
         for name in exported:
